@@ -1,0 +1,525 @@
+package sleepscale_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the corresponding result each iteration at
+// QuickConfig resolution), plus micro-benchmarks for the pieces whose cost
+// the paper reports — most importantly the single-policy evaluation that
+// §4.1 measures at 6.3 ms on an i5/Matlab, which bounds the runtime policy
+// manager's overhead.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"math/rand"
+	"testing"
+
+	"sleepscale"
+	"sleepscale/internal/experiments"
+)
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the §4.1/§5.1.1 overhead claims.
+
+// BenchmarkPolicyEvaluation measures one Algorithm 1 run over N = 10,000
+// jobs — the quantity the paper reports as 6.3 ms per policy.
+func BenchmarkPolicyEvaluation(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(10000, rand.New(rand.NewSource(1)))
+	pol := sleepscale.Policy{Frequency: 0.6, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), spec.FreqExponent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sleepscale.Simulate(jobs, cfg, sleepscale.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicySelection measures a full §5.1.1 policy-manager decision:
+// every (state, frequency) candidate evaluated over the same stream.
+func BenchmarkPolicySelection(b *testing.B) {
+	spec := sleepscale.DNS()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.02 // ~35 frequencies × 5 states
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(2000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mgr.Select(jobs, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicySelectionSerial is the parallelism ablation: the same
+// decision on a single worker.
+func BenchmarkPolicySelectionSerial(b *testing.B) {
+	spec := sleepscale.DNS()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.02
+	mgr.Parallelism = 1
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(2000, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mgr.Select(jobs, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIdealizedSelection measures the closed-form alternative the
+// paper's §5.1.2 observation 3 suggests for runtime use.
+func BenchmarkIdealizedSelection(b *testing.B) {
+	spec := sleepscale.DNS()
+	mu := spec.MaxServiceRate()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, mu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mgr.SelectIdealized(0.3*mu, mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefinedIdealizedSelection measures the §5.1.2-observation-3
+// path: grid selection plus continuous frequency refinement, entirely from
+// closed forms — the microsecond-class alternative to per-policy simulation.
+func BenchmarkRefinedIdealizedSelection(b *testing.B) {
+	spec := sleepscale.DNS()
+	mu := spec.MaxServiceRate()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, mu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.05
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.SelectIdealizedRefined(0.3*mu, mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed in jobs/op.
+func BenchmarkEngineThroughput(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(100000, rand.New(rand.NewSource(1)))
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := sleepscale.NewEngine(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range jobs {
+			if _, err := eng.Process(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPredictorLMSCUSUM measures one Algorithm 2 step.
+func BenchmarkPredictorLMSCUSUM(b *testing.B) {
+	lc, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := sleepscale.EmailStoreTrace(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lc.Predict()
+		lc.Observe(tr.Utilization[i%tr.Len()])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per table / figure.
+
+func benchConfig() experiments.Config { return experiments.QuickConfig() }
+
+// BenchmarkTable5 regenerates the workload-statistics table.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Tables()
+	}
+}
+
+// BenchmarkFigure1 regenerates the §4.2 trade-off curves.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the high-utilization state comparison.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the delayed-entry study.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the frequency-dependence study.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the QoS-bar illustration.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates one representative policy map (DNS, mean
+// QoS, ρ_b = 0.8, both models) — the full 16-map figure is minutes of work
+// and belongs to cmd/experiments.
+func BenchmarkFigure6(b *testing.B) {
+	opts := experiments.Figure6Options{
+		Workloads: []string{"DNS"},
+		QoSKinds:  []string{"mean"},
+		RhoBs:     []float64{0.8},
+		RhoStep:   0.1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchConfig(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the utilization traces.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates a reduced predictor × interval grid.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(benchConfig(), []string{"LC", "NP"}, []int{5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the strategy comparison.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the selected-state distribution.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendixValidation regenerates the closed-form cross-check.
+func BenchmarkAppendixValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AppendixValidation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLesson5 regenerates the sequential-throttle-back ablation.
+func BenchmarkLesson5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SequentialLesson(benchConfig(), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAtomStudy regenerates the Atom-vs-Xeon optimum comparison.
+func BenchmarkAtomStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AtomStudy(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationOverProvisioning sweeps α to expose the response/power
+// trade of the §5.2.3 guard band.
+func BenchmarkAblationOverProvisioning(b *testing.B) {
+	for _, alpha := range []float64{0, 0.35, 0.7} {
+		b.Run(alphaName(alpha), func(b *testing.B) {
+			spec := sleepscale.DNS()
+			stats, err := sleepscale.NewFittedStats(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := sleepscale.EmailStoreTrace(1, 1).DailyWindow(120, 300)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+				mgr.Space.FreqStep = 0.05
+				strat, err := sleepscale.NewSleepScaleStrategy(mgr, 600, alpha)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pred, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := sleepscale.Run(sleepscale.RunnerConfig{
+					Stats:        stats,
+					FreqExponent: spec.FreqExponent,
+					Profile:      sleepscale.Xeon(),
+					Trace:        tr,
+					EpochSlots:   5,
+					Predictor:    pred,
+					Strategy:     strat,
+					Seed:         1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.AvgPower, "watts")
+				b.ReportMetric(rep.MeanResponse*1000, "ms-response")
+			}
+		})
+	}
+}
+
+func alphaName(a float64) string {
+	switch a {
+	case 0:
+		return "alpha=0.00"
+	case 0.35:
+		return "alpha=0.35"
+	default:
+		return "alpha=0.70"
+	}
+}
+
+// BenchmarkFarmScaleOut measures the multi-server extension: a fixed
+// aggregate load dispatched over k servers (the [6]-style study).
+func BenchmarkFarmScaleOut(b *testing.B) {
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]sleepscale.Job, 40000)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / 4.0
+		jobs[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / 5.0}
+	}
+	for _, k := range []int{1, 4, 16} {
+		name := map[int]string{1: "k=1", 4: "k=4", 16: "k=16"}[k]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sleepscale.RunFarm(k, cfg, sleepscale.JSQ{}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TotalAvgPower, "watts")
+			}
+		})
+	}
+}
+
+// BenchmarkMultiCoreSimulate measures the k-core shared-platform simulator
+// (the §7 multi-core extension) on a 4-core chip.
+func BenchmarkMultiCoreSimulate(b *testing.B) {
+	cfg := sleepscale.MultiCoreConfig{
+		Cores: 4, Frequency: 1, FreqExponent: 1,
+		CPUActivePower: 32.5,
+		CoreSleep: []sleepscale.MultiCorePhase{
+			{Name: "C6", Power: 3.75, WakeLatency: 1e-3, EnterAfter: 0},
+		},
+		PlatformActivePower: 120, PlatformIdlePower: 60.5, PlatformSleepPower: 13.1,
+		PlatformSleepAfter: 2, PlatformWakeLatency: 1,
+	}
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]sleepscale.Job, 20000)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / 14.0
+		jobs[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / 5.0}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sleepscale.SimulateMultiCore(jobs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGuardedTimeout compares idle-management plans on bursty
+// arrivals: always-shallow, immediate-deep and the break-even guard.
+func BenchmarkAblationGuardedTimeout(b *testing.B) {
+	prof := sleepscale.Xeon()
+	const f = 0.5
+	guarded, err := sleepscale.GuardedPlan(prof, f, sleepscale.OperatingIdle, sleepscale.DeeperSleep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sleepscale.Spec{Name: "bursty", InterArrivalMean: 1.94, InterArrivalCV: 4,
+		ServiceMean: 0.194, ServiceCV: 1, FreqExponent: 1}
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(20000, rand.New(rand.NewSource(1)))
+	for _, tc := range []struct {
+		name string
+		plan sleepscale.SleepPlan
+	}{
+		{"shallow", sleepscale.SingleState(sleepscale.OperatingIdle)},
+		{"deep", sleepscale.SingleState(sleepscale.DeeperSleep)},
+		{"guarded", guarded},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			pol := sleepscale.Policy{Frequency: f, Plan: tc.plan}
+			cfg, err := pol.Config(prof, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := sleepscale.Simulate(jobs, cfg, sleepscale.SimOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgPower, "watts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEvalJobs sweeps the bootstrap stream length N, the
+// decision-quality/overhead knob of §5.1.1.
+func BenchmarkAblationEvalJobs(b *testing.B) {
+	spec := sleepscale.DNS()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1000, 10000} {
+		name := "N=1000"
+		if n == 10000 {
+			name = "N=10000"
+		}
+		b.Run(name, func(b *testing.B) {
+			jobs := stats.Jobs(n, rand.New(rand.NewSource(1)))
+			mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+			mgr.Space.FreqStep = 0.02
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mgr.Select(jobs, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Command experiments regenerates the SleepScale paper's tables and figures
+// and prints them as plain-text tables. Select experiments by name or run
+// everything; -quick trades resolution for speed.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-out FILE] [all|table5|fig1|fig2|fig3|
+//	             fig4|fig5|fig6|fig7|fig8|fig9|fig10|appendix|lesson5|atom]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sleepscale/internal/experiments"
+)
+
+type tabler interface{ Tables() []experiments.Table }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	quickFlag := flag.Bool("quick", false, "reduced-resolution settings (faster)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	out := flag.String("out", "", "also write output to this file")
+	dataDir := flag.String("data", "", "write per-experiment CSV and JSON files into this directory")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quickFlag {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{"table5", "fig1", "fig2", "fig3", "fig4", "fig5",
+			"fig6", "fig7", "fig8", "fig9", "fig10", "appendix", "lesson5",
+			"atom", "sensitivity", "mail", "analytic"}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		r, err := run(cfg, name)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		for _, t := range r.Tables() {
+			fmt.Fprintln(w, t.String())
+		}
+		fmt.Fprintf(w, "(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *dataDir != "" {
+			if err := exportData(*dataDir, name, r); err != nil {
+				log.Fatalf("%s: export: %v", name, err)
+			}
+		}
+	}
+}
+
+// exportData writes JSON always and CSV where a long-format exporter exists.
+func exportData(dir, name string, r tabler) error {
+	jf, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := experiments.WriteJSON(jf, r); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := experiments.ExportCSV(cf, r); err != nil {
+		// Not every result has a CSV layout; JSON suffices.
+		os.Remove(cf.Name())
+	}
+	return nil
+}
+
+func run(cfg experiments.Config, name string) (tabler, error) {
+	switch strings.ToLower(name) {
+	case "table5":
+		return experiments.Table5(cfg)
+	case "fig1":
+		return experiments.Figure1(cfg)
+	case "fig2":
+		return experiments.Figure2(cfg)
+	case "fig3":
+		return experiments.Figure3(cfg)
+	case "fig4":
+		return experiments.Figure4(cfg)
+	case "fig5":
+		return experiments.Figure5(cfg)
+	case "fig6":
+		return experiments.Figure6(cfg, experiments.Figure6Options{})
+	case "fig7":
+		return experiments.Figure7(cfg)
+	case "fig8":
+		return experiments.Figure8(cfg, nil, nil)
+	case "fig9":
+		return experiments.Figure9(cfg)
+	case "fig10":
+		return experiments.Figure10(cfg)
+	case "appendix":
+		return experiments.AppendixValidation(cfg)
+	case "lesson5":
+		return sequentialBoth(cfg)
+	case "atom":
+		return experiments.AtomStudy(cfg)
+	case "sensitivity":
+		return experiments.WakeSensitivity(cfg)
+	case "mail":
+		return experiments.MailStudy(cfg)
+	case "analytic":
+		return experiments.AnalyticStrategyStudy(cfg)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+// sequentialBoth runs the lesson-5 study at low and high utilization.
+type sequentialPair struct{ lo, hi *experiments.SequentialResult }
+
+func (p sequentialPair) Tables() []experiments.Table {
+	return append(p.lo.Tables(), p.hi.Tables()...)
+}
+
+func sequentialBoth(cfg experiments.Config) (tabler, error) {
+	lo, err := experiments.SequentialLesson(cfg, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := experiments.SequentialLesson(cfg, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	return sequentialPair{lo: lo, hi: hi}, nil
+}

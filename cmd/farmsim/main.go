@@ -1,0 +1,120 @@
+// Command farmsim drives the two §7 future-work extensions: a farm of
+// single-core servers behind a dispatcher, or one multi-core chip with a
+// shared platform. It sweeps the machine count and reports the
+// power/response scale-out curve.
+//
+// Usage:
+//
+//	farmsim -mode farm -sizes 1,2,4,8 -dispatch jsq -lambda 4 -mu 5
+//	farmsim -mode chip -sizes 1,2,4 -lambda 14 -mu 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sleepscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("farmsim: ")
+	var (
+		mode     = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
+		sizesArg = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
+		dispatch = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr or random")
+		lambda   = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
+		mu       = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
+		jobs     = flag.Int("jobs", 50000, "jobs to simulate")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	stream := make([]sleepscale.Job, *jobs)
+	tnow := 0.0
+	for i := range stream {
+		tnow += rng.ExpFloat64() / *lambda
+		stream[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / *mu}
+	}
+
+	fmt.Printf("mode=%s λ=%.2f/s µ=%.2f/s jobs=%d\n\n", *mode, *lambda, *mu, *jobs)
+	fmt.Printf("%6s  %10s  %10s  %12s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)")
+	for _, k := range sizes {
+		switch *mode {
+		case "farm":
+			disp, err := buildDispatcher(*dispatch, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+			cfg, err := pol.Config(sleepscale.Xeon(), 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sleepscale.RunFarm(k, cfg, disp, stream)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var p95 float64
+			for _, s := range res.PerServer {
+				if s.ResponseP95 > p95 {
+					p95 = s.ResponseP95
+				}
+			}
+			fmt.Printf("%6d  %10.4f  %10.4f  %12.2f\n", k, res.MeanResponse, p95, res.TotalAvgPower)
+		case "chip":
+			cfg := sleepscale.MultiCoreConfig{
+				Cores: k, Frequency: 1, FreqExponent: 1,
+				CPUActivePower: 130.0 / 4,
+				CoreSleep: []sleepscale.MultiCorePhase{
+					{Name: "C6", Power: 15.0 / 4, WakeLatency: 1e-3, EnterAfter: 0},
+				},
+				PlatformActivePower: 120,
+				PlatformIdlePower:   60.5,
+				PlatformSleepPower:  13.1,
+				PlatformSleepAfter:  2,
+				PlatformWakeLatency: 1,
+			}
+			res, err := sleepscale.SimulateMultiCore(stream, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d  %10.4f  %10.4f  %12.2f\n", k, res.MeanResponse, res.ResponseP95, res.AvgPower)
+		default:
+			log.Fatalf("unknown mode %q", *mode)
+		}
+	}
+}
+
+func parseSizes(arg string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(arg, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad size %q", s)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func buildDispatcher(name string, seed int64) (sleepscale.Dispatcher, error) {
+	switch name {
+	case "jsq":
+		return sleepscale.JSQ{}, nil
+	case "rr":
+		return &sleepscale.RoundRobin{}, nil
+	case "random":
+		return &sleepscale.RandomDispatch{Rng: rand.New(rand.NewSource(seed + 1))}, nil
+	}
+	return nil, fmt.Errorf("unknown dispatcher %q", name)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1, 2,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 16 {
+		t.Errorf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildDispatcher(t *testing.T) {
+	for _, name := range []string{"jsq", "rr", "random"} {
+		if _, err := buildDispatcher(name, 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildDispatcher("nope", 1); err == nil {
+		t.Error("unknown dispatcher accepted")
+	}
+}

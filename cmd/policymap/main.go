@@ -1,0 +1,52 @@
+// Command policymap prints the optimal (frequency, sleep state) policy as a
+// function of utilization — one Figure 6 curve. Both the idealized
+// closed-form model and simulation over empirical (BigHouse-surrogate)
+// statistics are supported.
+//
+// Usage:
+//
+//	policymap -workload Google -rhob 0.8 -qos mean -model idealized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sleepscale/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("policymap: ")
+	var (
+		workloadName = flag.String("workload", "DNS", "workload: DNS, Mail or Google")
+		rhoB         = flag.Float64("rhob", 0.8, "baseline peak design utilization ρ_b")
+		qosKind      = flag.String("qos", "mean", "QoS kind: mean or p95")
+		model        = flag.String("model", "idealized", "model: idealized or empirical")
+		rhoStep      = flag.Float64("rhostep", 0.05, "utilization grid step")
+		jobs         = flag.Int("jobs", 10000, "jobs per simulated evaluation (empirical model)")
+		step         = flag.Float64("step", 0.01, "frequency grid step")
+		seed         = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.EvalJobs = *jobs
+	cfg.FreqStep = *step
+	cfg.Seed = *seed
+
+	res, err := experiments.Figure6(cfg, experiments.Figure6Options{
+		Workloads: []string{*workloadName},
+		QoSKinds:  []string{*qosKind},
+		RhoBs:     []float64{*rhoB},
+		Models:    []string{*model},
+		RhoStep:   *rhoStep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Tables() {
+		fmt.Println(t.String())
+	}
+}

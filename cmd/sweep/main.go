@@ -1,0 +1,115 @@
+// Command sweep characterizes the power/response trade-off of one or more
+// sleep states for a workload at a fixed utilization, sweeping the DVFS
+// frequency — the §4 methodology behind Figures 1–5. Output is a TSV of
+// (state, f, µE[R], E[P]) rows suitable for plotting.
+//
+// Usage:
+//
+//	sweep -workload DNS -rho 0.1 -states "C0(i)S0(i),C6S0(i),C6S3" \
+//	      -jobs 10000 -step 0.01 -beta 1 -profile xeon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"sleepscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		workloadName = flag.String("workload", "DNS", "workload: DNS, Mail or Google")
+		rho          = flag.Float64("rho", 0.1, "utilization ρ = λ/µ")
+		statesFlag   = flag.String("states", "C0(i)S0(i),C6S0(i),C6S3", "comma-separated state names")
+		jobs         = flag.Int("jobs", 10000, "jobs per policy evaluation")
+		step         = flag.Float64("step", 0.01, "frequency sweep step")
+		beta         = flag.Float64("beta", 1, "service-rate frequency exponent β")
+		profileName  = flag.String("profile", "xeon", "power profile: xeon or atom")
+		seed         = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := profileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(*rho)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := stats.Jobs(*jobs, rand.New(rand.NewSource(*seed)))
+	mu := spec.MaxServiceRate()
+
+	fmt.Printf("# workload=%s rho=%.3f beta=%.2f profile=%s jobs=%d\n",
+		spec.Name, *rho, *beta, prof.Name, *jobs)
+	fmt.Println("state\tf\tnorm_mean_response\tavg_power_w")
+	for _, name := range strings.Split(*statesFlag, ",") {
+		st, err := stateByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		space := sleepscale.PolicySpace{
+			Plans:    []sleepscale.SleepPlan{sleepscale.SingleState(st)},
+			FreqStep: *step,
+			MinFreq:  0.05,
+		}
+		for _, f := range space.Frequencies(*rho, *beta) {
+			pol := sleepscale.Policy{Frequency: f, Plan: space.Plans[0]}
+			cfg, err := pol.Config(prof, *beta)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sleepscale.Simulate(stream, cfg, sleepscale.SimOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s\t%.3f\t%.4f\t%.3f\n",
+				st, f, mu*res.MeanResponse, res.AvgPower)
+		}
+	}
+}
+
+func specByName(name string) (sleepscale.Spec, error) {
+	switch strings.ToLower(name) {
+	case "dns":
+		return sleepscale.DNS(), nil
+	case "mail":
+		return sleepscale.Mail(), nil
+	case "google":
+		return sleepscale.Google(), nil
+	}
+	return sleepscale.Spec{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func profileByName(name string) (*sleepscale.Profile, error) {
+	switch strings.ToLower(name) {
+	case "xeon":
+		return sleepscale.Xeon(), nil
+	case "atom":
+		return sleepscale.Atom(), nil
+	}
+	return nil, fmt.Errorf("unknown profile %q", name)
+}
+
+func stateByName(name string) (sleepscale.State, error) {
+	for _, s := range sleepscale.LowPowerStates() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return sleepscale.State{}, fmt.Errorf("unknown state %q (want one of %v)",
+		name, sleepscale.LowPowerStates())
+}

@@ -1,0 +1,181 @@
+// Command tracesim drives one power-management strategy through a
+// utilization trace (the §6 evaluation loop) and reports response time,
+// power and the distribution of selected sleep states. It can load a trace
+// from CSV or generate the synthetic file-server / email-store days.
+//
+// Usage:
+//
+//	tracesim -strategy SS -predictor LC -T 5 -alpha 0.35 \
+//	         -trace email-store -workload DNS -rhob 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"sleepscale"
+	"sleepscale/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracesim: ")
+	var (
+		strategyName  = flag.String("strategy", "SS", "SS, SS(C3), DVFS, R2H(C3) or R2H(C6)")
+		predictorName = flag.String("predictor", "LC", "LC, LMS, NP, MA or Offline")
+		epochMinutes  = flag.Int("T", 5, "policy update interval in minutes")
+		alpha         = flag.Float64("alpha", 0.35, "over-provisioning factor α")
+		traceName     = flag.String("trace", "email-store", "email-store, file-server or a CSV path")
+		workloadName  = flag.String("workload", "DNS", "DNS, Mail or Google")
+		rhoB          = flag.Float64("rhob", 0.8, "baseline peak design utilization")
+		days          = flag.Int("days", 1, "trace days to generate")
+		winStart      = flag.Int("window-start", 120, "daily window start minute (2 AM)")
+		winEnd        = flag.Int("window-end", 1200, "daily window end minute (8 PM)")
+		evalJobs      = flag.Int("evaljobs", 1500, "bootstrap jobs per policy selection")
+		seed          = flag.Int64("seed", 1, "seed")
+		verbose       = flag.Bool("v", false, "print per-epoch decisions")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := loadTrace(*traceName, *days, *seed, *winStart, *winEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos, err := sleepscale.NewMeanResponseQoS(*rhoB, spec.MaxServiceRate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, err := buildStrategy(*strategyName, spec, qos, *evalJobs, *alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := buildPredictor(*predictorName, tr, *winEnd-*winStart)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := sleepscale.Run(sleepscale.RunnerConfig{
+		Stats:        stats,
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   *epochMinutes,
+		Predictor:    pred,
+		Strategy:     strat,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy=%s predictor=%s T=%dmin α=%.2f workload=%s trace=%s (%d slots)\n",
+		rep.Strategy, rep.Predictor, *epochMinutes, *alpha, spec.Name, *traceName, tr.Len())
+	fmt.Printf("jobs           %d\n", rep.Jobs)
+	fmt.Printf("mean response  %.4f s (budget %.4f s, within=%t)\n",
+		rep.MeanResponse, qos.Budget, rep.MeanResponse <= qos.Budget)
+	fmt.Printf("p95 response   %.4f s\n", rep.P95Response)
+	fmt.Printf("avg power      %.2f W\n", rep.AvgPower)
+	fmt.Printf("energy         %.1f kJ over %.1f h\n", rep.Energy/1e3, rep.Duration/3600)
+	fmt.Printf("mean frequency %.3f\n", rep.MeanFrequency)
+	fmt.Println("state usage (fraction of epochs):")
+	fr := rep.PlanFractions()
+	names := make([]string, 0, len(fr))
+	for n := range fr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-12s %.3f\n", n, fr[n])
+	}
+	if *verbose {
+		fmt.Println("epoch\tpredicted\trealized\tpolicy\tjobs\tmean_delay_s")
+		for _, e := range rep.Epochs {
+			fmt.Printf("%d\t%.3f\t%.3f\t%v\t%d\t%.4f\n",
+				e.Index, e.Predicted, e.Realized, e.Policy, e.Jobs, e.MeanDelay)
+		}
+	}
+}
+
+func specByName(name string) (sleepscale.Spec, error) {
+	switch strings.ToLower(name) {
+	case "dns":
+		return sleepscale.DNS(), nil
+	case "mail":
+		return sleepscale.Mail(), nil
+	case "google":
+		return sleepscale.Google(), nil
+	}
+	return sleepscale.Spec{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func loadTrace(name string, days int, seed int64, winStart, winEnd int) (*sleepscale.Trace, error) {
+	var full *sleepscale.Trace
+	switch name {
+	case "email-store":
+		full = sleepscale.EmailStoreTrace(days, seed)
+	case "file-server":
+		full = sleepscale.FileServerTrace(days, seed)
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadCSV(f)
+	}
+	return full.DailyWindow(winStart, winEnd)
+}
+
+func buildStrategy(name string, spec sleepscale.Spec, qos sleepscale.QoS,
+	evalJobs int, alpha float64) (sleepscale.Strategy, error) {
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.02
+	switch name {
+	case "SS":
+		return sleepscale.NewSleepScaleStrategy(mgr, evalJobs, alpha)
+	case "SS(C3)":
+		return sleepscale.NewFixedSleepStrategy(mgr, sleepscale.Sleep, evalJobs, alpha)
+	case "DVFS":
+		return sleepscale.NewDVFSOnlyStrategy(mgr, evalJobs, alpha)
+	case "R2H(C3)":
+		return sleepscale.NewRaceToHaltStrategy(sleepscale.Sleep)
+	case "R2H(C6)":
+		return sleepscale.NewRaceToHaltStrategy(sleepscale.DeepSleep)
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+func buildPredictor(name string, tr *sleepscale.Trace, daySlots int) (sleepscale.Predictor, error) {
+	switch name {
+	case "NP":
+		return sleepscale.NewNaivePredictor(), nil
+	case "LMS":
+		return sleepscale.NewLMSPredictor(10, 0.5)
+	case "LC":
+		return sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+	case "LC+seasonal":
+		base, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		if daySlots < 1 {
+			daySlots = tr.Len()
+		}
+		return sleepscale.NewSeasonalPredictor(base, daySlots)
+	case "Offline":
+		return sleepscale.NewOfflinePredictor(tr.Utilization), nil
+	}
+	return nil, fmt.Errorf("unknown predictor %q", name)
+}

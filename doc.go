@@ -1,0 +1,41 @@
+// Package sleepscale is a from-scratch Go implementation of SleepScale
+// (Liu, Draper, Kim — ISCA 2014): a runtime power-management system that
+// jointly selects a DVFS frequency setting and a CPU/platform low-power
+// (sleep) state for a server under a quality-of-service constraint.
+//
+// # What it provides
+//
+//   - A calibrated power model of CPU states C0(a)/C0(i)/C1/C3/C6 and
+//     platform states S0(a)/S0(i)/S3 (paper Tables 1–4): Xeon and Atom.
+//   - A discrete-event FCFS queueing simulator with DVFS-scaled service,
+//     sleep-state sequences with enter delays, and wake-up penalties
+//     (paper Algorithm 1), usable standalone via Simulate.
+//   - Closed-form M/M/1-with-sleep-states analysis of mean power, mean
+//     response time and response-time tails (paper Appendix), via Model.
+//   - The SleepScale policy manager: enumerate (frequency, sleep plan)
+//     candidates, characterize each against observed workload statistics,
+//     pick the minimum-power policy meeting the QoS (paper §5.1).
+//   - The epoch-driven runtime: utilization predictors (naive-previous,
+//     LMS, LMS+CUSUM, offline genie), per-epoch job logging, frequency
+//     over-provisioning, and a trace-driven evaluation loop (paper §5.2,
+//     §6), plus the baselines it is compared against (DVFS-only,
+//     race-to-halt, fixed-state SleepScale).
+//   - Workload models for the paper's DNS / Mail / Google services
+//     (Table 5) and synthetic utilization traces shaped like the paper's
+//     file-server and email-store days (Figure 7).
+//
+// # Quick start
+//
+//	prof := sleepscale.Xeon()
+//	spec := sleepscale.DNS()
+//	qos, _ := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+//	mgr := sleepscale.NewManager(prof, spec, qos)
+//	stats, _ := sleepscale.NewIdealizedStats(spec)
+//	stats, _ = stats.AtUtilization(0.3)
+//	jobs := stats.Jobs(10000, rand.New(rand.NewSource(1)))
+//	best, _, _ := mgr.Select(jobs, 0.3)
+//	fmt.Println(best.Policy) // e.g. "f=0.52 C0(i)S0(i)"
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harness that regenerates every table and figure in the paper.
+package sleepscale

@@ -1,0 +1,86 @@
+// Datacenter-day: replay a synthetic email-store working day (2 AM–8 PM)
+// against a DNS-like service and compare SleepScale with the conventional
+// strategies the paper evaluates in Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sleepscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := sleepscale.DNS()
+	mu := spec.MaxServiceRate()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := sleepscale.EmailStoreTrace(1, 7)
+	tr, err := full.DailyWindow(120, 1200) // 2 AM – 8 PM
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mean, min, max := tr.Stats()
+	fmt.Printf("email-store day: %d minutes, utilization mean %.2f (range %.2f–%.2f)\n",
+		tr.Len(), mean, min, max)
+	fmt.Printf("QoS: mean response ≤ %.3f s (ρ_b = 0.8)\n\n", qos.Budget)
+	fmt.Printf("%-9s  %10s  %9s  %9s  %7s\n",
+		"strategy", "E[R] (s)", "P95 (s)", "E[P] (W)", "in QoS")
+
+	for _, name := range []string{"SS", "SS(C3)", "DVFS", "R2H(C3)", "R2H(C6)"} {
+		strat, err := buildStrategy(name, spec, qos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sleepscale.Run(sleepscale.RunnerConfig{
+			Stats:        stats,
+			FreqExponent: spec.FreqExponent,
+			Profile:      sleepscale.Xeon(),
+			Trace:        tr,
+			EpochSlots:   5,
+			Predictor:    pred,
+			Strategy:     strat,
+			Seed:         1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s  %10.4f  %9.4f  %9.2f  %7t\n",
+			name, rep.MeanResponse, rep.P95Response, rep.AvgPower,
+			rep.MeanResponse <= qos.Budget)
+	}
+}
+
+func buildStrategy(name string, spec sleepscale.Spec, qos sleepscale.QoS) (sleepscale.Strategy, error) {
+	const (
+		evalJobs = 1200
+		alpha    = 0.35
+	)
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.02
+	switch name {
+	case "SS":
+		return sleepscale.NewSleepScaleStrategy(mgr, evalJobs, alpha)
+	case "SS(C3)":
+		return sleepscale.NewFixedSleepStrategy(mgr, sleepscale.Sleep, evalJobs, alpha)
+	case "DVFS":
+		return sleepscale.NewDVFSOnlyStrategy(mgr, evalJobs, alpha)
+	case "R2H(C3)":
+		return sleepscale.NewRaceToHaltStrategy(sleepscale.Sleep)
+	case "R2H(C6)":
+		return sleepscale.NewRaceToHaltStrategy(sleepscale.DeepSleep)
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}

@@ -1,0 +1,78 @@
+// Predictor-playground: compare the §5.2.2 utilization predictors on a
+// synthetic email-store day — forecast error, surge tracking, and the
+// LMS+CUSUM change-point resets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sleepscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	tr := sleepscale.EmailStoreTrace(2, 11)
+	seq := tr.Utilization
+
+	lms, err := sleepscale.NewLMSPredictor(10, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lc, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds := []sleepscale.Predictor{
+		sleepscale.NewNaivePredictor(),
+		lms,
+		lc,
+		sleepscale.NewOfflinePredictor(seq),
+	}
+
+	fmt.Printf("email-store trace: %d minutes over %d days\n\n", len(seq), len(seq)/1440)
+	fmt.Printf("%-8s  %12s  %12s\n", "name", "MAE", "max |err|")
+	for _, p := range preds {
+		mae, worst := evaluate(p, seq)
+		fmt.Printf("%-8s  %12.4f  %12.4f\n", p.Name(), mae, worst)
+	}
+
+	// Demonstrate surge tracking: a flat signal with one step change.
+	fmt.Println("\nstep-change tracking (0.2 → 0.8 at minute 60):")
+	step := make([]float64, 120)
+	for i := range step {
+		if i < 60 {
+			step[i] = 0.2
+		} else {
+			step[i] = 0.8
+		}
+	}
+	lms2, _ := sleepscale.NewLMSPredictor(10, 0.5)
+	lc2, _ := sleepscale.NewLMSCUSUMPredictor(10, 0.5)
+	fmt.Printf("%-8s  forecasts for minutes 60–66 after the step\n", "name")
+	for _, p := range []sleepscale.Predictor{lms2, lc2} {
+		var row []string
+		for i, x := range step {
+			f := p.Predict()
+			if i >= 60 && i < 67 {
+				row = append(row, fmt.Sprintf("%.2f", f))
+			}
+			p.Observe(x)
+		}
+		fmt.Printf("%-8s  %v\n", p.Name(), row)
+	}
+}
+
+func evaluate(p sleepscale.Predictor, seq []float64) (mae, worst float64) {
+	var sum float64
+	for _, x := range seq {
+		e := math.Abs(p.Predict() - x)
+		sum += e
+		if e > worst {
+			worst = e
+		}
+		p.Observe(x)
+	}
+	return sum / float64(len(seq)), worst
+}

@@ -1,0 +1,221 @@
+// Package core implements SleepScale itself (§5): the policy manager that
+// characterizes every candidate (frequency, low-power state) policy against
+// observed workload statistics and selects the cheapest one meeting the QoS
+// constraint, and the epoch-driven runtime that couples the manager to a
+// utilization predictor over real traces.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sleepscale/internal/analytic"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/queue"
+)
+
+// analyticUnstable aliases the analytic package's stability error for the
+// idealized sweep, which simply skips infeasible frequencies.
+var analyticUnstable = analytic.ErrUnstable
+
+// Manager is the policy manager of §5.1.1: it owns the candidate space, the
+// power profile, and the QoS constraint, and selects the minimum-power
+// feasible policy by simulating each candidate over the same job stream
+// (common random numbers, the rescaled-log replay of §5.2.1).
+type Manager struct {
+	// Profile supplies state powers and wake latencies.
+	Profile *power.Profile
+	// FreqExponent is the workload's β (1 = CPU-bound).
+	FreqExponent float64
+	// Space is the candidate grid.
+	Space policy.Space
+	// QoS is the constraint policies must satisfy.
+	QoS policy.QoS
+	// Parallelism bounds concurrent policy evaluations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// ErrNoJobs reports a selection attempted with an empty evaluation stream.
+var ErrNoJobs = errors.New("core: no jobs to evaluate policies against")
+
+// Validate checks the manager's configuration.
+func (m *Manager) Validate() error {
+	if m.Profile == nil {
+		return fmt.Errorf("core: manager needs a power profile")
+	}
+	if m.QoS == nil {
+		return fmt.Errorf("core: manager needs a QoS constraint")
+	}
+	if len(m.Space.Plans) == 0 {
+		return fmt.Errorf("core: manager needs at least one sleep plan")
+	}
+	if m.FreqExponent < 0 || m.FreqExponent > 1 {
+		return fmt.Errorf("core: frequency exponent %g outside [0,1]", m.FreqExponent)
+	}
+	return nil
+}
+
+// Evaluate runs Algorithm 1 for one policy over the given job stream and
+// reports its metrics and feasibility.
+func (m *Manager) Evaluate(jobs []queue.Job, p policy.Policy) (policy.Evaluation, error) {
+	cfg, err := p.Config(m.Profile, m.FreqExponent)
+	if err != nil {
+		return policy.Evaluation{}, err
+	}
+	res, err := queue.Simulate(jobs, cfg, queue.Options{})
+	if err != nil {
+		return policy.Evaluation{}, err
+	}
+	met := policy.Metrics{
+		AvgPower:     res.AvgPower,
+		MeanResponse: res.MeanResponse,
+		P95Response:  res.ResponseP95,
+		P99Response:  res.ResponseP99,
+	}
+	return policy.Evaluation{Policy: p, Metrics: met, Feasible: m.QoS.Satisfied(met)}, nil
+}
+
+// Select evaluates every policy in the space against the same job stream and
+// returns the feasible policy with the lowest average power, plus all
+// evaluations. rho is the (predicted) utilization, used only to set the
+// frequency grid's stability floor. When no policy is feasible the policy
+// with the smallest QoS violation is returned — the closest the server can
+// get to restoring its target.
+func (m *Manager) Select(jobs []queue.Job, rho float64) (policy.Evaluation, []policy.Evaluation, error) {
+	if err := m.Validate(); err != nil {
+		return policy.Evaluation{}, nil, err
+	}
+	if len(jobs) == 0 {
+		return policy.Evaluation{}, nil, ErrNoJobs
+	}
+	pols := m.Space.Policies(rho, m.FreqExponent)
+	evals := make([]policy.Evaluation, len(pols))
+	errs := make([]error, len(pols))
+
+	workers := m.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pols) {
+		workers = len(pols)
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(pols) {
+					return
+				}
+				evals[i], errs[i] = m.Evaluate(jobs, pols[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return policy.Evaluation{}, nil, err
+		}
+	}
+	best, err := pickBest(evals, m.QoS)
+	if err != nil {
+		return policy.Evaluation{}, nil, err
+	}
+	return best, evals, nil
+}
+
+// SelectIdealized is the §4 idealized model: it scores every candidate with
+// the closed-form Appendix results for Poisson(λ) arrivals and exponential
+// service at maximum rate µ, with no simulation. Policies whose metrics the
+// closed forms cannot produce under the configured QoS (multi-state plans
+// under a percentile constraint) are rejected with an error.
+func (m *Manager) SelectIdealized(lambda, mu float64) (policy.Evaluation, []policy.Evaluation, error) {
+	if err := m.Validate(); err != nil {
+		return policy.Evaluation{}, nil, err
+	}
+	if lambda <= 0 || mu <= 0 || lambda >= mu {
+		return policy.Evaluation{}, nil, fmt.Errorf("core: idealized needs 0 < λ < µ, got λ=%g µ=%g", lambda, mu)
+	}
+	_, needTail := m.QoS.(policy.PercentileQoS)
+	rho := lambda / mu
+	pols := m.Space.Policies(rho, 1) // closed forms assume CPU-bound scaling
+	evals := make([]policy.Evaluation, 0, len(pols))
+	for _, p := range pols {
+		am, err := p.AnalyticModel(m.Profile, lambda, mu)
+		if err != nil {
+			return policy.Evaluation{}, nil, err
+		}
+		if err := am.Validate(); err != nil {
+			if errors.Is(err, analyticUnstable) {
+				continue // below the stability floor after rounding; skip
+			}
+			return policy.Evaluation{}, nil, err
+		}
+		er, err := am.MeanResponse()
+		if err != nil {
+			return policy.Evaluation{}, nil, err
+		}
+		ep, err := am.MeanPower()
+		if err != nil {
+			return policy.Evaluation{}, nil, err
+		}
+		met := policy.Metrics{AvgPower: ep, MeanResponse: er}
+		if needTail {
+			p95, err := am.ResponseQuantile(0.95)
+			if err != nil {
+				return policy.Evaluation{}, nil,
+					fmt.Errorf("core: idealized percentile QoS for %v: %w", p, err)
+			}
+			p99, err := am.ResponseQuantile(0.99)
+			if err != nil {
+				return policy.Evaluation{}, nil, err
+			}
+			met.P95Response, met.P99Response = p95, p99
+		}
+		evals = append(evals, policy.Evaluation{
+			Policy: p, Metrics: met, Feasible: m.QoS.Satisfied(met),
+		})
+	}
+	best, err := pickBest(evals, m.QoS)
+	if err != nil {
+		return policy.Evaluation{}, nil, err
+	}
+	return best, evals, nil
+}
+
+// pickBest returns the feasible minimum-power evaluation, falling back to
+// the minimum-violation one when nothing is feasible.
+func pickBest(evals []policy.Evaluation, qos policy.QoS) (policy.Evaluation, error) {
+	if len(evals) == 0 {
+		return policy.Evaluation{}, fmt.Errorf("core: no candidate policies")
+	}
+	bestIdx := -1
+	for i, e := range evals {
+		if !e.Feasible {
+			continue
+		}
+		if bestIdx < 0 || e.Metrics.AvgPower < evals[bestIdx].Metrics.AvgPower {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		return evals[bestIdx], nil
+	}
+	// Nothing feasible: minimize the violation.
+	bestIdx = 0
+	bestV := math.Inf(1)
+	for i, e := range evals {
+		if v := qos.Violation(e.Metrics); v < bestV {
+			bestV, bestIdx = v, i
+		}
+	}
+	return evals[bestIdx], nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sleepscale/internal/eventlog"
+	"sleepscale/internal/metrics"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/predict"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/trace"
+	"sleepscale/internal/workload"
+)
+
+// DecideInput is what a power-management strategy may consult when choosing
+// the policy for the upcoming epoch.
+type DecideInput struct {
+	// PredictedUtilization is the predictor's forecast for the first slot
+	// of the upcoming epoch (§5.2.3), clamped to (0, 1).
+	PredictedUtilization float64
+	// Window is the recent job-event log for distribution prediction.
+	Window *eventlog.Window
+	// LastEpochMeanDelay and LastEpochP95Delay summarize the epoch that
+	// just ended (0 when it served no jobs); the over-provisioning guard
+	// keys off them.
+	LastEpochMeanDelay float64
+	LastEpochP95Delay  float64
+	// LastEpochJobs is the number of jobs completed-or-accepted last epoch.
+	LastEpochJobs int
+	// Rng is the runner-provided randomness for bootstrap resampling.
+	Rng *rand.Rand
+}
+
+// Strategy selects one policy per epoch. Implementations include SleepScale
+// itself and the §6.1 baselines (DVFS-only, race-to-halt, fixed-state
+// SleepScale).
+type Strategy interface {
+	// Name identifies the strategy in reports ("SS", "R2H(C6)", …).
+	Name() string
+	// Decide returns the policy to apply for the upcoming epoch.
+	Decide(in DecideInput) (policy.Policy, error)
+}
+
+// RunnerConfig describes one trace-driven evaluation run (§6).
+type RunnerConfig struct {
+	// Stats is the generating workload process for the actual job stream.
+	Stats workload.Stats
+	// FreqExponent is the workload's β.
+	FreqExponent float64
+	// Profile supplies the power model.
+	Profile *power.Profile
+	// Trace is the per-slot utilization trace driving arrival intensity.
+	Trace *trace.Trace
+	// EpochSlots is T: the number of trace slots per policy epoch.
+	EpochSlots int
+	// Predictor forecasts per-slot utilization; it is fed the realized
+	// utilization of every slot as the run plays out.
+	Predictor predict.Predictor
+	// Strategy picks the per-epoch policy.
+	Strategy Strategy
+	// WindowEpochs is how many past epochs of job logs to retain for
+	// distribution prediction (default 3).
+	WindowEpochs int
+	// Seed drives workload generation and bootstrap resampling.
+	Seed int64
+}
+
+// EpochRecord summarizes one epoch of a run.
+type EpochRecord struct {
+	// Index is the epoch number.
+	Index int
+	// Predicted is the utilization forecast the decision used.
+	Predicted float64
+	// Realized is the mean trace utilization over the epoch's slots.
+	Realized float64
+	// Policy is the strategy's choice.
+	Policy policy.Policy
+	// Jobs is the number of jobs arriving in the epoch.
+	Jobs int
+	// MeanDelay is the mean response of those jobs.
+	MeanDelay float64
+}
+
+// RunReport aggregates a whole trace-driven run.
+type RunReport struct {
+	// Strategy and Predictor name the configuration.
+	Strategy  string
+	Predictor string
+	// Jobs is the total number served.
+	Jobs int
+	// MeanResponse and P95Response are over all jobs, seconds.
+	MeanResponse float64
+	P95Response  float64
+	// AvgPower is total energy over total duration, watts.
+	AvgPower float64
+	// Energy (joules) and Duration (seconds).
+	Energy   float64
+	Duration float64
+	// Epochs records every per-epoch decision.
+	Epochs []EpochRecord
+	// PlanEpochs counts decision epochs per sleep-plan name (Figure 10).
+	PlanEpochs map[string]int
+	// MeanFrequency is the epoch-averaged selected frequency.
+	MeanFrequency float64
+}
+
+// PlanFractions reports each plan's share of decision epochs, the quantity
+// Figure 10 plots.
+func (r *RunReport) PlanFractions() map[string]float64 {
+	out := make(map[string]float64, len(r.PlanEpochs))
+	total := 0
+	for _, n := range r.PlanEpochs {
+		total += n
+	}
+	if total == 0 {
+		return out
+	}
+	for name, n := range r.PlanEpochs {
+		out[name] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// Run executes the §6 evaluation loop: generate the trace-driven job stream,
+// then epoch by epoch predict utilization, let the strategy pick a policy,
+// serve the epoch's jobs under it, and feed realized utilizations back to
+// the predictor. Queue backlog carries across epoch boundaries, so
+// under-prediction shows up as delay in later epochs exactly as §5.2.3
+// describes.
+func Run(cfg RunnerConfig) (RunReport, error) {
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return RunReport{}, fmt.Errorf("core: runner needs a non-empty trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return RunReport{}, err
+	}
+	if cfg.EpochSlots < 1 {
+		return RunReport{}, fmt.Errorf("core: epoch slots %d < 1", cfg.EpochSlots)
+	}
+	if cfg.Predictor == nil || cfg.Strategy == nil {
+		return RunReport{}, fmt.Errorf("core: runner needs a predictor and a strategy")
+	}
+	windowEpochs := cfg.WindowEpochs
+	if windowEpochs <= 0 {
+		windowEpochs = 3
+	}
+	window, err := eventlog.NewWindow(windowEpochs)
+	if err != nil {
+		return RunReport{}, err
+	}
+
+	genRng := rand.New(rand.NewSource(cfg.Seed))
+	decideRng := rand.New(rand.NewSource(cfg.Seed + 0x5157))
+	jobs := cfg.Stats.TraceJobs(cfg.Trace.Utilization, cfg.Trace.SlotSeconds, genRng)
+
+	report := RunReport{
+		Strategy:   cfg.Strategy.Name(),
+		Predictor:  cfg.Predictor.Name(),
+		PlanEpochs: make(map[string]int),
+	}
+
+	var eng *queue.Engine
+	slotSec := cfg.Trace.SlotSeconds
+	nSlots := cfg.Trace.Len()
+	nEpochs := (nSlots + cfg.EpochSlots - 1) / cfg.EpochSlots
+	jobIdx := 0
+	lastMean, lastP95 := 0.0, 0.0
+	lastJobs := 0
+	var freqSum float64
+
+	for e := 0; e < nEpochs; e++ {
+		startSlot := e * cfg.EpochSlots
+		endSlot := startSlot + cfg.EpochSlots
+		if endSlot > nSlots {
+			endSlot = nSlots
+		}
+		epochStart := float64(startSlot) * slotSec
+		epochEnd := float64(endSlot) * slotSec
+
+		pred := clampRho(cfg.Predictor.Predict())
+		pol, err := cfg.Strategy.Decide(DecideInput{
+			PredictedUtilization: pred,
+			Window:               window,
+			LastEpochMeanDelay:   lastMean,
+			LastEpochP95Delay:    lastP95,
+			LastEpochJobs:        lastJobs,
+			Rng:                  decideRng,
+		})
+		if err != nil {
+			return RunReport{}, fmt.Errorf("core: epoch %d decision: %w", e, err)
+		}
+		qcfg, err := pol.Config(cfg.Profile, cfg.FreqExponent)
+		if err != nil {
+			return RunReport{}, fmt.Errorf("core: epoch %d policy %v: %w", e, pol, err)
+		}
+		if eng == nil {
+			eng, err = queue.NewEngine(qcfg, 0)
+			if err != nil {
+				return RunReport{}, err
+			}
+		} else if err := eng.SetConfigAt(epochStart, qcfg); err != nil {
+			return RunReport{}, fmt.Errorf("core: epoch %d switch: %w", e, err)
+		}
+
+		// Serve this epoch's arrivals.
+		var delays []float64
+		epochFirst := jobIdx
+		for jobIdx < len(jobs) && jobs[jobIdx].Arrival < epochEnd {
+			resp, err := eng.Process(jobs[jobIdx])
+			if err != nil {
+				return RunReport{}, fmt.Errorf("core: epoch %d job %d: %w", e, jobIdx, err)
+			}
+			delays = append(delays, resp)
+			jobIdx++
+		}
+		window.Push(eventlog.FromJobs(jobs[epochFirst:jobIdx], epochStart))
+
+		// Feed the predictor the realized utilization of each slot.
+		var realized float64
+		for s := startSlot; s < endSlot; s++ {
+			cfg.Predictor.Observe(cfg.Trace.Utilization[s])
+			realized += cfg.Trace.Utilization[s]
+		}
+		realized /= float64(endSlot - startSlot)
+
+		lastJobs = len(delays)
+		lastMean, lastP95 = delayStats(delays)
+		report.Epochs = append(report.Epochs, EpochRecord{
+			Index: e, Predicted: pred, Realized: realized,
+			Policy: pol, Jobs: lastJobs, MeanDelay: lastMean,
+		})
+		report.PlanEpochs[pol.Plan.Name]++
+		freqSum += pol.Frequency
+	}
+
+	res, err := eng.Finish(cfg.Trace.Duration())
+	if err != nil {
+		return RunReport{}, err
+	}
+	report.Jobs = res.Jobs
+	report.MeanResponse = res.MeanResponse
+	report.P95Response = res.ResponseP95
+	report.AvgPower = res.AvgPower
+	report.Energy = res.Energy
+	report.Duration = res.Duration
+	if nEpochs > 0 {
+		report.MeanFrequency = freqSum / float64(nEpochs)
+	}
+	return report, nil
+}
+
+func clampRho(r float64) float64 {
+	if r < 0.01 {
+		return 0.01
+	}
+	if r > 0.98 {
+		return 0.98
+	}
+	return r
+}
+
+func delayStats(delays []float64) (mean, p95 float64) {
+	if len(delays) == 0 {
+		return 0, 0
+	}
+	var s metrics.Stream
+	for _, d := range delays {
+		s.Add(d)
+	}
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(0.95*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.Mean(), sorted[idx]
+}

@@ -1,0 +1,133 @@
+// Package eventlog implements the per-epoch job logging of §5.2.1. The
+// runtime predictor does not build explicit distribution histograms —
+// "constructing, maintaining and updating a fine-grained distribution
+// histogram ... is expensive" — it keeps the raw inter-arrival gaps and
+// service demands from recent epochs and replays them, rescaled to the
+// predicted utilization, as the policy manager's simulation input.
+package eventlog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepscale/internal/queue"
+)
+
+// Epoch is the job log of one policy epoch.
+type Epoch struct {
+	// Gaps are the observed inter-arrival gaps in seconds.
+	Gaps []float64
+	// Sizes are the observed service demands (seconds of work at f = 1).
+	Sizes []float64
+}
+
+// FromJobs builds an epoch log from a job slice (sorted by arrival); the
+// first gap is measured from epochStart.
+func FromJobs(jobs []queue.Job, epochStart float64) Epoch {
+	e := Epoch{
+		Gaps:  make([]float64, 0, len(jobs)),
+		Sizes: make([]float64, 0, len(jobs)),
+	}
+	prev := epochStart
+	for _, j := range jobs {
+		e.Gaps = append(e.Gaps, j.Arrival-prev)
+		e.Sizes = append(e.Sizes, j.Size)
+		prev = j.Arrival
+	}
+	return e
+}
+
+// Window is a bounded ring of the most recent epochs; "average behavior from
+// the past several epochs will suffice" (§5.2.1).
+type Window struct {
+	epochs []Epoch
+	cap    int
+}
+
+// NewWindow returns a window retaining the most recent capacity epochs.
+func NewWindow(capacity int) (*Window, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("eventlog: window capacity %d < 1", capacity)
+	}
+	return &Window{cap: capacity}, nil
+}
+
+// Push appends an epoch, evicting the oldest beyond capacity. Empty epochs
+// (no jobs) are recorded too — they carry load information.
+func (w *Window) Push(e Epoch) {
+	w.epochs = append(w.epochs, e)
+	if len(w.epochs) > w.cap {
+		w.epochs = w.epochs[1:]
+	}
+}
+
+// Epochs reports how many epochs the window currently holds.
+func (w *Window) Epochs() int { return len(w.epochs) }
+
+// JobCount reports the total number of logged jobs.
+func (w *Window) JobCount() int {
+	var n int
+	for _, e := range w.epochs {
+		n += len(e.Sizes)
+	}
+	return n
+}
+
+// Means reports the mean inter-arrival gap and mean service demand across
+// the window; ok is false when no jobs are logged.
+func (w *Window) Means() (gapMean, sizeMean float64, ok bool) {
+	var gsum, ssum float64
+	var n int
+	for _, e := range w.epochs {
+		for _, g := range e.Gaps {
+			gsum += g
+		}
+		for _, s := range e.Sizes {
+			ssum += s
+		}
+		n += len(e.Sizes)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	return gsum / float64(n), ssum / float64(n), true
+}
+
+// Utilization reports the observed ρ = mean size / mean gap, or 0 when the
+// window is empty.
+func (w *Window) Utilization() float64 {
+	g, s, ok := w.Means()
+	if !ok || g == 0 {
+		return 0
+	}
+	return s / g
+}
+
+// Jobs bootstraps an n-job simulation input from the logged events: gaps and
+// sizes are resampled with replacement, and every gap is scaled by a common
+// factor so the stream's utilization matches targetRho — the §5.2.1
+// adjustment of logged workloads to the predicted utilization. It returns
+// ok=false when the window holds no jobs.
+func (w *Window) Jobs(n int, targetRho float64, rng *rand.Rand) ([]queue.Job, bool) {
+	if targetRho <= 0 || n <= 0 {
+		return nil, false
+	}
+	gapMean, sizeMean, ok := w.Means()
+	if !ok || gapMean <= 0 || sizeMean <= 0 {
+		return nil, false
+	}
+	// Flatten once; windows are small (a few epochs of logs).
+	var gaps, sizes []float64
+	for _, e := range w.epochs {
+		gaps = append(gaps, e.Gaps...)
+		sizes = append(sizes, e.Sizes...)
+	}
+	scale := sizeMean / targetRho / gapMean
+	jobs := make([]queue.Job, n)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += gaps[rng.Intn(len(gaps))] * scale
+		jobs[i] = queue.Job{Arrival: tnow, Size: sizes[rng.Intn(len(sizes))]}
+	}
+	return jobs, true
+}

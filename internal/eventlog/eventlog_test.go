@@ -1,0 +1,163 @@
+package eventlog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sleepscale/internal/queue"
+)
+
+func TestFromJobs(t *testing.T) {
+	jobs := []queue.Job{
+		{Arrival: 12, Size: 0.1},
+		{Arrival: 15, Size: 0.2},
+		{Arrival: 15.5, Size: 0.3},
+	}
+	e := FromJobs(jobs, 10)
+	wantGaps := []float64{2, 3, 0.5}
+	for i, g := range wantGaps {
+		if e.Gaps[i] != g {
+			t.Errorf("gap %d = %v, want %v", i, e.Gaps[i], g)
+		}
+	}
+	if e.Sizes[2] != 0.3 {
+		t.Errorf("sizes wrong: %v", e.Sizes)
+	}
+	empty := FromJobs(nil, 0)
+	if len(empty.Gaps) != 0 {
+		t.Error("empty jobs should give empty epoch")
+	}
+}
+
+func TestWindowCapacity(t *testing.T) {
+	w, err := NewWindow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(Epoch{Gaps: []float64{1}, Sizes: []float64{1}})
+	w.Push(Epoch{Gaps: []float64{2}, Sizes: []float64{2}})
+	w.Push(Epoch{Gaps: []float64{3}, Sizes: []float64{3}})
+	if w.Epochs() != 2 {
+		t.Fatalf("epochs = %d, want 2 (evicted)", w.Epochs())
+	}
+	g, s, ok := w.Means()
+	if !ok {
+		t.Fatal("means not ok")
+	}
+	if g != 2.5 || s != 2.5 {
+		t.Errorf("means = %v,%v, want 2.5,2.5 (epoch 1 evicted)", g, s)
+	}
+	if w.JobCount() != 2 {
+		t.Errorf("job count = %d, want 2", w.JobCount())
+	}
+	if _, err := NewWindow(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestMeansEmptyWindow(t *testing.T) {
+	w, _ := NewWindow(3)
+	if _, _, ok := w.Means(); ok {
+		t.Error("empty window reported means")
+	}
+	if w.Utilization() != 0 {
+		t.Error("empty window utilization != 0")
+	}
+	w.Push(Epoch{}) // an epoch with no jobs
+	if _, _, ok := w.Means(); ok {
+		t.Error("window with only empty epochs reported means")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	w, _ := NewWindow(1)
+	// Mean gap 2 s, mean size 0.5 s ⇒ ρ = 0.25.
+	w.Push(Epoch{Gaps: []float64{1, 3}, Sizes: []float64{0.25, 0.75}})
+	if got := w.Utilization(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.25", got)
+	}
+}
+
+func TestJobsBootstrap(t *testing.T) {
+	w, _ := NewWindow(2)
+	rng := rand.New(rand.NewSource(3))
+	// Log with gap mean 0.5, size mean 0.1 (ρ = 0.2).
+	gaps := make([]float64, 500)
+	sizes := make([]float64, 500)
+	for i := range gaps {
+		gaps[i] = rng.ExpFloat64() * 0.5
+		sizes[i] = rng.ExpFloat64() * 0.1
+	}
+	w.Push(Epoch{Gaps: gaps, Sizes: sizes})
+	jobs, ok := w.Jobs(5000, 0.4, rng)
+	if !ok {
+		t.Fatal("bootstrap failed")
+	}
+	if len(jobs) != 5000 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	var work float64
+	prev := -1.0
+	for _, j := range jobs {
+		if j.Arrival <= prev {
+			t.Fatal("bootstrap arrivals not increasing")
+		}
+		prev = j.Arrival
+		work += j.Size
+	}
+	// The stream's realized utilization must be close to the 0.4 target.
+	got := work / jobs[len(jobs)-1].Arrival
+	if math.Abs(got-0.4) > 0.05 {
+		t.Errorf("bootstrap utilization = %v, want ≈0.4", got)
+	}
+}
+
+func TestJobsBootstrapGuards(t *testing.T) {
+	w, _ := NewWindow(1)
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := w.Jobs(100, 0.5, rng); ok {
+		t.Error("empty window bootstrap should fail")
+	}
+	w.Push(Epoch{Gaps: []float64{1}, Sizes: []float64{0.5}})
+	if _, ok := w.Jobs(100, 0, rng); ok {
+		t.Error("ρ=0 accepted")
+	}
+	if _, ok := w.Jobs(0, 0.5, rng); ok {
+		t.Error("n=0 accepted")
+	}
+	if jobs, ok := w.Jobs(10, 0.5, rng); !ok || len(jobs) != 10 {
+		t.Error("valid bootstrap failed")
+	}
+}
+
+// Property: for any logged workload and target ρ, the bootstrap stream hits
+// the target utilization within sampling error.
+func TestBootstrapUtilizationProperty(t *testing.T) {
+	f := func(seed int64, rs uint8) bool {
+		rho := 0.05 + float64(rs)/255*0.9
+		rng := rand.New(rand.NewSource(seed))
+		w, _ := NewWindow(3)
+		gaps := make([]float64, 300)
+		sizes := make([]float64, 300)
+		for i := range gaps {
+			gaps[i] = rng.ExpFloat64()*0.2 + 1e-6
+			sizes[i] = rng.ExpFloat64()*0.05 + 1e-6
+		}
+		w.Push(Epoch{Gaps: gaps, Sizes: sizes})
+		jobs, ok := w.Jobs(3000, rho, rng)
+		if !ok {
+			return false
+		}
+		var work float64
+		for _, j := range jobs {
+			work += j.Size
+		}
+		got := work / jobs[len(jobs)-1].Arrival
+		return math.Abs(got-rho)/rho < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON writes any experiment result as indented JSON, for downstream
+// plotting tools.
+func WriteJSON(w io.Writer, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+// WriteCurvesCSV writes sweep curves in long format:
+// label,frequency,norm_mean_response,power_w — one row per point.
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "frequency", "norm_mean_response", "power_w"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			row := []string{
+				c.Label,
+				strconv.FormatFloat(p.Frequency, 'g', -1, 64),
+				strconv.FormatFloat(p.NormMeanResponse, 'g', -1, 64),
+				strconv.FormatFloat(p.Power, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes every Figure 6 policy map in long format:
+// workload,qos,rho_b,model,rho,frequency,plan,feasible,power_w,norm_mean_response.
+func (r *Figure6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "qos", "rho_b", "model", "rho",
+		"frequency", "plan", "feasible", "power_w", "norm_mean_response"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pm := range r.Maps {
+		for _, p := range pm.Points {
+			row := []string{
+				pm.Workload, pm.QoSKind,
+				strconv.FormatFloat(pm.RhoB, 'g', -1, 64),
+				pm.Model,
+				strconv.FormatFloat(p.Utilization, 'g', -1, 64),
+				strconv.FormatFloat(p.Frequency, 'g', -1, 64),
+				p.Plan,
+				strconv.FormatBool(p.Feasible),
+				strconv.FormatFloat(p.Power, 'g', -1, 64),
+				strconv.FormatFloat(p.NormMeanResponse, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the Figure 8 grid:
+// predictor,epoch_minutes,mean_response_s,p95_response_s,avg_power_w.
+func (r *Figure8Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"predictor", "epoch_minutes",
+		"mean_response_s", "p95_response_s", "avg_power_w"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Predictor,
+			strconv.Itoa(c.EpochMinutes),
+			strconv.FormatFloat(c.MeanResponse, 'g', -1, 64),
+			strconv.FormatFloat(c.P95Response, 'g', -1, 64),
+			strconv.FormatFloat(c.AvgPower, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the Figure 9 strategy comparison.
+func (r *Figure9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "mean_response_s",
+		"p95_response_s", "avg_power_w", "energy_j"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Strategy,
+			strconv.FormatFloat(row.MeanResponse, 'g', -1, 64),
+			strconv.FormatFloat(row.P95Response, 'g', -1, 64),
+			strconv.FormatFloat(row.AvgPower, 'g', -1, 64),
+			strconv.FormatFloat(row.Energy, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the Figure 10 state distribution in long format:
+// trace,workload,rho_b,plan,fraction.
+func (r *Figure10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "workload", "rho_b", "plan", "fraction"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for plan, frac := range row.PlanFractions {
+			rec := []string{
+				row.TraceName, row.Workload,
+				strconv.FormatFloat(row.RhoB, 'g', -1, 64),
+				plan,
+				strconv.FormatFloat(frac, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVWriter is implemented by results that support long-format CSV export.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// ExportCSV writes any supported result as CSV; curve-based results export
+// their curves, others their native layout.
+func ExportCSV(w io.Writer, result any) error {
+	switch r := result.(type) {
+	case *Figure1Result:
+		var all []Curve
+		for _, name := range []string{"DNS", "Google"} {
+			for _, c := range r.Curves[name] {
+				c.Label = name + ": " + c.Label
+				all = append(all, c)
+			}
+		}
+		return WriteCurvesCSV(w, all)
+	case *Figure2Result:
+		return WriteCurvesCSV(w, r.Curves)
+	case *Figure3Result:
+		all := append([]Curve{}, r.Curves...)
+		for _, c := range r.Bursty {
+			c.Label = "bursty: " + c.Label
+			all = append(all, c)
+		}
+		return WriteCurvesCSV(w, all)
+	case *Figure4Result:
+		return WriteCurvesCSV(w, r.Curves)
+	case *Figure5Result:
+		return WriteCurvesCSV(w, r.Curves)
+	case CSVWriter:
+		return r.WriteCSV(w)
+	}
+	return fmt.Errorf("experiments: no CSV exporter for %T", result)
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := &Figure5Result{
+		Budget:   5,
+		RhoB:     0.8,
+		OptimalF: map[string]float64{"ρ=0.1": 0.39},
+		Curves: []Curve{{Label: "ρ=0.1", Points: []Point{
+			{Frequency: 1, NormMeanResponse: 1.1, Power: 250},
+		}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back Figure5Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Budget != 5 || len(back.Curves) != 1 || back.Curves[0].Points[0].Power != 250 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteCurvesCSV(t *testing.T) {
+	curves := []Curve{
+		{Label: "a", Points: []Point{{Frequency: 1, NormMeanResponse: 2, Power: 3}}},
+		{Label: "b", Points: []Point{
+			{Frequency: 0.5, NormMeanResponse: 4, Power: 5},
+			{Frequency: 0.4, NormMeanResponse: 6, Power: 7},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCurvesCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 points
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "label" || rows[2][0] != "b" || rows[3][3] != "7" {
+		t.Errorf("csv content wrong: %v", rows)
+	}
+}
+
+func TestFigureCSVExporters(t *testing.T) {
+	f6 := &Figure6Result{Maps: []PolicyMap{{
+		Workload: "DNS", QoSKind: "mean", RhoB: 0.8, Model: "idealized",
+		Points: []PolicyMapPoint{{Utilization: 0.1, Frequency: 0.4, Plan: "C6S3", Feasible: true}},
+	}}}
+	var buf bytes.Buffer
+	if err := f6.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DNS,mean,0.8,idealized,0.1,0.4,C6S3,true") {
+		t.Errorf("figure 6 csv wrong:\n%s", buf.String())
+	}
+
+	f8 := &Figure8Result{Cells: []Figure8Cell{
+		{Predictor: "LC", EpochMinutes: 5, MeanResponse: 1.1, P95Response: 2.2, AvgPower: 100},
+	}}
+	buf.Reset()
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LC,5,1.1,2.2,100") {
+		t.Errorf("figure 8 csv wrong:\n%s", buf.String())
+	}
+
+	f9 := &Figure9Result{Rows: []Figure9Row{
+		{Strategy: "SS", MeanResponse: 0.5, P95Response: 1.5, AvgPower: 147, Energy: 9e6},
+	}}
+	buf.Reset()
+	if err := f9.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SS,0.5,1.5,147,9e+06") {
+		t.Errorf("figure 9 csv wrong:\n%s", buf.String())
+	}
+
+	f10 := &Figure10Result{Rows: []Figure10Row{
+		{TraceName: "es", Workload: "DNS", RhoB: 0.8,
+			PlanFractions: map[string]float64{"C6S0(i)": 0.68}},
+	}}
+	buf.Reset()
+	if err := f10.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "es,DNS,0.8,C6S0(i),0.68") {
+		t.Errorf("figure 10 csv wrong:\n%s", buf.String())
+	}
+}
+
+func TestExportCSVDispatch(t *testing.T) {
+	// Curve-based results route through WriteCurvesCSV.
+	f1 := &Figure1Result{Curves: map[string][]Curve{
+		"DNS":    {{Label: "C6S3", Points: []Point{{Frequency: 1, Power: 2}}}},
+		"Google": {{Label: "C6S3", Points: []Point{{Frequency: 1, Power: 3}}}},
+	}}
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, f1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DNS: C6S3") || !strings.Contains(buf.String(), "Google: C6S3") {
+		t.Errorf("figure 1 export wrong:\n%s", buf.String())
+	}
+
+	f3 := &Figure3Result{
+		Curves: []Curve{{Label: "C6S3", Points: []Point{{Frequency: 1}}}},
+		Bursty: []Curve{{Label: "C6S3", Points: []Point{{Frequency: 1}}}},
+	}
+	buf.Reset()
+	if err := ExportCSV(&buf, f3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bursty: C6S3") {
+		t.Errorf("figure 3 export missing bursty curves:\n%s", buf.String())
+	}
+
+	// Unsupported types are rejected.
+	if err := ExportCSV(&buf, struct{}{}); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}

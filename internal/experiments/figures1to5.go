@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepscale/internal/dist"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/workload"
+)
+
+// planSpec is an internal handle pairing a label with a resolved sleep plan.
+type planSpec struct {
+	label string
+	plan  policy.SleepPlan
+}
+
+func (ps planSpec) config(prof *power.Profile, f, beta float64) (queue.Config, error) {
+	return policy.Policy{Frequency: f, Plan: ps.plan}.Config(prof, beta)
+}
+
+func single(s power.State) planSpec {
+	return planSpec{label: s.String(), plan: policy.SingleState(s)}
+}
+
+// Figure1Result holds the Figure 1 trade-off curves per workload.
+type Figure1Result struct {
+	// Curves maps workload name ("DNS", "Google") to the per-state sweeps.
+	Curves map[string][]Curve
+	// Rho is the studied utilization (0.1 in the paper).
+	Rho float64
+}
+
+// Figure1 reproduces Figure 1: mean response / average power trade-off for
+// DNS-like and Google-like workloads at ρ = 0.1 under the representative
+// low-power states C0(i)S0(i), C6S0(i) and C6S3, swept over frequency.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	const rho = 0.1
+	plans := []planSpec{
+		single(power.OperatingIdle),
+		single(power.DeepSleep),
+		single(power.DeeperSleep),
+	}
+	out := &Figure1Result{Curves: map[string][]Curve{}, Rho: rho}
+	for _, spec := range []struct {
+		name string
+		w    func() planWorkload
+	}{
+		{"DNS", dnsWorkload}, {"Google", googleWorkload},
+	} {
+		w := spec.w()
+		jobs, err := crnJobs(cfg, w.spec, rho)
+		if err != nil {
+			return nil, err
+		}
+		for _, ps := range plans {
+			c, err := sweep(cfg, jobs, ps, w.mu, rho, w.beta)
+			if err != nil {
+				return nil, err
+			}
+			out.Curves[spec.name] = append(out.Curves[spec.name], c)
+		}
+	}
+	return out, nil
+}
+
+// Tables renders Figure 1 as per-workload bowl-bottom summaries.
+func (r *Figure1Result) Tables() []Table {
+	var tables []Table
+	for _, name := range []string{"DNS", "Google"} {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 1 (%s-like, ρ=%.1f): power/response trade-off", name, r.Rho),
+			Header: []string{"state", "f*", "µE[R] at f*", "E[P] at f* (W)", "E[P] at f=1 (W)"},
+		}
+		for _, c := range r.Curves[name] {
+			bottom, ok := c.MinPower()
+			if !ok {
+				continue
+			}
+			var atFull Point
+			for _, p := range c.Points {
+				if p.Frequency == 1 {
+					atFull = p
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				c.Label,
+				fmt.Sprintf("%.2f", bottom.Frequency),
+				fmt.Sprintf("%.2f", bottom.NormMeanResponse),
+				fmt.Sprintf("%.1f", bottom.Power),
+				fmt.Sprintf("%.1f", atFull.Power),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// planWorkload bundles the workload quantities the sweeps need.
+type planWorkload struct {
+	spec workload.Spec
+	mu   float64
+	beta float64
+}
+
+func dnsWorkload() planWorkload {
+	s := workload.DNS()
+	return planWorkload{spec: s, mu: s.MaxServiceRate(), beta: s.FreqExponent}
+}
+
+func googleWorkload() planWorkload {
+	s := workload.Google()
+	return planWorkload{spec: s, mu: s.MaxServiceRate(), beta: s.FreqExponent}
+}
+
+// Figure2Result holds the high-utilization comparison of Figure 2.
+type Figure2Result struct {
+	Curves []Curve // labeled "Google: C3S0(i)", "DNS: C6S0(i)", etc.
+	Rho    float64
+}
+
+// Figure2 reproduces Figure 2: optimal low-power states for Google and
+// DNS-like workloads under high utilization (ρ = 0.7): C3S0(i) wins for
+// Google (small jobs punished by the 1 ms C6 wake), C6S0(i) for DNS, and
+// the paper plots C6S3 as the non-viable contrast.
+func Figure2(cfg Config) (*Figure2Result, error) {
+	const rho = 0.7
+	out := &Figure2Result{Rho: rho}
+	for _, spec := range []struct {
+		name string
+		w    planWorkload
+	}{
+		{"Google", googleWorkload()}, {"DNS", dnsWorkload()},
+	} {
+		jobs, err := crnJobs(cfg, spec.w.spec, rho)
+		if err != nil {
+			return nil, err
+		}
+		for _, ps := range []planSpec{
+			single(power.Sleep), single(power.DeepSleep), single(power.DeeperSleep),
+		} {
+			c, err := sweep(cfg, jobs, ps, spec.w.mu, rho, spec.w.beta)
+			if err != nil {
+				return nil, err
+			}
+			c.Label = spec.name + ": " + c.Label
+			out.Curves = append(out.Curves, c)
+		}
+	}
+	return out, nil
+}
+
+// Tables renders Figure 2. At high utilization the unconstrained bowl
+// bottom sits at the stability floor where every state converges (idle time
+// vanishes), so the meaningful comparison is at response budgets — the
+// paper's plot spans µE[R] ∈ [10, 100].
+func (r *Figure2Result) Tables() []Table {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 2: optimal low-power states at high utilization (ρ=%.1f)", r.Rho),
+		Header: []string{"workload: state", "E[P] @ µE[R]≤5 (W)", "E[P] @ µE[R]≤10 (W)", "E[P] @ µE[R]≤30 (W)"},
+	}
+	for _, c := range r.Curves {
+		row := []string{c.Label}
+		for _, budget := range []float64{5, 10, 30} {
+			if p, ok := c.MinPowerWithin(budget); ok {
+				row = append(row, fmt.Sprintf("%.1f", p.Power))
+			} else {
+				row = append(row, "—")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// Figure3Result holds the delayed-entry study of Figure 3.
+type Figure3Result struct {
+	// Curves are the paper-faithful idealized (Poisson) Google-like runs.
+	Curves []Curve
+	// Bursty are the same plans under bursty arrivals (inter-arrival
+	// Cv = 4). Under exponential idle periods a sleep timeout is
+	// bang-bang optimal (delay never beats both immediates outright);
+	// the paper's claimed win at a mild budget emerges once idle periods
+	// are bursty, which is how real traces behave. See EXPERIMENTS.md.
+	Bursty []Curve
+	Rho    float64
+}
+
+// Figure3 reproduces Figure 3: entering C6S3 only after the server has idled
+// τ₂ ∈ {30/µ, 50/µ} seconds (having entered C0(i)S0(i) immediately)
+// interpolates between the immediate-C6S3 and immediate-C0(i)S0(i) curves
+// for the Google-like workload at ρ = 0.1.
+func Figure3(cfg Config) (*Figure3Result, error) {
+	const rho = 0.1
+	w := googleWorkload()
+	jobs, err := crnJobs(cfg, w.spec, rho)
+	if err != nil {
+		return nil, err
+	}
+	invMu := 1 / w.mu
+	plans := []planSpec{
+		single(power.OperatingIdle),
+		single(power.DeeperSleep),
+		{label: "C0(i)S0(i)→C6S3 τ₂=30/µ", plan: policy.Sequence("",
+			policy.PlanPhase{State: power.OperatingIdle},
+			policy.PlanPhase{State: power.DeeperSleep, Enter: 30 * invMu})},
+		{label: "C0(i)S0(i)→C6S3 τ₂=50/µ", plan: policy.Sequence("",
+			policy.PlanPhase{State: power.OperatingIdle},
+			policy.PlanPhase{State: power.DeeperSleep, Enter: 50 * invMu})},
+	}
+	out := &Figure3Result{Rho: rho}
+	for _, ps := range plans {
+		c, err := sweep(cfg, jobs, ps, w.mu, rho, w.beta)
+		if err != nil {
+			return nil, err
+		}
+		c.Label = ps.label
+		out.Curves = append(out.Curves, c)
+	}
+
+	// Bursty variant: DNS-sized jobs with hyperexponential (Cv = 4)
+	// inter-arrivals at the same utilization, where long idle tails make
+	// the timeout pay. Delays scale with the DNS service time.
+	bw := dnsWorkload()
+	inter, err := dist.NewHyperExp2(bw.spec.ServiceMean/rho, 4)
+	if err != nil {
+		return nil, err
+	}
+	size, err := dist.NewExponentialMean(bw.spec.ServiceMean)
+	if err != nil {
+		return nil, err
+	}
+	st := workload.Stats{Inter: inter, Size: size}
+	bJobs := st.Jobs(cfg.EvalJobs, rand.New(rand.NewSource(cfg.Seed+3)))
+	invMuB := bw.spec.ServiceMean
+	bPlans := []planSpec{
+		single(power.OperatingIdle),
+		single(power.DeeperSleep),
+		{label: "C0(i)S0(i)→C6S3 τ₂=10/µ", plan: policy.Sequence("",
+			policy.PlanPhase{State: power.OperatingIdle},
+			policy.PlanPhase{State: power.DeeperSleep, Enter: 10 * invMuB})},
+		{label: "C0(i)S0(i)→C6S3 τ₂=30/µ", plan: policy.Sequence("",
+			policy.PlanPhase{State: power.OperatingIdle},
+			policy.PlanPhase{State: power.DeeperSleep, Enter: 30 * invMuB})},
+	}
+	for _, ps := range bPlans {
+		c, err := sweep(cfg, bJobs, ps, bw.mu, rho, bw.beta)
+		if err != nil {
+			return nil, err
+		}
+		c.Label = ps.label
+		out.Bursty = append(out.Bursty, c)
+	}
+	return out, nil
+}
+
+// Tables renders Figure 3 with per-curve power at mild budgets.
+func (r *Figure3Result) Tables() []Table {
+	render := func(title string, curves []Curve, budget float64) Table {
+		t := Table{
+			Title: title,
+			Header: []string{"policy", "min E[P] (W)",
+				fmt.Sprintf("E[P] @ µE[R]≤%.0f (W)", budget)},
+		}
+		for _, c := range curves {
+			bottom, _ := c.MinPower()
+			within, ok := c.MinPowerWithin(budget)
+			cell := "—"
+			if ok {
+				cell = fmt.Sprintf("%.1f", within.Power)
+			}
+			t.Rows = append(t.Rows, []string{
+				c.Label, fmt.Sprintf("%.1f", bottom.Power), cell,
+			})
+		}
+		return t
+	}
+	return []Table{
+		render("Figure 3 (Google-like, ρ=0.1, Poisson): delayed entry into C6S3",
+			r.Curves, 80),
+		render("Figure 3 variant (DNS-sized, bursty Cv=4 arrivals, ρ=0.1): delayed entry",
+			r.Bursty, 20),
+	}
+}
+
+// Figure4Result holds the frequency-dependence study of Figure 4.
+type Figure4Result struct {
+	Curves []Curve // labeled by scaling: "µf", "µf^0.5", "µf^0.2", "µ"
+	Rho    float64
+}
+
+// Figure4 reproduces Figure 4: the DNS-like workload at ρ = 0.1 under
+// C0(i)S0(i) with service rate scaling µf^β for β ∈ {1, 0.5, 0.2, 0}. For
+// memory-bound jobs (β = 0) the optimal speed is the lowest one; CPU-bound
+// jobs have an interior optimum.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	const rho = 0.1
+	w := dnsWorkload()
+	jobs, err := crnJobs(cfg, w.spec, rho)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4Result{Rho: rho}
+	for _, tc := range []struct {
+		label string
+		beta  float64
+	}{
+		{"µf (CPU-bound)", 1}, {"µf^0.5", 0.5}, {"µf^0.2", 0.2}, {"µ (memory-bound)", 0},
+	} {
+		c, err := sweep(cfg, jobs, single(power.OperatingIdle), w.mu, rho, tc.beta)
+		if err != nil {
+			return nil, err
+		}
+		c.Label = tc.label
+		out.Curves = append(out.Curves, c)
+	}
+	return out, nil
+}
+
+// Tables renders Figure 4.
+func (r *Figure4Result) Tables() []Table {
+	t := Table{
+		Title:  "Figure 4 (DNS-like, ρ=0.1, C0(i)S0(i)): service-time frequency dependence",
+		Header: []string{"scaling", "f*", "E[P] at f* (W)", "lowest swept f"},
+	}
+	for _, c := range r.Curves {
+		bottom, _ := c.MinPower()
+		lowest := c.Points[len(c.Points)-1].Frequency
+		t.Rows = append(t.Rows, []string{
+			c.Label,
+			fmt.Sprintf("%.2f", bottom.Frequency),
+			fmt.Sprintf("%.1f", bottom.Power),
+			fmt.Sprintf("%.2f", lowest),
+		})
+	}
+	return []Table{t}
+}
+
+// Figure5Result holds the QoS illustration of Figure 5.
+type Figure5Result struct {
+	Curves []Curve // one per utilization, labeled "ρ=0.1" …
+	// Budget is the normalized QoS bar µE[R] ≤ 1/(1−ρ_b).
+	Budget float64
+	// OptimalF maps each curve label to the minimum-power frequency
+	// meeting the budget (the paper's f = 0.41 … 0.56 annotations).
+	OptimalF map[string]float64
+	RhoB     float64
+}
+
+// Figure5 reproduces Figure 5: the Google-like workload under C0(i)S0(i) at
+// ρ ∈ {0.1, 0.2, 0.3, 0.4} with the baseline QoS bar at µE[R] = 1/(1−0.8) = 5.
+// At low utilizations the global power minimum beats the QoS requirement
+// (the response sits left of the bar); as ρ grows the constraint binds and
+// the optimal frequency rises.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	const rhoB = 0.8
+	w := googleWorkload()
+	out := &Figure5Result{
+		Budget:   1 / (1 - rhoB),
+		OptimalF: map[string]float64{},
+		RhoB:     rhoB,
+	}
+	for _, rho := range []float64{0.1, 0.2, 0.3, 0.4} {
+		jobs, err := crnJobs(cfg, w.spec, rho)
+		if err != nil {
+			return nil, err
+		}
+		c, err := sweep(cfg, jobs, single(power.OperatingIdle), w.mu, rho, w.beta)
+		if err != nil {
+			return nil, err
+		}
+		c.Label = fmt.Sprintf("ρ=%.1f", rho)
+		out.Curves = append(out.Curves, c)
+		if p, ok := c.MinPowerWithin(out.Budget); ok {
+			out.OptimalF[c.Label] = p.Frequency
+		}
+	}
+	return out, nil
+}
+
+// Tables renders Figure 5.
+func (r *Figure5Result) Tables() []Table {
+	t := Table{
+		Title: fmt.Sprintf("Figure 5 (Google-like, C0(i)S0(i)): QoS bar µE[R] ≤ %.1f (ρ_b=%.1f)",
+			r.Budget, r.RhoB),
+		Header: []string{"utilization", "f* meeting QoS", "E[P] (W)", "µE[R] at f*", "exceeds QoS?"},
+	}
+	for _, c := range r.Curves {
+		p, ok := c.MinPowerWithin(r.Budget)
+		if !ok {
+			t.Rows = append(t.Rows, []string{c.Label, "—", "—", "—", "—"})
+			continue
+		}
+		exceeds := "no"
+		if p.NormMeanResponse < r.Budget*0.95 {
+			exceeds = "yes" // operating strictly left of the bar
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Label,
+			fmt.Sprintf("%.2f", p.Frequency),
+			fmt.Sprintf("%.1f", p.Power),
+			fmt.Sprintf("%.2f", p.NormMeanResponse),
+			exceeds,
+		})
+	}
+	return []Table{t}
+}

@@ -1,0 +1,173 @@
+// Package farm extends SleepScale to the multi-server setting the paper
+// lists as future work (§7): a cluster of identical servers, each running
+// its own power policy, with jobs spread across them by a dispatcher. It
+// also enables the scale-out study of Gandhi & Harchol-Balter [6] — how the
+// number of servers sharing a fixed aggregate load changes the value of
+// dynamic power management — which the related-work section builds on.
+package farm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepscale/internal/queue"
+)
+
+// Dispatcher routes each arriving job to one of k servers.
+type Dispatcher interface {
+	// Pick returns the index of the server that should serve j.
+	Pick(f *Farm, j queue.Job) int
+	// Name identifies the dispatcher in reports.
+	Name() string
+}
+
+// RoundRobin cycles through servers in order.
+type RoundRobin struct{ next int }
+
+// Pick implements Dispatcher.
+func (r *RoundRobin) Pick(f *Farm, _ queue.Job) int {
+	i := r.next % f.Size()
+	r.next++
+	return i
+}
+
+// Name implements Dispatcher.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Random routes uniformly at random.
+type Random struct{ Rng *rand.Rand }
+
+// Pick implements Dispatcher.
+func (r *Random) Pick(f *Farm, _ queue.Job) int { return r.Rng.Intn(f.Size()) }
+
+// Name implements Dispatcher.
+func (r *Random) Name() string { return "random" }
+
+// JSQ joins the shortest queue: the server with the least outstanding work
+// at the arrival instant (ties break toward the lowest index).
+type JSQ struct{}
+
+// Pick implements Dispatcher.
+func (JSQ) Pick(f *Farm, j queue.Job) int {
+	best, bestWork := 0, f.engines[0].Backlog(j.Arrival)
+	for i := 1; i < len(f.engines); i++ {
+		if w := f.engines[i].Backlog(j.Arrival); w < bestWork {
+			best, bestWork = i, w
+		}
+	}
+	return best
+}
+
+// Name implements Dispatcher.
+func (JSQ) Name() string { return "jsq" }
+
+// Farm is a cluster of identical single-server queues.
+type Farm struct {
+	engines []*queue.Engine
+	disp    Dispatcher
+	perSrv  []int
+}
+
+// New builds a farm of k servers, each starting idle at time 0 under cfg,
+// with the given dispatcher.
+func New(k int, cfg queue.Config, disp Dispatcher) (*Farm, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("farm: size %d < 1", k)
+	}
+	if disp == nil {
+		return nil, fmt.Errorf("farm: nil dispatcher")
+	}
+	f := &Farm{disp: disp, perSrv: make([]int, k)}
+	for i := 0; i < k; i++ {
+		eng, err := queue.NewEngine(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		f.engines = append(f.engines, eng)
+	}
+	return f, nil
+}
+
+// Size reports the number of servers.
+func (f *Farm) Size() int { return len(f.engines) }
+
+// Server exposes server i's engine (for per-server policy switches).
+func (f *Farm) Server(i int) *queue.Engine { return f.engines[i] }
+
+// Process dispatches and serves one job, returning its response time and
+// the chosen server. Jobs must arrive in non-decreasing order.
+func (f *Farm) Process(j queue.Job) (response float64, server int, err error) {
+	server = f.disp.Pick(f, j)
+	if server < 0 || server >= len(f.engines) {
+		return 0, 0, fmt.Errorf("farm: dispatcher %s picked server %d of %d",
+			f.disp.Name(), server, len(f.engines))
+	}
+	resp, err := f.engines[server].Process(j)
+	if err != nil {
+		return 0, server, err
+	}
+	f.perSrv[server]++
+	return resp, server, nil
+}
+
+// Result aggregates a farm run.
+type Result struct {
+	// PerServer holds each server's individual result.
+	PerServer []queue.Result
+	// Jobs is the total served.
+	Jobs int
+	// MeanResponse is the job-weighted mean response across servers.
+	MeanResponse float64
+	// TotalAvgPower is the sum of per-server average powers — the
+	// cluster's steady draw in watts.
+	TotalAvgPower float64
+	// Energy is total joules.
+	Energy float64
+	// JobShare[i] is the fraction of jobs server i handled.
+	JobShare []float64
+}
+
+// Finish closes every server at time at and aggregates.
+func (f *Farm) Finish(at float64) (Result, error) {
+	out := Result{JobShare: make([]float64, len(f.engines))}
+	var respSum float64
+	for _, eng := range f.engines {
+		res, err := eng.Finish(at)
+		if err != nil {
+			return Result{}, err
+		}
+		out.PerServer = append(out.PerServer, res)
+		out.Jobs += res.Jobs
+		respSum += res.MeanResponse * float64(res.Jobs)
+		out.TotalAvgPower += res.AvgPower
+		out.Energy += res.Energy
+	}
+	if out.Jobs > 0 {
+		out.MeanResponse = respSum / float64(out.Jobs)
+		for i := range f.perSrv {
+			out.JobShare[i] = float64(f.perSrv[i]) / float64(out.Jobs)
+		}
+	}
+	return out, nil
+}
+
+// Run is a convenience: dispatch a whole sorted job stream and finish at the
+// last departure across servers.
+func Run(k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) (Result, error) {
+	f, err := New(k, cfg, disp)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, j := range jobs {
+		if _, _, err := f.Process(j); err != nil {
+			return Result{}, fmt.Errorf("farm: job %d: %w", i, err)
+		}
+	}
+	last := 0.0
+	for _, eng := range f.engines {
+		if t := eng.FreeAt(); t > last {
+			last = t
+		}
+	}
+	return f.Finish(last)
+}

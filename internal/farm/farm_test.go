@@ -1,0 +1,221 @@
+package farm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sleepscale/internal/queue"
+)
+
+func testCfg() queue.Config {
+	return queue.Config{
+		Frequency:    1,
+		FreqExponent: 1,
+		ActivePower:  250,
+		IdlePower:    250,
+		Phases: []queue.SleepPhase{
+			{Name: "sleep", Power: 75.5, WakeLatency: 1e-3, EnterAfter: 0},
+		},
+	}
+}
+
+func expJobs(n int, lambda, mu float64, seed int64) []queue.Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]queue.Job, n)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / lambda
+		jobs[i] = queue.Job{Arrival: tnow, Size: rng.ExpFloat64() / mu}
+	}
+	return jobs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, testCfg(), &RoundRobin{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(2, testCfg(), nil); err == nil {
+		t.Error("nil dispatcher accepted")
+	}
+	if _, err := New(2, queue.Config{}, &RoundRobin{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSingleServerFarmMatchesEngine(t *testing.T) {
+	jobs := expJobs(20000, 2, 5, 1)
+	farmRes, err := Run(1, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := queue.Simulate(jobs, testCfg(), queue.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farmRes.Jobs != single.Jobs {
+		t.Fatalf("jobs %d != %d", farmRes.Jobs, single.Jobs)
+	}
+	if math.Abs(farmRes.MeanResponse-single.MeanResponse) > 1e-9 {
+		t.Errorf("mean response %v != %v", farmRes.MeanResponse, single.MeanResponse)
+	}
+	if math.Abs(farmRes.Energy-single.Energy) > 1e-6 {
+		t.Errorf("energy %v != %v", farmRes.Energy, single.Energy)
+	}
+}
+
+func TestRoundRobinBalance(t *testing.T) {
+	jobs := expJobs(10000, 4, 5, 2)
+	res, err := Run(4, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, share := range res.JobShare {
+		if math.Abs(share-0.25) > 1e-9 {
+			t.Errorf("server %d share %v, want exactly 0.25", i, share)
+		}
+	}
+}
+
+func TestRandomRoughBalance(t *testing.T) {
+	jobs := expJobs(20000, 4, 5, 3)
+	res, err := Run(4, testCfg(), &Random{Rng: rand.New(rand.NewSource(9))}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, share := range res.JobShare {
+		if math.Abs(share-0.25) > 0.02 {
+			t.Errorf("server %d share %v, want ≈0.25", i, share)
+		}
+	}
+}
+
+func TestJSQBeatsRandomOnResponse(t *testing.T) {
+	// At moderate load, join-shortest-queue should clearly beat random
+	// dispatch on mean response.
+	jobs := expJobs(30000, 12, 5, 4) // 4 servers, per-server ρ = 0.6
+	jsq, err := Run(4, testCfg(), JSQ{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Run(4, testCfg(), &Random{Rng: rand.New(rand.NewSource(5))}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsq.MeanResponse >= rnd.MeanResponse {
+		t.Errorf("JSQ response %v not below random %v", jsq.MeanResponse, rnd.MeanResponse)
+	}
+}
+
+// TestScaleOutSleepOpportunity reproduces the [6]-style observation: with a
+// fixed aggregate load spread over more servers, each server idles more, so
+// sleep states recover a larger share of the (larger) provisioned capacity —
+// total power grows sub-linearly in k.
+func TestScaleOutSleepOpportunity(t *testing.T) {
+	const (
+		mu          = 5.0
+		totalLambda = 4.0 // aggregate ρ·µ for one server at 0.8
+	)
+	jobs := expJobs(40000, totalLambda, mu, 6)
+	var powers []float64
+	for _, k := range []int{1, 2, 4} {
+		res, err := Run(k, testCfg(), JSQ{}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		powers = append(powers, res.TotalAvgPower)
+	}
+	// Doubling the farm must cost far less than doubling the power: the
+	// idle servers sleep. (Busy power 250, sleep 75.5: a fully idle extra
+	// server adds ~75.5 W, not 250 W.)
+	if powers[1] > powers[0]*1.6 {
+		t.Errorf("2 servers draw %.1f W vs 1 server %.1f W — sleep not exploited",
+			powers[1], powers[0])
+	}
+	if powers[2] > powers[0]*2.6 {
+		t.Errorf("4 servers draw %.1f W vs 1 server %.1f W — sleep not exploited",
+			powers[2], powers[0])
+	}
+	// And response improves with scale-out.
+	r1, err := Run(1, testCfg(), JSQ{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(4, testCfg(), JSQ{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.MeanResponse >= r1.MeanResponse {
+		t.Errorf("scale-out did not improve response: %v vs %v",
+			r4.MeanResponse, r1.MeanResponse)
+	}
+}
+
+func TestPerServerPolicySwitch(t *testing.T) {
+	f, err := New(2, testCfg(), &RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow server 1 down mid-run; its queued jobs take twice as long.
+	slow := testCfg()
+	slow.Frequency = 0.5
+	if _, _, err := f.Process(queue.Job{Arrival: 0, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Process(queue.Job{Arrival: 0.1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Server(1).SetConfigAt(2, slow); err != nil {
+		t.Fatal(err)
+	}
+	resp, srv, err := f.Process(queue.Job{Arrival: 3, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv != 0 { // round robin: third job goes to server 0
+		t.Fatalf("job went to server %d", srv)
+	}
+	_ = resp
+	resp, srv, err = f.Process(queue.Job{Arrival: 3, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv != 1 {
+		t.Fatalf("job went to server %d", srv)
+	}
+	// Server 1 at f=0.5: service takes 2 s plus 1 ms wake.
+	if math.Abs(resp-2.001) > 1e-9 {
+		t.Errorf("slowed server response = %v, want 2.001", resp)
+	}
+}
+
+func TestDispatcherNames(t *testing.T) {
+	if (&RoundRobin{}).Name() != "round-robin" {
+		t.Error("round robin name")
+	}
+	if (&Random{}).Name() != "random" {
+		t.Error("random name")
+	}
+	if (JSQ{}).Name() != "jsq" {
+		t.Error("jsq name")
+	}
+}
+
+func TestFinishEmptyFarm(t *testing.T) {
+	f, err := New(3, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Finish(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 0 {
+		t.Errorf("jobs = %d", res.Jobs)
+	}
+	// Three idle servers for 100 s at 75.5 W each.
+	want := 3 * 100 * 75.5
+	if math.Abs(res.Energy-want) > 1e-6 {
+		t.Errorf("idle energy = %v, want %v", res.Energy, want)
+	}
+}

@@ -1,0 +1,287 @@
+// Package metrics provides the statistics plumbing shared by the SleepScale
+// simulators: streaming moments, exact sample percentiles, histograms and
+// weighted tallies. Everything is allocation-conscious because the policy
+// manager evaluates thousands of candidate policies per decision epoch.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates count, mean and variance of a sequence of observations
+// using Welford's online algorithm. The zero value is ready to use.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN records the same observation n times.
+func (s *Stream) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// Merge folds another stream into s (parallel Welford combination).
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	mn, mx := s.min, s.max
+	if o.min < mn {
+		mn = o.min
+	}
+	if o.max > mx {
+		mx = o.max
+	}
+	*s = Stream{n: n, mean: mean, m2: m2, min: mn, max: mx}
+}
+
+// Count reports the number of observations.
+func (s *Stream) Count() int { return s.n }
+
+// Mean reports the sample mean, or 0 when empty.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance reports the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CV reports the coefficient of variation (stddev / mean), or 0 when the mean
+// is zero.
+func (s *Stream) CV() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return s.StdDev() / s.mean
+}
+
+// Min reports the smallest observation, or 0 when empty.
+func (s *Stream) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 when empty.
+func (s *Stream) Max() float64 { return s.max }
+
+// Sum reports mean × count.
+func (s *Stream) Sum() float64 { return s.mean * float64(s.n) }
+
+// String implements fmt.Stringer.
+func (s *Stream) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Sample collects raw observations so that exact percentiles can be computed.
+// It keeps every observation; the SleepScale evaluator works with runs of
+// roughly 10⁴–10⁶ jobs, which fits comfortably in memory.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	Stream
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.Stream.Add(x)
+}
+
+// Reset discards all observations but keeps the underlying capacity.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = true
+	s.Stream = Stream{}
+}
+
+// Values returns the raw observations in insertion order unless a percentile
+// has been requested, in which case the order is ascending. The slice aliases
+// internal storage; callers must not modify it.
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Percentile reports the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// FractionAbove reports the fraction of observations strictly greater than or
+// equal to x, i.e. the empirical Pr(X ≥ x).
+func (s *Sample) FractionAbove(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	// First index with value >= x.
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// WeightedTally accumulates time-weighted occupancy per named bucket, e.g.
+// seconds of residency per power state.
+type WeightedTally struct {
+	weights map[string]float64
+	order   []string
+	total   float64
+}
+
+// NewWeightedTally returns an empty tally.
+func NewWeightedTally() *WeightedTally {
+	return &WeightedTally{weights: make(map[string]float64)}
+}
+
+// Add accumulates weight w (usually seconds) in bucket name.
+func (t *WeightedTally) Add(name string, w float64) {
+	if _, ok := t.weights[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.weights[name] += w
+	t.total += w
+}
+
+// Get reports the accumulated weight of bucket name.
+func (t *WeightedTally) Get(name string) float64 { return t.weights[name] }
+
+// Total reports the sum of all weights.
+func (t *WeightedTally) Total() float64 { return t.total }
+
+// Fraction reports bucket name's share of the total weight.
+func (t *WeightedTally) Fraction(name string) float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return t.weights[name] / t.total
+}
+
+// Names returns the bucket names in first-seen order.
+func (t *WeightedTally) Names() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Merge folds another tally into t.
+func (t *WeightedTally) Merge(o *WeightedTally) {
+	for _, name := range o.order {
+		t.Add(name, o.weights[name])
+	}
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); observations
+// outside the range land in saturated edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	n       int
+}
+
+// NewHistogram returns a histogram with nb buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if nb < 1 {
+		nb = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, nb)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.n++
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int { return h.n }
+
+// BucketMid reports the midpoint of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Mode reports the midpoint of the most populated bucket.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Buckets {
+		if c > h.Buckets[best] {
+			best = i
+		}
+	}
+	return h.BucketMid(best)
+}

@@ -1,0 +1,54 @@
+package policy
+
+import (
+	"fmt"
+
+	"sleepscale/internal/power"
+)
+
+// BreakEvenDelay returns the idle duration beyond which having entered deep
+// saves energy over staying in shallow, given that waking from deep costs
+// its wake-up latency at active power (the paper's conservative billing):
+//
+//	T* = w_deep · P_active(f) / (P_shallow(f) − P_deep(f))
+//
+// An idle period shorter than T* loses energy in deep (the wake premium
+// outweighs the residency saving); a longer one wins. This is the classic
+// guard threshold behind "guarded power gating" [23], which §4.2 lesson 3
+// recommends for aggressive states like C6S3.
+func BreakEvenDelay(prof *power.Profile, f float64, shallow, deep power.State) (float64, error) {
+	if !(f > 0 && f <= 1) {
+		return 0, fmt.Errorf("policy: frequency %g outside (0,1]", f)
+	}
+	ps := prof.SystemPower(shallow, f)
+	pd := prof.SystemPower(deep, f)
+	if pd >= ps {
+		return 0, fmt.Errorf("policy: %v (%.3g W) not deeper than %v (%.3g W) at f=%g",
+			deep, pd, shallow, ps, f)
+	}
+	return prof.Wake(deep) * prof.ActivePower(f) / (ps - pd), nil
+}
+
+// GuardedPlan returns the two-phase plan shallow→deep with the deep entry
+// delayed by the break-even duration: the timeout analogue of ski rental,
+// whose idle-period energy is at most twice the best of always-shallow and
+// immediately-deep on every individual idle period, whatever the idle-length
+// distribution. Use it when arrival statistics are unknown or bursty
+// (lesson 4 / lesson 5's closing remark).
+func GuardedPlan(prof *power.Profile, f float64, shallow, deep power.State) (SleepPlan, error) {
+	tau, err := BreakEvenDelay(prof, f, shallow, deep)
+	if err != nil {
+		return SleepPlan{}, err
+	}
+	plan := SleepPlan{
+		Name: fmt.Sprintf("%s→%s guarded", shallow, deep),
+		Phases: []PlanPhase{
+			{State: shallow, Enter: 0},
+			{State: deep, Enter: tau},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		return SleepPlan{}, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,283 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sleepscale/internal/power"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1e-12, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestPlanConstructors(t *testing.T) {
+	s := SingleState(power.DeeperSleep)
+	if s.Name != "C6S3" || len(s.Phases) != 1 || s.Phases[0].Enter != 0 {
+		t.Errorf("SingleState wrong: %+v", s)
+	}
+	d := DelayedState(power.DeeperSleep, 0.126)
+	if d.Phases[0].Enter != 0.126 {
+		t.Errorf("DelayedState wrong: %+v", d)
+	}
+	seq := Sequence("", PlanPhase{State: power.OperatingIdle},
+		PlanPhase{State: power.DeeperSleep, Enter: 2})
+	if seq.Name != "C0(i)S0(i)→C6S3" {
+		t.Errorf("sequence auto-name = %q", seq.Name)
+	}
+	if NoSleep().Name != "none" || len(NoSleep().Phases) != 0 {
+		t.Errorf("NoSleep wrong: %+v", NoSleep())
+	}
+	full := FullSequence([5]float64{0, 0.01, 0.05, 0.2, 1})
+	if len(full.Phases) != 5 {
+		t.Fatalf("full sequence has %d phases", len(full.Phases))
+	}
+	if full.Phases[4].State != power.DeeperSleep {
+		t.Errorf("full sequence last state = %v", full.Phases[4].State)
+	}
+	if err := full.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []SleepPlan{
+		{Name: "neg", Phases: []PlanPhase{{State: power.Halt, Enter: -1}}},
+		{Name: "order", Phases: []PlanPhase{
+			{State: power.Halt, Enter: 2}, {State: power.DeeperSleep, Enter: 1}}},
+		{Name: "active", Phases: []PlanPhase{{State: power.Active}}},
+		{Name: "invalid", Phases: []PlanPhase{{State: power.State{CPU: power.C1, Platform: power.S3}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %q accepted", p.Name)
+		}
+	}
+}
+
+func TestDeepestState(t *testing.T) {
+	if got := NoSleep().DeepestState(); got != power.Active {
+		t.Errorf("empty plan deepest = %v", got)
+	}
+	seq := Sequence("", PlanPhase{State: power.OperatingIdle},
+		PlanPhase{State: power.DeeperSleep, Enter: 1})
+	if got := seq.DeepestState(); got != power.DeeperSleep {
+		t.Errorf("deepest = %v", got)
+	}
+}
+
+func TestDefaultPlansCoverAllStates(t *testing.T) {
+	plans := DefaultPlans()
+	if len(plans) != 5 {
+		t.Fatalf("default plans = %d, want 5", len(plans))
+	}
+	names := map[string]bool{}
+	for _, p := range plans {
+		names[p.Name] = true
+	}
+	for _, s := range power.LowPowerStates() {
+		if !names[s.String()] {
+			t.Errorf("missing plan for %v", s)
+		}
+	}
+}
+
+func TestPolicyConfigResolution(t *testing.T) {
+	prof := power.Xeon()
+	p := Policy{Frequency: 0.5, Plan: SingleState(power.DeeperSleep)}
+	cfg, err := p.Config(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "active power", cfg.ActivePower, 130*0.125+120, 1e-12)
+	approx(t, "idle power", cfg.IdlePower, 130*0.125+120, 1e-12)
+	if len(cfg.Phases) != 1 {
+		t.Fatalf("phases = %d", len(cfg.Phases))
+	}
+	approx(t, "sleep power", cfg.Phases[0].Power, 28.1, 1e-12)
+	approx(t, "wake", cfg.Phases[0].WakeLatency, 1, 1e-12)
+	if cfg.Phases[0].Name != "C6S3" {
+		t.Errorf("phase name = %q", cfg.Phases[0].Name)
+	}
+	// C0(i)S0(i) power tracks f cubically.
+	p2 := Policy{Frequency: 0.5, Plan: SingleState(power.OperatingIdle)}
+	cfg2, err := p2.Config(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "C0(i)S0(i) power", cfg2.Phases[0].Power, 75*0.125+60.5, 1e-12)
+}
+
+func TestPolicyConfigRejectsBadPlans(t *testing.T) {
+	prof := power.Xeon()
+	p := Policy{Frequency: 0.5, Plan: SleepPlan{
+		Name: "bad", Phases: []PlanPhase{{State: power.Active}}}}
+	if _, err := p.Config(prof, 1); err == nil {
+		t.Error("active-state plan accepted")
+	}
+	p2 := Policy{Frequency: 0, Plan: NoSleep()}
+	if _, err := p2.Config(prof, 1); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestAnalyticModelResolution(t *testing.T) {
+	prof := power.Xeon()
+	p := Policy{Frequency: 0.42, Plan: SingleState(power.DeeperSleep)}
+	m, err := p.AnalyticModel(prof, 0.5155, 5.155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "P0", m.ActivePower, 130*math.Pow(0.42, 3)+120, 1e-12)
+	if len(m.States) != 1 || m.States[0].Power != 28.1 || m.States[0].Wake != 1 {
+		t.Errorf("states wrong: %+v", m.States)
+	}
+}
+
+func TestMeanResponseQoS(t *testing.T) {
+	mu := 1 / 0.194 // DNS
+	q, err := NewMeanResponseQoS(0.8, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.1.1: µE[R] ≤ 1/(1−0.8) = 5, so the absolute budget is 5/µ.
+	approx(t, "budget", q.Budget, 5*0.194, 1e-9)
+	ok := Metrics{MeanResponse: q.Budget - 0.01}
+	notOk := Metrics{MeanResponse: q.Budget + 0.01}
+	if !q.Satisfied(ok) || q.Satisfied(notOk) {
+		t.Error("satisfaction wrong")
+	}
+	if q.Violation(ok) > 0 || q.Violation(notOk) <= 0 {
+		t.Error("violation sign wrong")
+	}
+	if !q.EpochWithinBudget(q.Budget-0.01, 99) || q.EpochWithinBudget(q.Budget+0.01, 0) {
+		t.Error("epoch budget wrong")
+	}
+	for _, bad := range [][2]float64{{0, 1}, {1, 1}, {0.5, 0}} {
+		if _, err := NewMeanResponseQoS(bad[0], bad[1]); err == nil {
+			t.Errorf("baseline %v accepted", bad)
+		}
+	}
+}
+
+func TestPercentileQoS(t *testing.T) {
+	mu := 1 / 0.194
+	q, err := NewPercentileQoS(0.8, mu, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline is the baseline M/M/1 95th percentile: −ln(0.05)/((1−ρb)µ).
+	approx(t, "deadline", q.Deadline, -math.Log(0.05)/((1-0.8)*mu), 1e-9)
+	ok := Metrics{P95Response: q.Deadline * 0.9}
+	notOk := Metrics{P95Response: q.Deadline * 1.1}
+	if !q.Satisfied(ok) || q.Satisfied(notOk) {
+		t.Error("satisfaction wrong")
+	}
+	if q.Violation(notOk) <= 0 {
+		t.Error("violation sign wrong")
+	}
+	if !q.EpochWithinBudget(99, q.Deadline*0.9) {
+		t.Error("epoch budget should use P95")
+	}
+	q99, err := NewPercentileQoS(0.8, mu, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q99.Satisfied(Metrics{P99Response: q99.Deadline * 0.5}) {
+		t.Error("P99 satisfaction wrong")
+	}
+	if _, err := NewPercentileQoS(0.8, mu, 0.5); err == nil {
+		t.Error("unsupported quantile accepted")
+	}
+}
+
+func TestSpaceFrequencies(t *testing.T) {
+	s := DefaultSpace()
+	// CPU-bound at ρ=0.4: the paper's floor is ρ+0.01.
+	fs := s.Frequencies(0.4, 1)
+	if fs[0] < 0.41-1e-9 {
+		t.Errorf("floor = %v, want ≥ 0.41", fs[0])
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("grid must end at 1, got %v", fs[len(fs)-1])
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] <= fs[i-1] {
+			t.Fatalf("grid not ascending at %d: %v", i, fs)
+		}
+	}
+	// Memory-bound: any frequency is stable; floor is MinFreq.
+	fs0 := s.Frequencies(0.4, 0)
+	if fs0[0] > 0.06 {
+		t.Errorf("memory-bound floor = %v, want ≈ MinFreq", fs0[0])
+	}
+	// Sub-linear β: stability needs f^β > ρ ⇒ f > ρ^(1/β).
+	fs5 := s.Frequencies(0.4, 0.5)
+	if want := 0.4 * 0.4; fs5[0] < want {
+		t.Errorf("β=0.5 floor = %v, want ≥ %v", fs5[0], want)
+	}
+	// Utilization so high only f=1 remains.
+	fs99 := s.Frequencies(0.995, 1)
+	if len(fs99) != 1 || fs99[0] != 1 {
+		t.Errorf("near-saturation grid = %v, want [1]", fs99)
+	}
+}
+
+func TestSpacePolicies(t *testing.T) {
+	s := Space{Plans: DefaultPlans(), FreqStep: 0.1, MinFreq: 0.1}
+	pols := s.Policies(0.35, 1)
+	fs := s.Frequencies(0.35, 1)
+	if len(pols) != len(fs)*5 {
+		t.Fatalf("policies = %d, want %d", len(pols), len(fs)*5)
+	}
+	// Every policy's frequency is on the grid and every plan appears.
+	plans := map[string]bool{}
+	for _, p := range pols {
+		plans[p.Plan.Name] = true
+	}
+	if len(plans) != 5 {
+		t.Errorf("plans seen = %d, want 5", len(plans))
+	}
+}
+
+// Property: the frequency grid is always ascending, within (0,1], ends at 1,
+// and respects the stability floor.
+func TestFrequencyGridProperty(t *testing.T) {
+	s := DefaultSpace()
+	f := func(rs, bs uint8) bool {
+		rho := float64(rs) / 256 * 0.98
+		beta := float64(bs) / 255
+		fs := s.Frequencies(rho, beta)
+		if len(fs) == 0 || fs[len(fs)-1] != 1 {
+			return false
+		}
+		prev := 0.0
+		for _, fr := range fs {
+			if fr <= prev || fr > 1 {
+				return false
+			}
+			if beta > 0 && rho > 0 && math.Pow(fr, beta) <= rho-1e-9 {
+				return false // unstable frequency in grid
+			}
+			prev = fr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := Policy{Frequency: 0.42, Plan: SingleState(power.DeeperSleep)}
+	if got := p.String(); got != "f=0.42 C6S3" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,404 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// run drives a predictor over a sequence, returning the per-slot forecasts
+// (forecast[i] precedes Observe(seq[i])) and the mean absolute error.
+func run(p Predictor, seq []float64) (forecasts []float64, mae float64) {
+	forecasts = make([]float64, len(seq))
+	var sum float64
+	for i, actual := range seq {
+		forecasts[i] = p.Predict()
+		sum += math.Abs(forecasts[i] - actual)
+		p.Observe(actual)
+	}
+	return forecasts, sum / float64(len(seq))
+}
+
+func TestNaivePrevious(t *testing.T) {
+	p := NewNaivePrevious()
+	if got := p.Predict(); got != 0 {
+		t.Errorf("initial prediction = %v, want 0", got)
+	}
+	p.Observe(0.7)
+	if got := p.Predict(); got != 0.7 {
+		t.Errorf("prediction = %v, want 0.7", got)
+	}
+	p.Observe(0.2)
+	if got := p.Predict(); got != 0.2 {
+		t.Errorf("prediction = %v, want 0.2", got)
+	}
+	if p.Name() != "NP" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	p := NewMovingAverage(3)
+	if got := p.Predict(); got != 0 {
+		t.Errorf("initial prediction = %v, want 0", got)
+	}
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8} {
+		p.Observe(x)
+	}
+	// Window of 3: mean(0.4, 0.6, 0.8) = 0.6.
+	if got := p.Predict(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("prediction = %v, want 0.6", got)
+	}
+	if NewMovingAverage(0).p != 1 {
+		t.Error("window must be repaired to >= 1")
+	}
+}
+
+func TestLMSConstructorValidation(t *testing.T) {
+	if _, err := NewLMS(0, 0.5); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewLMS(5, 0); err == nil {
+		t.Error("step=0 accepted")
+	}
+	if _, err := NewLMS(5, 2); err == nil {
+		t.Error("step=2 accepted")
+	}
+	if _, err := NewLMSCUSUM(0, 0.5); err == nil {
+		t.Error("LC with p=0 accepted")
+	}
+}
+
+func TestLMSConvergesOnConstant(t *testing.T) {
+	p, err := NewLMS(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]float64, 200)
+	for i := range seq {
+		seq[i] = 0.6
+	}
+	forecasts, _ := run(p, seq)
+	for i := 50; i < len(forecasts); i++ {
+		if math.Abs(forecasts[i]-0.6) > 0.01 {
+			t.Fatalf("slot %d forecast %v, want ≈0.6 after convergence", i, forecasts[i])
+		}
+	}
+}
+
+func TestLMSBeatsNaiveOnNoisyStationary(t *testing.T) {
+	// White noise around a level: smoothing should beat copying the last
+	// noisy value (the paper's argument for LMS over naive).
+	rng := rand.New(rand.NewSource(2))
+	seq := make([]float64, 600)
+	for i := range seq {
+		seq[i] = 0.5 + 0.1*rng.NormFloat64()
+	}
+	lms, err := NewLMS(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, maeLMS := run(lms, seq)
+	_, maeNP := run(NewNaivePrevious(), seq)
+	if maeLMS >= maeNP {
+		t.Errorf("LMS mae %v not better than naive %v on stationary noise", maeLMS, maeNP)
+	}
+}
+
+func TestLMSAdaptiveWeightsBeatMovingAverage(t *testing.T) {
+	// A slow trend: adaptive weights should beat the fixed uniform window
+	// (§5.2.2: "LMS outperforms the moving average predictor").
+	seq := make([]float64, 500)
+	for i := range seq {
+		seq[i] = 0.2 + 0.5*float64(i)/500
+	}
+	lms, err := NewLMS(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, maeLMS := run(lms, seq)
+	_, maeMA := run(NewMovingAverage(10), seq)
+	if maeLMS >= maeMA {
+		t.Errorf("LMS mae %v not better than MA %v on trend", maeLMS, maeMA)
+	}
+}
+
+func TestLMSCUSUMDetectsStepChange(t *testing.T) {
+	lc, err := NewLMSCUSUM(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary at 0.2 for 100 slots, then a step to 0.8.
+	seq := make([]float64, 160)
+	for i := range seq {
+		if i < 100 {
+			seq[i] = 0.2
+		} else {
+			seq[i] = 0.8
+		}
+	}
+	forecasts, _ := run(lc, seq)
+	if lc.Alarms() == 0 {
+		t.Fatal("CUSUM did not fire on a 0.2→0.8 step")
+	}
+	// Within a few slots of the step the forecast must have tracked it.
+	for i := 104; i < 120; i++ {
+		if math.Abs(forecasts[i]-0.8) > 0.1 {
+			t.Errorf("slot %d forecast %v, want ≈0.8 shortly after step", i, forecasts[i])
+		}
+	}
+}
+
+func TestLMSCUSUMTracksStepFasterThanLMS(t *testing.T) {
+	seq := make([]float64, 140)
+	for i := range seq {
+		if i < 100 {
+			seq[i] = 0.2
+		} else {
+			seq[i] = 0.8
+		}
+	}
+	lc, _ := NewLMSCUSUM(10, 0.5)
+	lms, _ := NewLMS(10, 0.5)
+	fLC, _ := run(lc, seq)
+	fLMS, _ := run(lms, seq)
+	// Compare cumulative error over the 10 slots after the step.
+	var eLC, eLMS float64
+	for i := 100; i < 110; i++ {
+		eLC += math.Abs(fLC[i] - seq[i])
+		eLMS += math.Abs(fLMS[i] - seq[i])
+	}
+	if eLC >= eLMS {
+		t.Errorf("LC post-step error %v not below LMS %v", eLC, eLMS)
+	}
+}
+
+func TestLMSCUSUMDepthResetAndRegrowth(t *testing.T) {
+	lc, _ := NewLMSCUSUM(10, 0.5)
+	for i := 0; i < 100; i++ {
+		lc.Predict()
+		lc.Observe(0.3)
+	}
+	if lc.Depth() != 10 {
+		t.Fatalf("steady-state depth = %d, want 10", lc.Depth())
+	}
+	// Force a step; depth must drop to 1 on the alarm slot.
+	lc.Predict()
+	lc.Observe(0.9)
+	if lc.Depth() != 1 {
+		t.Fatalf("post-alarm depth = %d, want 1", lc.Depth())
+	}
+	// Stationary again: depth regrows to the maximum.
+	for i := 0; i < 20; i++ {
+		lc.Predict()
+		lc.Observe(0.9)
+	}
+	if lc.Depth() != 10 {
+		t.Errorf("regrown depth = %d, want 10", lc.Depth())
+	}
+}
+
+func TestLMSCUSUMNoFalseAlarmsOnConstant(t *testing.T) {
+	lc, _ := NewLMSCUSUM(10, 0.5)
+	for i := 0; i < 500; i++ {
+		lc.Predict()
+		lc.Observe(0.4)
+	}
+	if lc.Alarms() != 0 {
+		t.Errorf("alarms on constant input = %d, want 0", lc.Alarms())
+	}
+}
+
+func TestOfflineIsExact(t *testing.T) {
+	seq := []float64{0.1, 0.5, 0.9, 0.3}
+	o := NewOffline(seq)
+	_, mae := run(o, seq)
+	if mae != 0 {
+		t.Errorf("offline mae = %v, want 0", mae)
+	}
+	// Exhausted sequence repeats the final value.
+	if got := o.Predict(); got != 0.3 {
+		t.Errorf("post-sequence prediction = %v, want 0.3", got)
+	}
+	if NewOffline(nil).Predict() != 0 {
+		t.Error("empty offline should predict 0")
+	}
+}
+
+func TestOfflineCopiesInput(t *testing.T) {
+	seq := []float64{0.5}
+	o := NewOffline(seq)
+	seq[0] = 0.9
+	if got := o.Predict(); got != 0.5 {
+		t.Errorf("offline aliases caller slice: %v", got)
+	}
+}
+
+func TestPredictionsClamped(t *testing.T) {
+	preds := []Predictor{NewNaivePrevious(), NewMovingAverage(5)}
+	lms, _ := NewLMS(5, 0.9)
+	lc, _ := NewLMSCUSUM(5, 0.9)
+	preds = append(preds, lms, lc)
+	rng := rand.New(rand.NewSource(8))
+	for _, p := range preds {
+		for i := 0; i < 300; i++ {
+			got := p.Predict()
+			if got < 0 || got > 1 {
+				t.Fatalf("%s forecast %v outside [0,1]", p.Name(), got)
+			}
+			p.Observe(rng.Float64())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	lms, _ := NewLMS(5, 0.5)
+	lc, _ := NewLMSCUSUM(5, 0.5)
+	names := map[string]Predictor{
+		"NP": NewNaivePrevious(), "MA": NewMovingAverage(3),
+		"LMS": lms, "LC": lc, "Offline": NewOffline(nil),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestSeasonalConstruction(t *testing.T) {
+	if _, err := NewSeasonal(nil, 10); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewSeasonal(NewNaivePrevious(), 0); err == nil {
+		t.Error("period 0 accepted")
+	}
+	s, err := NewSeasonal(NewNaivePrevious(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "NP+seasonal" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+// TestSeasonalBeatsBaseOnPeriodicSignal: on a strongly periodic trace with
+// sharp pattern edges, day-over-day memory should beat the purely local
+// predictor — the §5.2.2 improvement.
+func TestSeasonalBeatsBaseOnPeriodicSignal(t *testing.T) {
+	const period = 100
+	seq := make([]float64, 8*period)
+	for i := range seq {
+		phase := i % period
+		if phase < 30 {
+			seq[i] = 0.15
+		} else if phase < 60 {
+			seq[i] = 0.75 // sharp repeated surge
+		} else {
+			seq[i] = 0.35
+		}
+	}
+	lcBase, err := NewLMSCUSUM(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seasonal, err := NewSeasonal(lcBase, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcAlone, err := NewLMSCUSUM(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score only after the first period so both have seen the pattern.
+	score := func(p Predictor) float64 {
+		var sum float64
+		for i, x := range seq {
+			f := p.Predict()
+			if i >= period {
+				sum += math.Abs(f - x)
+			}
+			p.Observe(x)
+		}
+		return sum / float64(len(seq)-period)
+	}
+	maeSeasonal := score(seasonal)
+	maeAlone := score(lcAlone)
+	if maeSeasonal >= maeAlone {
+		t.Errorf("seasonal mae %v not below base %v on periodic signal", maeSeasonal, maeAlone)
+	}
+}
+
+// TestSeasonalFallsBackBeforeOnePeriod: without a full period of history
+// the wrapper must defer entirely to its base.
+func TestSeasonalFallsBackBeforeOnePeriod(t *testing.T) {
+	base := NewNaivePrevious()
+	s, err := NewSeasonal(NewNaivePrevious(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		x := float64(i%7) / 10
+		if s.Predict() != base.Predict() {
+			t.Fatalf("slot %d: seasonal diverged from base before one period", i)
+		}
+		s.Observe(x)
+		base.Observe(x)
+	}
+}
+
+// TestSeasonalAdaptsAwayFromBrokenSeason: when the daily pattern breaks
+// (no repetition), the adaptive blend must keep tracking near the base
+// predictor rather than chasing stale history.
+func TestSeasonalAdaptsAwayFromBrokenSeason(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq := make([]float64, 600)
+	for i := range seq {
+		seq[i] = rng.Float64() * 0.9 // no periodic structure at period 50
+	}
+	base, _ := NewLMS(10, 0.5)
+	s, err := NewSeasonal(base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, _ := NewLMS(10, 0.5)
+	score := func(p Predictor) float64 {
+		var sum float64
+		for _, x := range seq {
+			sum += math.Abs(p.Predict() - x)
+			p.Observe(x)
+		}
+		return sum / float64(len(seq))
+	}
+	maeS := score(s)
+	maeA := score(alone)
+	if maeS > maeA*1.25 {
+		t.Errorf("seasonal mae %v collapsed vs base %v on aperiodic signal", maeS, maeA)
+	}
+}
+
+// The email-store-like scenario: diurnal ramp with a square surge. LC should
+// be no worse than LMS overall.
+func TestLCAtLeastAsGoodAsLMSOnSurgeSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	seq := make([]float64, 1000)
+	for i := range seq {
+		base := 0.3 + 0.2*math.Sin(float64(i)/120)
+		if i%250 > 200 { // periodic surges
+			base += 0.4
+		}
+		seq[i] = base + 0.02*rng.NormFloat64()
+		if seq[i] < 0 {
+			seq[i] = 0
+		}
+		if seq[i] > 1 {
+			seq[i] = 1
+		}
+	}
+	lc, _ := NewLMSCUSUM(10, 0.5)
+	lms, _ := NewLMS(10, 0.5)
+	_, maeLC := run(lc, seq)
+	_, maeLMS := run(lms, seq)
+	if maeLC > maeLMS*1.05 {
+		t.Errorf("LC mae %v clearly worse than LMS %v on surge signal", maeLC, maeLMS)
+	}
+}

@@ -1,0 +1,403 @@
+// Package queue implements the operation model of §3.2 and the queueing
+// simulator of Algorithm 1, generalized to sequences of low-power states
+// with enter delays and to arbitrary service-rate frequency scaling.
+//
+// The model is a single-server FCFS queue. At frequency f a job of size s
+// (seconds of work at f = 1) takes s/f^β seconds, where β is the frequency
+// exponent (1 = CPU-bound, 0 = memory-bound). Whenever the queue empties the
+// server walks down a configured sequence of low-power phases; phase i is
+// entered τᵢ seconds after the queue empties. A job arrival triggers an
+// immediate wake-up from the phase occupied at that instant, costing that
+// phase's wake-up latency, during which the server consumes active power
+// (the paper's conservative assumption) and serves nothing.
+//
+// Two entry points are provided: Simulate, the batch evaluator the policy
+// manager uses (one call per candidate policy), and Engine, a resumable
+// simulator that supports changing the configuration mid-run so that the
+// SleepScale runtime can switch policies at epoch boundaries while queue
+// backlog carries across epochs.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sleepscale/internal/metrics"
+)
+
+// Job is one unit of work.
+type Job struct {
+	// Arrival is the absolute arrival time in seconds.
+	Arrival float64
+	// Size is the service demand in seconds of work at f = 1.
+	Size float64
+}
+
+// SleepPhase is one low-power state in the idle-entry sequence, already
+// resolved to concrete numbers for the frequency being simulated.
+type SleepPhase struct {
+	// Name labels the phase for residency reporting, e.g. "C6S0(i)".
+	Name string
+	// Power is the power drawn while resident in this phase, in watts.
+	Power float64
+	// WakeLatency is the time to return to active service, in seconds.
+	WakeLatency float64
+	// EnterAfter is τᵢ: seconds after the queue empties at which the
+	// server enters this phase.
+	EnterAfter float64
+}
+
+// Config fully describes one operating policy at one frequency.
+type Config struct {
+	// Frequency is the DVFS factor f ∈ (0, 1].
+	Frequency float64
+	// FreqExponent is β: the service rate scales as f^β.
+	FreqExponent float64
+	// ActivePower is the power while serving or waking, in watts.
+	ActivePower float64
+	// IdlePower is the power while idle before the first sleep phase is
+	// entered (the server lingers in C0(a)S0(a)), in watts.
+	IdlePower float64
+	// Phases is the ordered low-power sequence; EnterAfter must be
+	// non-decreasing. Empty means the server never sleeps (DVFS-only).
+	Phases []SleepPhase
+}
+
+// Validate reports whether the configuration is simulatable.
+func (c *Config) Validate() error {
+	if !(c.Frequency > 0 && c.Frequency <= 1) {
+		return fmt.Errorf("queue: frequency %g outside (0,1]", c.Frequency)
+	}
+	if c.FreqExponent < 0 || c.FreqExponent > 1 {
+		return fmt.Errorf("queue: frequency exponent %g outside [0,1]", c.FreqExponent)
+	}
+	if c.ActivePower < 0 || c.IdlePower < 0 {
+		return fmt.Errorf("queue: negative power")
+	}
+	prev := math.Inf(-1)
+	for i, ph := range c.Phases {
+		if ph.EnterAfter < 0 || ph.EnterAfter < prev {
+			return fmt.Errorf("queue: phase %d (%s) enter delay %g not non-decreasing",
+				i, ph.Name, ph.EnterAfter)
+		}
+		if ph.Power < 0 || ph.WakeLatency < 0 {
+			return fmt.Errorf("queue: phase %d (%s) negative power or wake", i, ph.Name)
+		}
+		prev = ph.EnterAfter
+	}
+	return nil
+}
+
+// speed returns the effective service-rate multiplier f^β.
+func (c *Config) speed() float64 {
+	if c.FreqExponent == 0 {
+		return 1
+	}
+	if c.FreqExponent == 1 {
+		return c.Frequency
+	}
+	return math.Pow(c.Frequency, c.FreqExponent)
+}
+
+// ServiceTime reports how long a job of the given size takes under this
+// configuration.
+func (c *Config) ServiceTime(size float64) float64 { return size / c.speed() }
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Jobs is the number of completed jobs.
+	Jobs int
+	// MeanResponse is the mean response (sojourn) time in seconds.
+	MeanResponse float64
+	// ResponseP95 and ResponseP99 are response-time percentiles.
+	ResponseP95 float64
+	ResponseP99 float64
+	// AvgPower is Energy / Duration, in watts.
+	AvgPower float64
+	// Energy is total energy in joules.
+	Energy float64
+	// Duration is the simulated wall-clock span in seconds.
+	Duration float64
+	// BusyTime, WakeTime and IdleTime partition Duration.
+	BusyTime float64
+	WakeTime float64
+	IdleTime float64
+	// Wakes counts wake-up transitions.
+	Wakes int
+	// Residency maps phase name → seconds of residency. The pre-sleep
+	// idle window is reported under "idle-active".
+	Residency map[string]float64
+	// Responses is the full response-time sample for tail analysis.
+	Responses *metrics.Sample
+	// MeasuredUtilization is BusyTime / Duration.
+	MeasuredUtilization float64
+}
+
+// PreSleepBucket is the residency bucket for idle time spent before the
+// first sleep phase is entered.
+const PreSleepBucket = "idle-active"
+
+// Engine is a resumable FCFS simulator. Create with NewEngine, feed jobs in
+// non-decreasing arrival order with Process, optionally switch configuration
+// with SetConfigAt, and close with Finish.
+type Engine struct {
+	cfg Config
+
+	freeAt float64 // server is busy until this time
+	anchor float64 // start of the current idle schedule
+	billed float64 // idle billed up to this absolute time
+
+	energy   float64
+	busy     float64
+	wake     float64
+	idle     float64
+	wakes    int
+	started  float64
+	lastSeen float64
+
+	residency *metrics.WeightedTally
+	responses *metrics.Sample
+}
+
+// ErrOutOfOrder reports a job processed with an arrival before the previous
+// job's arrival.
+var ErrOutOfOrder = errors.New("queue: job arrivals out of order")
+
+// NewEngine returns an engine that starts idle at time start under cfg.
+func NewEngine(cfg Config, start float64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		freeAt:    start,
+		anchor:    start,
+		billed:    start,
+		started:   start,
+		lastSeen:  start,
+		residency: metrics.NewWeightedTally(),
+		responses: metrics.NewSample(1024),
+	}, nil
+}
+
+// billIdle charges idle energy for the absolute interval [from, to) against
+// the idle schedule anchored at e.anchor, and updates residency buckets.
+func (e *Engine) billIdle(from, to float64) {
+	if to <= from {
+		return
+	}
+	o1, o2 := from-e.anchor, to-e.anchor
+	e.idle += to - from
+	// Pre-sleep segment [0, τ₁).
+	preEnd := math.Inf(1)
+	if len(e.cfg.Phases) > 0 {
+		preEnd = e.cfg.Phases[0].EnterAfter
+	}
+	if o1 < preEnd {
+		seg := math.Min(o2, preEnd) - o1
+		e.energy += seg * e.cfg.IdlePower
+		e.residency.Add(PreSleepBucket, seg)
+	}
+	for i, ph := range e.cfg.Phases {
+		start := ph.EnterAfter
+		end := math.Inf(1)
+		if i+1 < len(e.cfg.Phases) {
+			end = e.cfg.Phases[i+1].EnterAfter
+		}
+		lo := math.Max(o1, start)
+		hi := math.Min(o2, end)
+		if hi > lo {
+			e.energy += (hi - lo) * ph.Power
+			e.residency.Add(ph.Name, hi-lo)
+		}
+	}
+}
+
+// occupiedPhase reports the index of the phase occupied at idle offset off,
+// or -1 when the server has not yet entered the first phase.
+func (e *Engine) occupiedPhase(off float64) int {
+	idx := -1
+	for i, ph := range e.cfg.Phases {
+		if ph.EnterAfter <= off {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// Process serves one job and reports its response time. Jobs must be fed in
+// non-decreasing arrival order.
+func (e *Engine) Process(j Job) (response float64, err error) {
+	if j.Arrival < e.lastSeen {
+		return 0, fmt.Errorf("%w: %g after %g", ErrOutOfOrder, j.Arrival, e.lastSeen)
+	}
+	if j.Size < 0 {
+		return 0, fmt.Errorf("queue: negative job size %g", j.Size)
+	}
+	e.lastSeen = j.Arrival
+	svc := e.cfg.ServiceTime(j.Size)
+
+	var start float64
+	if j.Arrival > e.freeAt {
+		// Idle gap [freeAt, arrival): bill the remaining unbilled portion,
+		// then wake from whatever phase is occupied at the arrival instant.
+		e.billIdle(e.billed, j.Arrival)
+		e.billed = j.Arrival
+		w := 0.0
+		if k := e.occupiedPhase(j.Arrival - e.anchor); k >= 0 {
+			w = e.cfg.Phases[k].WakeLatency
+		}
+		if w > 0 {
+			e.wakes++
+			e.wake += w
+			e.energy += w * e.cfg.ActivePower
+		}
+		start = j.Arrival + w
+	} else {
+		start = e.freeAt
+	}
+	e.busy += svc
+	e.energy += svc * e.cfg.ActivePower
+	e.freeAt = start + svc
+	// The queue empties at freeAt (as far as this job knows); the idle
+	// schedule re-anchors there. A later arrival before freeAt simply
+	// overwrites these fields via the busy branch above.
+	e.anchor = e.freeAt
+	e.billed = e.freeAt
+
+	response = e.freeAt - j.Arrival
+	e.responses.Add(response)
+	return response, nil
+}
+
+// SetConfigAt switches the engine to a new configuration at absolute time t.
+// Idle time before t is billed under the old configuration; the idle
+// schedule re-anchors at t, so the sleep-entry clock restarts under the new
+// policy (a frequency change requires brief activity anyway). Work already
+// accepted (the current backlog horizon freeAt) completes at the old speed;
+// the new configuration applies to jobs processed afterwards.
+func (e *Engine) SetConfigAt(t float64, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if t < e.lastSeen {
+		return fmt.Errorf("queue: config switch at %g before last arrival %g", t, e.lastSeen)
+	}
+	if t > e.freeAt {
+		// Server is idle at the switch: close out the old schedule.
+		e.billIdle(e.billed, t)
+		e.anchor = t
+		e.billed = t
+	}
+	e.lastSeen = t
+	e.cfg = cfg
+	return nil
+}
+
+// Config returns the engine's current configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// FreeAt reports the time at which all accepted work completes.
+func (e *Engine) FreeAt() float64 { return e.freeAt }
+
+// Backlog reports the seconds of accepted-but-unfinished work as of time t.
+func (e *Engine) Backlog(t float64) float64 {
+	if e.freeAt <= t {
+		return 0
+	}
+	return e.freeAt - t
+}
+
+// Snapshot captures running totals so a caller can compute per-epoch deltas.
+type Snapshot struct {
+	Energy   float64
+	BusyTime float64
+	WakeTime float64
+	IdleTime float64
+	Jobs     int
+	Wakes    int
+}
+
+// Snapshot reports the engine's cumulative counters.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Energy:   e.energy,
+		BusyTime: e.busy,
+		WakeTime: e.wake,
+		IdleTime: e.idle,
+		Jobs:     e.responses.Count(),
+		Wakes:    e.wakes,
+	}
+}
+
+// Finish closes the run at time at (which must be ≥ the last departure),
+// billing any trailing idle, and returns the aggregate result.
+func (e *Engine) Finish(at float64) (Result, error) {
+	if at < e.freeAt {
+		at = e.freeAt
+	}
+	if at > e.freeAt {
+		e.billIdle(e.billed, at)
+		e.billed = at
+	}
+	dur := at - e.started
+	res := Result{
+		Jobs:         e.responses.Count(),
+		MeanResponse: e.responses.Mean(),
+		ResponseP95:  e.responses.Percentile(95),
+		ResponseP99:  e.responses.Percentile(99),
+		Energy:       e.energy,
+		Duration:     dur,
+		BusyTime:     e.busy,
+		WakeTime:     e.wake,
+		IdleTime:     e.idle,
+		Wakes:        e.wakes,
+		Residency:    map[string]float64{},
+		Responses:    e.responses,
+	}
+	for _, name := range e.residency.Names() {
+		res.Residency[name] = e.residency.Get(name)
+	}
+	if dur > 0 {
+		res.AvgPower = e.energy / dur
+		res.MeasuredUtilization = e.busy / dur
+	}
+	return res, nil
+}
+
+// Options tunes Simulate.
+type Options struct {
+	// Warmup discards the first Warmup jobs from the response metrics
+	// (their energy still counts). The paper uses no warm-up; 0 matches it.
+	Warmup int
+}
+
+// Simulate runs Algorithm 1: it serves jobs (which must be sorted by
+// arrival) under cfg, starting idle at time 0, and ends the measurement at
+// the last departure. This is the evaluator the policy manager calls once
+// per candidate policy.
+func Simulate(jobs []Job, cfg Config, opts Options) (Result, error) {
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, j := range jobs {
+		if _, err := eng.Process(j); err != nil {
+			return Result{}, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	if opts.Warmup > 0 && opts.Warmup < eng.responses.Count() {
+		warm := metrics.NewSample(eng.responses.Count() - opts.Warmup)
+		vals := eng.responses.Values()
+		// Values() order may be sorted after percentile queries; here no
+		// percentile has been requested yet, so insertion order holds.
+		for _, v := range vals[opts.Warmup:] {
+			warm.Add(v)
+		}
+		eng.responses = warm
+	}
+	return eng.Finish(eng.freeAt)
+}

@@ -1,0 +1,343 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"sleepscale/internal/core"
+	"sleepscale/internal/eventlog"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/workload"
+)
+
+func testManager(t *testing.T) *core.Manager {
+	t.Helper()
+	mu := workload.DNS().MaxServiceRate()
+	qos, err := policy.NewMeanResponseQoS(0.8, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Manager{
+		Profile:      power.Xeon(),
+		FreqExponent: 1,
+		Space:        policy.Space{Plans: policy.DefaultPlans(), FreqStep: 0.05, MinFreq: 0.05},
+		QoS:          qos,
+	}
+}
+
+// loggedWindow builds a window holding a DNS-like job log.
+func loggedWindow(t *testing.T, rho float64) *eventlog.Window {
+	t.Helper()
+	w, err := eventlog.NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.NewIdealizedStats(workload.DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = st.AtUtilization(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := st.Jobs(2000, rand.New(rand.NewSource(7)))
+	w.Push(eventlog.FromJobs(jobs, 0))
+	return w
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewSleepScale(nil, 100, 0); err == nil {
+		t.Error("nil manager accepted")
+	}
+	if _, err := NewSleepScale(testManager(t), 5, 0); err == nil {
+		t.Error("tiny eval jobs accepted")
+	}
+	if _, err := NewSleepScale(testManager(t), 100, -0.1); err == nil {
+		t.Error("negative α accepted")
+	}
+	broken := testManager(t)
+	broken.Profile = nil
+	if _, err := NewSleepScale(broken, 100, 0); err == nil {
+		t.Error("invalid manager accepted")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	ss, err := NewSleepScale(testManager(t), 100, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Name() != "SS" {
+		t.Errorf("name = %q", ss.Name())
+	}
+	fs, err := NewFixedSleep(testManager(t), power.Sleep, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Name() != "SS(C3)" {
+		t.Errorf("name = %q", fs.Name())
+	}
+	dv, err := NewDVFSOnly(testManager(t), 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Name() != "DVFS" {
+		t.Errorf("name = %q", dv.Name())
+	}
+	r3, err := NewRaceToHalt(power.Sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Name() != "R2H(C3)" {
+		t.Errorf("name = %q", r3.Name())
+	}
+	r6, err := NewRaceToHalt(power.DeepSleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.Name() != "R2H(C6)" {
+		t.Errorf("name = %q", r6.Name())
+	}
+}
+
+func TestFixedSleepRestrictsSpace(t *testing.T) {
+	m := testManager(t)
+	if _, err := NewFixedSleep(m, power.Sleep, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Space.Plans) != 1 || m.Space.Plans[0].Name != "C3S0(i)" {
+		t.Errorf("space not restricted: %+v", m.Space.Plans)
+	}
+}
+
+func TestDVFSOnlyUsesNoSleep(t *testing.T) {
+	m := testManager(t)
+	if _, err := NewDVFSOnly(m, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Space.Plans) != 1 || m.Space.Plans[0].Name != "none" {
+		t.Errorf("space not restricted to NoSleep: %+v", m.Space.Plans)
+	}
+}
+
+func TestRaceToHaltConstantDecision(t *testing.T) {
+	r, err := NewRaceToHalt(power.DeepSleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := r.Decide(core.DecideInput{PredictedUtilization: 0.1 * float64(i+1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Frequency != 1 || p.Plan.Name != "C6S0(i)" {
+			t.Errorf("decision %d = %v, want f=1 C6S0(i)", i, p)
+		}
+	}
+	if _, err := NewRaceToHalt(power.Active); err == nil {
+		t.Error("active state accepted as halt target")
+	}
+}
+
+func TestManagerStrategyColdStart(t *testing.T) {
+	ss, err := NewSleepScale(testManager(t), 100, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := eventlog.NewWindow(3)
+	p, err := ss.Decide(core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               w,
+		Rng:                  rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frequency != 1 {
+		t.Errorf("cold-start frequency = %v, want 1 (safe default)", p.Frequency)
+	}
+}
+
+func TestManagerStrategyPicksSensiblePolicy(t *testing.T) {
+	ss, err := NewSleepScale(testManager(t), 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ss.Decide(core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               loggedWindow(t, 0.3),
+		Rng:                  rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stability requires f > 0.3; a sane selection slows well below 1.
+	if p.Frequency <= 0.3 || p.Frequency > 1 {
+		t.Errorf("frequency %v outside sane range", p.Frequency)
+	}
+	if len(p.Plan.Phases) != 1 {
+		t.Errorf("expected a single-state plan, got %v", p.Plan)
+	}
+}
+
+func TestOverProvisioningBoostsFrequency(t *testing.T) {
+	mBase := testManager(t)
+	base, err := NewSleepScale(mBase, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBoost := testManager(t)
+	boost, err := NewSleepScale(mBoost, 2000, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               loggedWindow(t, 0.3),
+		LastEpochJobs:        100,
+		LastEpochMeanDelay:   0.01, // comfortably within budget
+		Rng:                  rand.New(rand.NewSource(3)),
+	}
+	in2 := in
+	in2.Rng = rand.New(rand.NewSource(3))
+	p0, err := base.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := boost.Decide(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p0.Frequency * 1.35
+	if want > 1 {
+		want = 1
+	}
+	if diff := p1.Frequency - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("boosted frequency = %v, want %v (base %v × 1.35)",
+			p1.Frequency, want, p0.Frequency)
+	}
+}
+
+func TestOverProvisioningSkippedWhenOverBudget(t *testing.T) {
+	mBase := testManager(t)
+	base, err := NewSleepScale(mBase, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBoost := testManager(t)
+	boost, err := NewSleepScale(mBoost, 2000, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               loggedWindow(t, 0.3),
+		LastEpochJobs:        100,
+		LastEpochMeanDelay:   99, // way over budget: no guard band
+		Rng:                  rand.New(rand.NewSource(4)),
+	}
+	in2 := in
+	in2.Rng = rand.New(rand.NewSource(4))
+	p0, err := base.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := boost.Decide(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Frequency != p0.Frequency {
+		t.Errorf("over-budget epoch still boosted: %v vs %v", p1.Frequency, p0.Frequency)
+	}
+}
+
+func TestAnalyticSleepScale(t *testing.T) {
+	s, err := NewAnalyticSleepScale(testManager(t), 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "SS(analytic)" {
+		t.Errorf("name = %q", s.Name())
+	}
+	// Cold start: safe default.
+	w, _ := eventlog.NewWindow(3)
+	p, err := s.Decide(core.DecideInput{PredictedUtilization: 0.3, Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frequency != 1 {
+		t.Errorf("cold-start frequency = %v", p.Frequency)
+	}
+	// With a logged window: a sensible continuous frequency.
+	p, err = s.Decide(core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               loggedWindow(t, 0.3),
+		Rng:                  rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frequency <= 0.3 || p.Frequency > 1 {
+		t.Errorf("frequency %v out of range", p.Frequency)
+	}
+	if _, err := NewAnalyticSleepScale(nil, 0); err == nil {
+		t.Error("nil manager accepted")
+	}
+	if _, err := NewAnalyticSleepScale(testManager(t), -1); err == nil {
+		t.Error("negative α accepted")
+	}
+}
+
+// TestAnalyticStrategyTracksSimulatedStrategy: on a near-M/M workload the
+// closed-form strategy should land close to the simulation-based one —
+// the premise of §5.1.2 observation 3.
+func TestAnalyticStrategyTracksSimulatedStrategy(t *testing.T) {
+	win := loggedWindow(t, 0.3)
+	sim, err := NewSleepScale(testManager(t), 4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := NewAnalyticSleepScale(testManager(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.DecideInput{
+		PredictedUtilization: 0.3,
+		Window:               win,
+		Rng:                  rand.New(rand.NewSource(7)),
+	}
+	pSim, err := sim.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Rng = rand.New(rand.NewSource(7))
+	pAna, err := ana.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSim.Plan.Name != pAna.Plan.Name {
+		t.Errorf("plan disagreement: sim %v vs analytic %v", pSim, pAna)
+	}
+	if d := pSim.Frequency - pAna.Frequency; d > 0.1 || d < -0.1 {
+		t.Errorf("frequency gap too large: sim %v vs analytic %v", pSim, pAna)
+	}
+}
+
+func TestStaticStrategy(t *testing.T) {
+	pol := policy.Policy{Frequency: 0.7, Plan: policy.SingleState(power.Halt)}
+	s := &Static{Policy: pol, Label: "pinned"}
+	if s.Name() != "pinned" {
+		t.Errorf("name = %q", s.Name())
+	}
+	p, err := s.Decide(core.DecideInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frequency != 0.7 || p.Plan.Name != "C1S0(i)" {
+		t.Errorf("decision = %v", p)
+	}
+	if (&Static{}).Name() != "static" {
+		t.Error("default label wrong")
+	}
+}

@@ -1,0 +1,230 @@
+// Package workload models the workloads of the SleepScale evaluation:
+// the Table 5 summary statistics (DNS, Mail, Google), job-stream generation
+// from idealized (Poisson/exponential), moment-fitted, or empirical
+// statistics, and inter-arrival rescaling to a target utilization — the
+// operation §5.2.1 performs when the runtime predictor adjusts logged
+// workloads to the predicted utilization.
+//
+// BigHouse's stored CDFs are not public; NewEmpiricalStats synthesizes
+// surrogate empirical distributions from heavy-tailed fits matching the
+// published means and coefficients of variation (see DESIGN.md §2.1).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sleepscale/internal/dist"
+	"sleepscale/internal/queue"
+)
+
+// Spec is a workload summary in the shape of Table 5.
+type Spec struct {
+	// Name identifies the workload ("DNS", "Mail", "Google").
+	Name string
+	// InterArrivalMean and InterArrivalCV describe the inter-arrival
+	// process at the trace's native load, in seconds.
+	InterArrivalMean float64
+	InterArrivalCV   float64
+	// ServiceMean and ServiceCV describe the service demand at f = 1,
+	// in seconds.
+	ServiceMean float64
+	ServiceCV   float64
+	// FreqExponent is β for this workload: 1 for CPU-bound (the paper's
+	// default), 0 for memory-bound.
+	FreqExponent float64
+}
+
+// DNS returns the DNS look-up workload of Table 5: inter-arrival mean 1.1 s
+// (Cv 1.1), service mean 194 ms (Cv 1.0).
+func DNS() Spec {
+	return Spec{Name: "DNS", InterArrivalMean: 1.1, InterArrivalCV: 1.1,
+		ServiceMean: 194e-3, ServiceCV: 1.0, FreqExponent: 1}
+}
+
+// Mail returns the email workload of Table 5: inter-arrival mean 206 ms
+// (Cv 1.9), service mean 92 ms (Cv 3.6).
+func Mail() Spec {
+	return Spec{Name: "Mail", InterArrivalMean: 206e-3, InterArrivalCV: 1.9,
+		ServiceMean: 92e-3, ServiceCV: 3.6, FreqExponent: 1}
+}
+
+// Google returns the web-search workload of Table 5: inter-arrival mean
+// 319 µs (Cv 1.2), service mean 4.2 ms (Cv 1.1).
+func Google() Spec {
+	return Spec{Name: "Google", InterArrivalMean: 319e-6, InterArrivalCV: 1.2,
+		ServiceMean: 4.2e-3, ServiceCV: 1.1, FreqExponent: 1}
+}
+
+// Table5 returns the three workloads the paper tabulates.
+func Table5() []Spec { return []Spec{DNS(), Mail(), Google()} }
+
+// MaxServiceRate reports µ, the f = 1 service rate in jobs/second.
+func (s Spec) MaxServiceRate() float64 { return 1 / s.ServiceMean }
+
+// NativeUtilization reports ρ = λ/µ at the spec's native inter-arrival mean.
+func (s Spec) NativeUtilization() float64 { return s.ServiceMean / s.InterArrivalMean }
+
+// WithUtilization returns a copy whose inter-arrival mean is rescaled so the
+// utilization ρ = λ/µ equals rho, keeping the service statistics and the
+// inter-arrival Cv — exactly how §6 scales generated traces to the
+// time-varying utilization of Figure 7.
+func (s Spec) WithUtilization(rho float64) (Spec, error) {
+	if rho <= 0 || rho >= 1 {
+		return Spec{}, fmt.Errorf("workload: utilization %g outside (0,1)", rho)
+	}
+	out := s
+	out.InterArrivalMean = s.ServiceMean / rho
+	return out, nil
+}
+
+// Validate checks the spec parameters.
+func (s Spec) Validate() error {
+	if s.InterArrivalMean <= 0 || s.ServiceMean <= 0 {
+		return fmt.Errorf("workload %q: nonpositive means", s.Name)
+	}
+	if s.InterArrivalCV < 0 || s.ServiceCV < 0 {
+		return fmt.Errorf("workload %q: negative cv", s.Name)
+	}
+	if s.FreqExponent < 0 || s.FreqExponent > 1 {
+		return fmt.Errorf("workload %q: frequency exponent %g outside [0,1]",
+			s.Name, s.FreqExponent)
+	}
+	return nil
+}
+
+// Stats pairs the two distributions that describe a workload: inter-arrival
+// times and service demands (sizes at f = 1). This is the object the policy
+// manager characterizes policies against.
+type Stats struct {
+	// Inter is the inter-arrival time distribution, seconds.
+	Inter dist.Distribution
+	// Size is the service-demand distribution at f = 1, seconds.
+	Size dist.Distribution
+}
+
+// NewIdealizedStats returns the idealized model of §4: Poisson arrivals and
+// exponential service with the spec's means (Cv forced to 1).
+func NewIdealizedStats(s Spec) (Stats, error) {
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	inter, err := dist.NewExponentialMean(s.InterArrivalMean)
+	if err != nil {
+		return Stats{}, err
+	}
+	size, err := dist.NewExponentialMean(s.ServiceMean)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Inter: inter, Size: size}, nil
+}
+
+// NewFittedStats returns moment-fitted parametric distributions matching the
+// spec's means and coefficients of variation.
+func NewFittedStats(s Spec) (Stats, error) {
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	inter, err := dist.FitMeanCV(s.InterArrivalMean, s.InterArrivalCV)
+	if err != nil {
+		return Stats{}, err
+	}
+	size, err := dist.FitMeanCV(s.ServiceMean, s.ServiceCV)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Inter: inter, Size: size}, nil
+}
+
+// NewEmpiricalStats synthesizes the BigHouse surrogate: empirical CDFs built
+// from n samples of heavy-tailed (lognormal) fits to the spec's summary
+// statistics, replayed through inverse-CDF sampling the way BigHouse replays
+// its stored traces. The result is deterministic in seed.
+func NewEmpiricalStats(s Spec, n int, seed int64) (Stats, error) {
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if n < 2 {
+		return Stats{}, fmt.Errorf("workload: empirical stats need n ≥ 2, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	interBase, err := dist.FitHeavyTail(s.InterArrivalMean, s.InterArrivalCV)
+	if err != nil {
+		return Stats{}, err
+	}
+	sizeBase, err := dist.FitHeavyTail(s.ServiceMean, s.ServiceCV)
+	if err != nil {
+		return Stats{}, err
+	}
+	inter, err := dist.NewEmpirical(dist.SampleN(interBase, rng, n))
+	if err != nil {
+		return Stats{}, err
+	}
+	size, err := dist.NewEmpirical(dist.SampleN(sizeBase, rng, n))
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Inter: inter, Size: size}, nil
+}
+
+// Utilization reports ρ = size mean / inter-arrival mean.
+func (st Stats) Utilization() float64 { return st.Size.Mean() / st.Inter.Mean() }
+
+// AtUtilization returns a copy with the inter-arrival distribution scaled so
+// that the utilization equals rho; Cv is preserved (§5.2.1's rescaling).
+func (st Stats) AtUtilization(rho float64) (Stats, error) {
+	if rho <= 0 || rho >= 1 {
+		return Stats{}, fmt.Errorf("workload: utilization %g outside (0,1)", rho)
+	}
+	factor := st.Size.Mean() / rho / st.Inter.Mean()
+	return Stats{
+		Inter: dist.Scaled{Base: st.Inter, Factor: factor},
+		Size:  st.Size,
+	}, nil
+}
+
+// Jobs draws n jobs: arrival times are cumulative inter-arrival samples
+// starting from time 0, sizes are service-demand samples.
+func (st Stats) Jobs(n int, rng *rand.Rand) []queue.Job {
+	jobs := make([]queue.Job, n)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += st.Inter.Sample(rng)
+		jobs[i] = queue.Job{Arrival: tnow, Size: st.Size.Sample(rng)}
+	}
+	return jobs
+}
+
+// TraceJobs generates the §6 evaluation input: a job stream whose
+// minute-by-minute arrival intensity follows the given utilization trace.
+// utilization[m] is the target ρ for minute m; minuteSeconds is the length
+// of a trace slot (60 for real minutes, smaller for accelerated tests).
+// Sizes come from the stats' service distribution; inter-arrival gaps are
+// base samples rescaled so that within slot m the mean gap is
+// size.Mean()/ρ(m)·(base gap / base mean). Arrivals are generated slot by
+// slot so a zero-utilization slot produces no arrivals; the gap straddling a
+// slot boundary is redrawn at the new slot's rate (a negligible boundary
+// effect at minute-long slots).
+func (st Stats) TraceJobs(utilization []float64, minuteSeconds float64, rng *rand.Rand) []queue.Job {
+	var jobs []queue.Job
+	baseMean := st.Inter.Mean()
+	sizeMean := st.Size.Mean()
+	for m, rho := range utilization {
+		if rho <= 0 {
+			continue
+		}
+		slotStart := float64(m) * minuteSeconds
+		slotEnd := slotStart + minuteSeconds
+		scale := sizeMean / rho / baseMean
+		tnow := slotStart
+		for {
+			tnow += st.Inter.Sample(rng) * scale
+			if tnow >= slotEnd {
+				break
+			}
+			jobs = append(jobs, queue.Job{Arrival: tnow, Size: st.Size.Sample(rng)})
+		}
+	}
+	return jobs
+}

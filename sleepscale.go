@@ -1,0 +1,371 @@
+package sleepscale
+
+import (
+	"sleepscale/internal/analytic"
+	"sleepscale/internal/core"
+	"sleepscale/internal/farm"
+	"sleepscale/internal/multicore"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/predict"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/strategy"
+	"sleepscale/internal/trace"
+	"sleepscale/internal/workload"
+)
+
+// Power model (paper §3.1, Tables 1–4).
+type (
+	// Profile is a CPU + platform power profile.
+	Profile = power.Profile
+	// CPUState is one of C0(a), C0(i), C1, C3, C6.
+	CPUState = power.CPUState
+	// PlatformState is one of S0(a), S0(i), S3.
+	PlatformState = power.PlatformState
+	// State is a combined CPU + platform power state such as C6S3.
+	State = power.State
+)
+
+// CPU power states (Table 1).
+const (
+	C0a = power.C0a
+	C0i = power.C0i
+	C1  = power.C1
+	C3  = power.C3
+	C6  = power.C6
+)
+
+// Platform power states (Table 3).
+const (
+	S0a = power.S0a
+	S0i = power.S0i
+	S3  = power.S3
+)
+
+// Combined states studied throughout the paper.
+var (
+	Active        = power.Active
+	OperatingIdle = power.OperatingIdle
+	Halt          = power.Halt
+	Sleep         = power.Sleep
+	DeepSleep     = power.DeepSleep
+	DeeperSleep   = power.DeeperSleep
+)
+
+// Xeon returns the Intel Xeon E5 profile of Table 2.
+func Xeon() *Profile { return power.Xeon() }
+
+// Atom returns a netbook-class profile with a small CPU dynamic range
+// relative to platform power (§4.2's Atom observations).
+func Atom() *Profile { return power.Atom() }
+
+// LowPowerStates lists every combined low-power state, shallow to deep.
+func LowPowerStates() []State { return power.LowPowerStates() }
+
+// Queueing simulator (paper §3.2, Algorithm 1).
+type (
+	// Job is one unit of work: an arrival time and a service demand in
+	// seconds of work at f = 1.
+	Job = queue.Job
+	// SimConfig is a fully resolved operating point for the simulator.
+	SimConfig = queue.Config
+	// SleepPhase is one resolved low-power phase of a SimConfig.
+	SleepPhase = queue.SleepPhase
+	// SimResult summarizes one simulation run.
+	SimResult = queue.Result
+	// SimOptions tunes Simulate.
+	SimOptions = queue.Options
+	// Engine is the resumable simulator used for trace-driven runs.
+	Engine = queue.Engine
+)
+
+// Simulate runs Algorithm 1: serve jobs (sorted by arrival) under cfg,
+// starting idle at time zero.
+func Simulate(jobs []Job, cfg SimConfig, opts SimOptions) (SimResult, error) {
+	return queue.Simulate(jobs, cfg, opts)
+}
+
+// NewEngine returns a resumable simulator starting idle at time start.
+func NewEngine(cfg SimConfig, start float64) (*Engine, error) {
+	return queue.NewEngine(cfg, start)
+}
+
+// Closed forms (paper Appendix).
+type (
+	// Model is the M/M/1-with-sleep-states analytic model.
+	Model = analytic.Model
+	// ModelSleepState is the (Pᵢ, τᵢ, wᵢ) triple of one low-power state.
+	ModelSleepState = analytic.SleepState
+	// MG1Model extends Model to general service-time distributions.
+	MG1Model = analytic.MG1Model
+)
+
+// Policies and QoS (paper §5.1).
+type (
+	// Policy pairs a frequency setting with a sleep plan.
+	Policy = policy.Policy
+	// SleepPlan is an ordered sequence of low-power states with delays.
+	SleepPlan = policy.SleepPlan
+	// PlanPhase is one step of a SleepPlan.
+	PlanPhase = policy.PlanPhase
+	// QoS is a quality-of-service constraint.
+	QoS = policy.QoS
+	// MeanResponseQoS bounds the mean response time.
+	MeanResponseQoS = policy.MeanResponseQoS
+	// PercentileQoS bounds a response-time percentile.
+	PercentileQoS = policy.PercentileQoS
+	// PolicySpace is the candidate grid the manager sweeps.
+	PolicySpace = policy.Space
+	// Evaluation couples a policy with measured metrics and feasibility.
+	Evaluation = policy.Evaluation
+	// PolicyMetrics is the measured behaviour of one policy.
+	PolicyMetrics = policy.Metrics
+)
+
+// SingleState returns the plan entering s as soon as the queue empties.
+func SingleState(s State) SleepPlan { return policy.SingleState(s) }
+
+// DelayedState returns the plan entering s after tau idle seconds.
+func DelayedState(s State, tau float64) SleepPlan { return policy.DelayedState(s, tau) }
+
+// Sequence returns a plan walking the given phases in order.
+func Sequence(name string, phases ...PlanPhase) SleepPlan {
+	return policy.Sequence(name, phases...)
+}
+
+// NoSleep returns the empty plan (DVFS-only idling).
+func NoSleep() SleepPlan { return policy.NoSleep() }
+
+// DefaultPlans returns SleepScale's standard five single-state candidates.
+func DefaultPlans() []SleepPlan { return policy.DefaultPlans() }
+
+// DefaultSpace returns the five single-state plans on a 0.01 frequency grid.
+func DefaultSpace() PolicySpace { return policy.DefaultSpace() }
+
+// NewMeanResponseQoS derives the §5.1.1 budget E[R] ≤ 1/((1−ρb)·µ) from a
+// peak design utilization ρb and maximum service rate µ.
+func NewMeanResponseQoS(rhoB, mu float64) (MeanResponseQoS, error) {
+	return policy.NewMeanResponseQoS(rhoB, mu)
+}
+
+// NewPercentileQoS derives the tail analogue: the q-quantile of the baseline
+// M/M/1 at ρb and f = 1 becomes the deadline.
+func NewPercentileQoS(rhoB, mu, q float64) (PercentileQoS, error) {
+	return policy.NewPercentileQoS(rhoB, mu, q)
+}
+
+// Workloads (paper Table 5, §6).
+type (
+	// Spec is a workload summary (means and coefficients of variation).
+	Spec = workload.Spec
+	// Stats pairs inter-arrival and service-demand distributions.
+	Stats = workload.Stats
+)
+
+// DNS returns the Table 5 DNS look-up workload.
+func DNS() Spec { return workload.DNS() }
+
+// Mail returns the Table 5 email workload.
+func Mail() Spec { return workload.Mail() }
+
+// Google returns the Table 5 web-search workload.
+func Google() Spec { return workload.Google() }
+
+// Table5 returns all three workloads the paper tabulates.
+func Table5() []Spec { return workload.Table5() }
+
+// NewIdealizedStats returns the §4 idealized model: Poisson arrivals and
+// exponential service at the spec's means.
+func NewIdealizedStats(s Spec) (Stats, error) { return workload.NewIdealizedStats(s) }
+
+// NewFittedStats returns moment-fitted distributions matching the spec's
+// means and coefficients of variation.
+func NewFittedStats(s Spec) (Stats, error) { return workload.NewFittedStats(s) }
+
+// NewEmpiricalStats synthesizes BigHouse-surrogate empirical CDFs from n
+// heavy-tailed samples (deterministic in seed).
+func NewEmpiricalStats(s Spec, n int, seed int64) (Stats, error) {
+	return workload.NewEmpiricalStats(s, n, seed)
+}
+
+// Utilization traces (paper Figure 7).
+type (
+	// Trace is a per-slot utilization sequence.
+	Trace = trace.Trace
+)
+
+// EmailStoreTrace generates the email-store trace: wide diurnal range with
+// end-of-day backup surges.
+func EmailStoreTrace(days int, seed int64) *Trace { return trace.EmailStore(days, seed) }
+
+// FileServerTrace generates the lightly loaded file-server trace.
+func FileServerTrace(days int, seed int64) *Trace { return trace.FileServer(days, seed) }
+
+// Predictors (paper §5.2.2, Algorithm 2).
+type (
+	// Predictor forecasts per-slot utilization.
+	Predictor = predict.Predictor
+)
+
+// NewNaivePredictor returns the naive-previous predictor.
+func NewNaivePredictor() Predictor { return predict.NewNaivePrevious() }
+
+// NewLMSPredictor returns the normalized LMS adaptive filter with history
+// depth p (the paper uses 10).
+func NewLMSPredictor(p int, step float64) (Predictor, error) { return predict.NewLMS(p, step) }
+
+// NewLMSCUSUMPredictor returns the Algorithm 2 LMS + CUSUM predictor.
+func NewLMSCUSUMPredictor(p int, step float64) (Predictor, error) {
+	return predict.NewLMSCUSUM(p, step)
+}
+
+// NewOfflinePredictor returns the genie that knows the true utilizations.
+func NewOfflinePredictor(values []float64) Predictor { return predict.NewOffline(values) }
+
+// NewSeasonalPredictor wraps a base predictor with day-over-day memory of
+// the given period in slots (1440 for daily patterns on minute traces) —
+// the accuracy improvement §5.2.2 suggests.
+func NewSeasonalPredictor(base Predictor, period int) (Predictor, error) {
+	return predict.NewSeasonal(base, period)
+}
+
+// SleepScale runtime (paper §5).
+type (
+	// Manager is the policy manager: candidate space + QoS + selection.
+	Manager = core.Manager
+	// Strategy picks one policy per epoch.
+	Strategy = core.Strategy
+	// DecideInput is what a Strategy may consult.
+	DecideInput = core.DecideInput
+	// RunnerConfig describes one trace-driven evaluation run.
+	RunnerConfig = core.RunnerConfig
+	// RunReport aggregates a trace-driven run.
+	RunReport = core.RunReport
+	// EpochRecord summarizes one epoch of a run.
+	EpochRecord = core.EpochRecord
+)
+
+// NewManager returns a policy manager over the default five-state space for
+// the given profile, workload and QoS constraint.
+func NewManager(prof *Profile, spec Spec, qos QoS) *Manager {
+	return &Manager{
+		Profile:      prof,
+		FreqExponent: spec.FreqExponent,
+		Space:        policy.DefaultSpace(),
+		QoS:          qos,
+	}
+}
+
+// Run executes the §6 evaluation loop: epoch-by-epoch prediction, policy
+// selection and trace-driven serving.
+func Run(cfg RunnerConfig) (RunReport, error) { return core.Run(cfg) }
+
+// Strategies (paper §6.1).
+
+// NewSleepScaleStrategy returns the full SleepScale strategy: per-epoch
+// policy selection over all five states with evalJobs-long bootstrap
+// streams and over-provisioning factor alpha (§5.2.3).
+func NewSleepScaleStrategy(m *Manager, evalJobs int, alpha float64) (Strategy, error) {
+	return strategy.NewSleepScale(m, evalJobs, alpha)
+}
+
+// NewFixedSleepStrategy returns SleepScale restricted to one state, e.g.
+// SS(C3) in Figure 9.
+func NewFixedSleepStrategy(m *Manager, s State, evalJobs int, alpha float64) (Strategy, error) {
+	return strategy.NewFixedSleep(m, s, evalJobs, alpha)
+}
+
+// NewDVFSOnlyStrategy returns the DVFS-only baseline (never sleeps).
+func NewDVFSOnlyStrategy(m *Manager, evalJobs int, alpha float64) (Strategy, error) {
+	return strategy.NewDVFSOnly(m, evalJobs, alpha)
+}
+
+// NewRaceToHaltStrategy returns the R2H baseline: f = 1, one fixed state
+// entered the moment the queue empties.
+func NewRaceToHaltStrategy(s State) (Strategy, error) {
+	return strategy.NewRaceToHalt(s)
+}
+
+// NewAnalyticSleepScaleStrategy returns the simulation-free SleepScale
+// variant of §5.1.2 observation 3: per-epoch policy selection from the
+// closed forms with continuous frequency refinement — microseconds per
+// decision instead of milliseconds, exact only for M/M-like workloads.
+func NewAnalyticSleepScaleStrategy(m *Manager, alpha float64) (Strategy, error) {
+	return strategy.NewAnalyticSleepScale(m, alpha)
+}
+
+// NewStaticStrategy returns a strategy that applies one policy forever.
+func NewStaticStrategy(p Policy, label string) Strategy {
+	return &strategy.Static{Policy: p, Label: label}
+}
+
+// Multi-server extension (paper §7 future work).
+type (
+	// Farm is a cluster of identical single-server queues.
+	Farm = farm.Farm
+	// FarmResult aggregates a farm run.
+	FarmResult = farm.Result
+	// Dispatcher routes arriving jobs across a farm's servers.
+	Dispatcher = farm.Dispatcher
+	// RoundRobin, RandomDispatch and JSQ are the provided dispatchers.
+	RoundRobin     = farm.RoundRobin
+	RandomDispatch = farm.Random
+	JSQ            = farm.JSQ
+)
+
+// NewFarm builds a farm of k servers starting idle under cfg.
+func NewFarm(k int, cfg SimConfig, disp Dispatcher) (*Farm, error) {
+	return farm.New(k, cfg, disp)
+}
+
+// RunFarm dispatches a sorted job stream across k servers and aggregates.
+func RunFarm(k int, cfg SimConfig, disp Dispatcher, jobs []Job) (FarmResult, error) {
+	return farm.Run(k, cfg, disp, jobs)
+}
+
+// Multi-core extension (paper §7 future work): one chip, k cores, a shared
+// FCFS queue, per-core CPU sleep states and a platform gated by the union
+// of core activity.
+type (
+	// MultiCoreConfig describes a k-core chip sharing one platform.
+	MultiCoreConfig = multicore.Config
+	// MultiCorePhase is one per-core CPU sleep phase.
+	MultiCorePhase = multicore.Phase
+	// MultiCoreResult summarizes a multi-core run.
+	MultiCoreResult = multicore.Result
+	// MultiCoreSimulator is the resumable k-core engine.
+	MultiCoreSimulator = multicore.Simulator
+)
+
+// SimulateMultiCore runs a sorted job stream through a k-core chip.
+func SimulateMultiCore(jobs []Job, cfg MultiCoreConfig) (MultiCoreResult, error) {
+	return multicore.Simulate(jobs, cfg)
+}
+
+// NewMultiCore returns a resumable k-core simulator idle at time start.
+func NewMultiCore(cfg MultiCoreConfig, start float64) (*MultiCoreSimulator, error) {
+	return multicore.New(cfg, start)
+}
+
+// ErlangC returns the M/M/k probability of queueing with offered load
+// a = λ/µ — the textbook validation target for multi-core runs.
+func ErlangC(k int, a float64) (float64, error) { return multicore.ErlangC(k, a) }
+
+// MMkMeanResponse returns the M/M/k mean response time.
+func MMkMeanResponse(k int, lambda, mu float64) (float64, error) {
+	return multicore.MMkMeanResponse(k, lambda, mu)
+}
+
+// Guarded sleep (§4.2 lesson 3, guarded power gating [23]).
+
+// BreakEvenDelay returns the idle duration at which entering deep pays off
+// over staying in shallow at frequency f.
+func BreakEvenDelay(prof *Profile, f float64, shallow, deep State) (float64, error) {
+	return policy.BreakEvenDelay(prof, f, shallow, deep)
+}
+
+// GuardedPlan returns shallow→deep with the deep entry delayed by the
+// break-even duration — 2-competitive on every idle period.
+func GuardedPlan(prof *Profile, f float64, shallow, deep State) (SleepPlan, error) {
+	return policy.GuardedPlan(prof, f, shallow, deep)
+}
