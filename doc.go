@@ -23,6 +23,11 @@
 //   - Workload models for the paper's DNS / Mail / Google services
 //     (Table 5) and synthetic utilization traces shaped like the paper's
 //     file-server and email-store days (Figure 7).
+//   - A distribution library (internal/dist) that moment-matches any
+//     (mean, Cv) pair: Erlang mixtures for Cv < 1, exponential at Cv = 1,
+//     balanced-means hyperexponentials for Cv > 1, lognormal heavy-tail
+//     fits for the BigHouse surrogates, and empirical inverse-CDF replay —
+//     see internal/dist's package documentation for the fitting rules.
 //
 // # Quick start
 //

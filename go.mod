@@ -1,0 +1,3 @@
+module sleepscale
+
+go 1.24

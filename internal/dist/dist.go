@@ -1,0 +1,370 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Distribution is a positive continuous random variable with known first two
+// moments. Sample must be a pure function of the supplied rng so that draws
+// are deterministic in the caller's seed.
+type Distribution interface {
+	// Sample draws one value using rng as the only randomness source.
+	Sample(rng *rand.Rand) float64
+	// Mean reports E[X].
+	Mean() float64
+	// CV reports the coefficient of variation, σ/E[X].
+	CV() float64
+}
+
+// Quantiler is implemented by the families whose inverse CDF has a closed
+// form (Exponential, Lognormal, Constant) or is exact by construction
+// (Empirical, and Scaled over any of these).
+type Quantiler interface {
+	// Quantile reports the p-quantile, p ∈ [0, 1].
+	Quantile(p float64) float64
+}
+
+// SampleN draws n samples from d into a fresh slice.
+func SampleN(d Distribution, rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// FitMeanCV returns a distribution matching the given mean and coefficient
+// of variation exactly (moment matching), picking the family by Cv:
+//
+//	Cv = 0 → Constant
+//	Cv < 1 → ErlangMix (Tijms' Erlang k−1/k mixture)
+//	Cv = 1 → Exponential
+//	Cv > 1 → HyperExp2 (balanced-means two-phase hyperexponential)
+func FitMeanCV(mean, cv float64) (Distribution, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return nil, fmt.Errorf("dist: fit mean %g not positive and finite", mean)
+	}
+	if !(cv >= 0) {
+		return nil, fmt.Errorf("dist: fit cv %g negative", cv)
+	}
+	switch {
+	case cv == 0:
+		return Constant{Value: mean}, nil
+	case cv < 1:
+		return NewErlangMix(mean, cv)
+	case cv == 1:
+		return NewExponentialMean(mean)
+	default:
+		return NewHyperExp2(mean, cv)
+	}
+}
+
+// FitHeavyTail returns a lognormal distribution matching the given mean and
+// coefficient of variation. Its tail is heavier than any FitMeanCV family at
+// the same moments, which is what makes it the BigHouse surrogate used by
+// workload.NewEmpiricalStats.
+func FitHeavyTail(mean, cv float64) (Distribution, error) {
+	return NewLognormal(mean, cv)
+}
+
+// Constant is the degenerate distribution at Value (Cv = 0).
+type Constant struct {
+	// Value is the single point of support; must be positive.
+	Value float64
+}
+
+// Sample returns the constant value.
+func (c Constant) Sample(*rand.Rand) float64 { return c.Value }
+
+// Mean reports the constant value.
+func (c Constant) Mean() float64 { return c.Value }
+
+// CV reports 0.
+func (c Constant) CV() float64 { return 0 }
+
+// Quantile reports the constant value for every p.
+func (c Constant) Quantile(float64) float64 { return c.Value }
+
+// Exponential is the exponential distribution (Cv = 1), the idealized model
+// of §4.
+type Exponential struct {
+	mean float64
+}
+
+// NewExponentialMean returns an exponential distribution with the given mean.
+func NewExponentialMean(mean float64) (Exponential, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return Exponential{}, fmt.Errorf("dist: exponential mean %g not positive and finite", mean)
+	}
+	return Exponential{mean: mean}, nil
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return e.mean * rng.ExpFloat64() }
+
+// Mean reports the mean.
+func (e Exponential) Mean() float64 { return e.mean }
+
+// CV reports 1.
+func (e Exponential) CV() float64 { return 1 }
+
+// Quantile reports −mean·ln(1−p).
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -e.mean * math.Log1p(-p)
+}
+
+// HyperExp2 is a two-phase hyperexponential with balanced means: with
+// probability p an Exp(rate1) variate, else Exp(rate2). The balanced-means
+// moment match sets p = (1 + √((c²−1)/(c²+1)))/2, rate1 = 2p/mean,
+// rate2 = 2(1−p)/mean, which hits any Cv ≥ 1 exactly.
+type HyperExp2 struct {
+	p, rate1, rate2 float64
+}
+
+// NewHyperExp2 returns a balanced-means hyperexponential with the given mean
+// and coefficient of variation cv ≥ 1.
+func NewHyperExp2(mean, cv float64) (HyperExp2, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return HyperExp2{}, fmt.Errorf("dist: hyperexp mean %g not positive and finite", mean)
+	}
+	if cv < 1 || math.IsInf(cv, 1) || math.IsNaN(cv) {
+		return HyperExp2{}, fmt.Errorf("dist: hyperexp cv %g below 1 (use FitMeanCV for low variability)", cv)
+	}
+	c2 := cv * cv
+	d := math.Sqrt((c2 - 1) / (c2 + 1))
+	p := (1 + d) / 2
+	return HyperExp2{p: p, rate1: 2 * p / mean, rate2: 2 * (1 - p) / mean}, nil
+}
+
+// Sample draws from the mixture. Exactly two rng calls per draw (one branch
+// pick, one exponential) so sample streams stay aligned across branches.
+func (h HyperExp2) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	x := rng.ExpFloat64()
+	if u < h.p {
+		return x / h.rate1
+	}
+	return x / h.rate2
+}
+
+// Mean reports p/rate1 + (1−p)/rate2.
+func (h HyperExp2) Mean() float64 { return h.p/h.rate1 + (1-h.p)/h.rate2 }
+
+// CV reports the coefficient of variation from the mixture moments:
+// E[X²] = 2p/rate1² + 2(1−p)/rate2².
+func (h HyperExp2) CV() float64 {
+	m := h.Mean()
+	m2 := 2*h.p/(h.rate1*h.rate1) + 2*(1-h.p)/(h.rate2*h.rate2)
+	return math.Sqrt(m2-m*m) / m
+}
+
+// ErlangMix is Tijms' mixed-Erlang fit for Cv < 1: with probability p an
+// Erlang(k−1, rate) variate, else Erlang(k, rate). A pure Erlang-k only
+// reaches Cv = 1/√k; the mixture matches any Cv ∈ (0, 1) exactly.
+type ErlangMix struct {
+	k    int // phase count of the larger branch, ≥ 2
+	p    float64
+	rate float64
+}
+
+// NewErlangMix returns the mixed Erlang(k−1)/Erlang(k) distribution with the
+// given mean and coefficient of variation cv ∈ (0, 1). k is chosen so that
+// 1/k ≤ cv² ≤ 1/(k−1); p and the common rate follow Tijms (1994):
+//
+//	p = (k·cv² − √(k(1+cv²) − k²cv²)) / (1 + cv²)
+//	rate = (k − p) / mean
+func NewErlangMix(mean, cv float64) (ErlangMix, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return ErlangMix{}, fmt.Errorf("dist: erlang mean %g not positive and finite", mean)
+	}
+	if !(cv > 0 && cv < 1) {
+		return ErlangMix{}, fmt.Errorf("dist: erlang cv %g outside (0,1)", cv)
+	}
+	c2 := cv * cv
+	k := int(math.Ceil(1 / c2))
+	if k < 2 {
+		k = 2
+	}
+	disc := float64(k)*(1+c2) - float64(k)*float64(k)*c2
+	if disc < 0 {
+		disc = 0 // 1/k ≤ cv² guarantees ≥ 0 up to rounding
+	}
+	p := (float64(k)*c2 - math.Sqrt(disc)) / (1 + c2)
+	if p < 0 {
+		p = 0
+	}
+	return ErlangMix{k: k, p: p, rate: (float64(k) - p) / mean}, nil
+}
+
+// Sample draws from the mixture. The branch pick plus k exponential phases
+// are all driven by rng, so streams are deterministic in seed.
+func (e ErlangMix) Sample(rng *rand.Rand) float64 {
+	n := e.k
+	if rng.Float64() < e.p {
+		n--
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += rng.ExpFloat64()
+	}
+	return sum / e.rate
+}
+
+// Mean reports (k − p)/rate.
+func (e ErlangMix) Mean() float64 { return (float64(e.k) - e.p) / e.rate }
+
+// CV reports the coefficient of variation from the mixture moments:
+// E[X²] = (p·(k−1)k + (1−p)·k(k+1)) / rate².
+func (e ErlangMix) CV() float64 {
+	k := float64(e.k)
+	m := e.Mean()
+	m2 := (e.p*(k-1)*k + (1-e.p)*k*(k+1)) / (e.rate * e.rate)
+	return math.Sqrt(m2-m*m) / m
+}
+
+// Phases reports the larger branch's phase count k.
+func (e ErlangMix) Phases() int { return e.k }
+
+// Lognormal is the heavy-tailed family: exp(µ + σZ) for standard normal Z.
+type Lognormal struct {
+	mu, sigma float64
+}
+
+// NewLognormal returns a lognormal distribution with the given mean and
+// coefficient of variation cv > 0: σ² = ln(1+cv²), µ = ln(mean) − σ²/2.
+func NewLognormal(mean, cv float64) (Lognormal, error) {
+	if !(mean > 0) || math.IsInf(mean, 1) {
+		return Lognormal{}, fmt.Errorf("dist: lognormal mean %g not positive and finite", mean)
+	}
+	if !(cv > 0) || math.IsInf(cv, 1) {
+		return Lognormal{}, fmt.Errorf("dist: lognormal cv %g not positive and finite", cv)
+	}
+	s2 := math.Log1p(cv * cv)
+	return Lognormal{mu: math.Log(mean) - s2/2, sigma: math.Sqrt(s2)}, nil
+}
+
+// Sample draws exp(µ + σZ).
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.mu + l.sigma*rng.NormFloat64())
+}
+
+// Mean reports exp(µ + σ²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.mu + l.sigma*l.sigma/2) }
+
+// CV reports √(exp(σ²) − 1).
+func (l Lognormal) CV() float64 { return math.Sqrt(math.Expm1(l.sigma * l.sigma)) }
+
+// Quantile reports exp(µ + σ·√2·erf⁻¹(2p−1)).
+func (l Lognormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(l.mu + l.sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+// Empirical replays a fixed sample set through its linearly interpolated
+// inverse CDF, the way BigHouse replays stored traces: a uniform u maps to
+// position u·(n−1) along the sorted samples.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+	cv     float64
+}
+
+// NewEmpirical builds an empirical distribution from at least two finite,
+// non-negative samples. The input slice is copied and sorted.
+func NewEmpirical(samples []float64) (Empirical, error) {
+	if len(samples) < 2 {
+		return Empirical{}, fmt.Errorf("dist: empirical needs ≥ 2 samples, got %d", len(samples))
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sum := 0.0
+	for i, v := range sorted {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return Empirical{}, fmt.Errorf("dist: empirical sample %d is %g (need finite, ≥ 0)", i, v)
+		}
+		sum += v
+	}
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	mean := sum / n
+	if mean <= 0 {
+		return Empirical{}, fmt.Errorf("dist: empirical sample mean %g not positive", mean)
+	}
+	ss := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	return Empirical{sorted: sorted, mean: mean, cv: math.Sqrt(ss/n) / mean}, nil
+}
+
+// Sample draws via the interpolated inverse CDF.
+func (e Empirical) Sample(rng *rand.Rand) float64 { return e.Quantile(rng.Float64()) }
+
+// Mean reports the sample mean.
+func (e Empirical) Mean() float64 { return e.mean }
+
+// CV reports the sample coefficient of variation (population variance).
+func (e Empirical) CV() float64 { return e.cv }
+
+// Quantile reports the p-quantile by linear interpolation between adjacent
+// sorted samples.
+func (e Empirical) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Len reports the number of stored samples.
+func (e Empirical) Len() int { return len(e.sorted) }
+
+// Scaled multiplies every draw of Base by Factor, preserving Cv. It is how
+// workload.Stats.AtUtilization rescales inter-arrival times to a target
+// utilization (§5.2.1). Factor must be positive.
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// Sample draws Factor·Base.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.Factor * s.Base.Sample(rng) }
+
+// Mean reports Factor·Base.Mean().
+func (s Scaled) Mean() float64 { return s.Factor * s.Base.Mean() }
+
+// CV reports Base.CV(): Cv is invariant under positive scaling.
+func (s Scaled) CV() float64 { return s.Base.CV() }
+
+// Quantile reports Factor·Base.Quantile(p) when Base supports quantiles, and
+// NaN otherwise.
+func (s Scaled) Quantile(p float64) float64 {
+	if q, ok := s.Base.(Quantiler); ok {
+		return s.Factor * q.Quantile(p)
+	}
+	return math.NaN()
+}

@@ -1,0 +1,392 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// seeds are the distinct RNG seeds every statistical test runs under.
+var seeds = []int64{1, 17, 42}
+
+// sampleN is the draw count for moment-convergence tests. Tolerances below
+// are ~3× the standard error of the relevant estimator at this N.
+const sampleN = 200_000
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func sampleMoments(d Distribution, rng *rand.Rand, n int) (mean, cv float64) {
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		sum += v
+		sumsq += v * v
+	}
+	mean = sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+// momentCase is one (family, mean, cv) target for both the closed-form and
+// the sampled-moment assertions.
+type momentCase struct {
+	name string
+	make func() (Distribution, error)
+	mean float64
+	cv   float64
+	// meanTol / cvTol are relative tolerances for the sampled moments;
+	// closed-form Mean()/CV() must be exact to 1e-9.
+	meanTol, cvTol float64
+}
+
+func momentCases() []momentCase {
+	return []momentCase{
+		{"exp/mean=1", func() (Distribution, error) { return NewExponentialMean(1) }, 1, 1, 0.01, 0.02},
+		{"exp/dns-service", func() (Distribution, error) { return NewExponentialMean(194e-3) }, 194e-3, 1, 0.01, 0.02},
+		{"hyperexp/cv=4", func() (Distribution, error) { return NewHyperExp2(1, 4) }, 1, 4, 0.03, 0.06},
+		{"hyperexp/mail-arrivals", func() (Distribution, error) { return NewHyperExp2(206e-3, 1.9) }, 206e-3, 1.9, 0.02, 0.04},
+		{"hyperexp/cv=1", func() (Distribution, error) { return NewHyperExp2(1, 1) }, 1, 1, 0.01, 0.02},
+		{"erlang/cv=0.5", func() (Distribution, error) { return NewErlangMix(1, 0.5) }, 1, 0.5, 0.01, 0.02},
+		{"erlang/cv=0.9", func() (Distribution, error) { return NewErlangMix(1, 0.9) }, 1, 0.9, 0.01, 0.02},
+		{"erlang/google-sized", func() (Distribution, error) { return NewErlangMix(4.2e-3, 0.3) }, 4.2e-3, 0.3, 0.01, 0.02},
+		// Pure-Erlang boundary: cv² = 1/4 exactly, mixture weight p = 0.
+		{"erlang/cv=0.5-boundary", func() (Distribution, error) { return NewErlangMix(2, 0.5) }, 2, 0.5, 0.01, 0.02},
+		{"lognormal/cv=1.1", func() (Distribution, error) { return NewLognormal(1, 1.1) }, 1, 1.1, 0.02, 0.08},
+		{"lognormal/cv=1.5", func() (Distribution, error) { return NewLognormal(92e-3, 1.5) }, 92e-3, 1.5, 0.03, 0.10},
+		{"fit/cv<1", func() (Distribution, error) { return FitMeanCV(1, 0.4) }, 1, 0.4, 0.01, 0.02},
+		{"fit/cv=1", func() (Distribution, error) { return FitMeanCV(1, 1) }, 1, 1, 0.01, 0.02},
+		{"fit/cv>1", func() (Distribution, error) { return FitMeanCV(1, 2.5) }, 1, 2.5, 0.02, 0.05},
+		{"fit/cv=0", func() (Distribution, error) { return FitMeanCV(3, 0) }, 3, 0, 1e-12, 1e-12},
+		{"heavytail/dns-arrivals", func() (Distribution, error) { return FitHeavyTail(1.1, 1.1) }, 1.1, 1.1, 0.02, 0.08},
+		{"scaled/hyperexp", func() (Distribution, error) {
+			h, err := NewHyperExp2(2, 1.9)
+			return Scaled{Base: h, Factor: 0.25}, err
+		}, 0.5, 1.9, 0.02, 0.04},
+	}
+}
+
+// TestClosedFormMoments checks that Mean() and CV() reproduce the requested
+// moments exactly — i.e. the moment-matching algebra of every fit is right.
+func TestClosedFormMoments(t *testing.T) {
+	for _, tc := range momentCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.make()
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			if e := relErr(d.Mean(), tc.mean); e > 1e-9 {
+				t.Errorf("Mean() = %g, want %g (rel err %g)", d.Mean(), tc.mean, e)
+			}
+			if e := relErr(d.CV(), tc.cv); e > 1e-9 {
+				t.Errorf("CV() = %g, want %g (rel err %g)", d.CV(), tc.cv, e)
+			}
+		})
+	}
+}
+
+// TestSampleMomentsConverge draws sampleN values per seed and checks the
+// sample mean and Cv land on the requested moments within tolerance, for
+// every family and every fitting branch (Cv < 1, = 1, > 1, heavy tail).
+func TestSampleMomentsConverge(t *testing.T) {
+	for _, tc := range momentCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.make()
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			for _, seed := range seeds {
+				mean, cv := sampleMoments(d, rand.New(rand.NewSource(seed)), sampleN)
+				if e := relErr(mean, tc.mean); e > tc.meanTol {
+					t.Errorf("seed %d: sample mean %g, want %g (rel err %g > %g)",
+						seed, mean, tc.mean, e, tc.meanTol)
+				}
+				if tc.cv == 0 {
+					if cv > tc.cvTol {
+						t.Errorf("seed %d: sample cv %g, want 0", seed, cv)
+					}
+				} else if e := relErr(cv, tc.cv); e > tc.cvTol {
+					t.Errorf("seed %d: sample cv %g, want %g (rel err %g > %g)",
+						seed, cv, tc.cv, e, tc.cvTol)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism asserts identical seeds yield identical sample streams and
+// different seeds do not.
+func TestDeterminism(t *testing.T) {
+	for _, tc := range momentCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.make()
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			a := SampleN(d, rand.New(rand.NewSource(7)), 1000)
+			b := SampleN(d, rand.New(rand.NewSource(7)), 1000)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("sample %d differs under identical seed: %g vs %g", i, a[i], b[i])
+				}
+			}
+			if tc.cv == 0 {
+				return // constant: every stream is identical by design
+			}
+			c := SampleN(d, rand.New(rand.NewSource(8)), 1000)
+			same := 0
+			for i := range a {
+				if a[i] == c[i] {
+					same++
+				}
+			}
+			if same == len(a) {
+				t.Fatalf("streams identical under different seeds")
+			}
+		})
+	}
+}
+
+func TestSamplesPositive(t *testing.T) {
+	for _, tc := range momentCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := tc.make()
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 10_000; i++ {
+				v := d.Sample(rng)
+				if !(v >= 0) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d = %g, want finite and ≥ 0", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (Distribution, error)
+	}{
+		{"exp/zero-mean", func() (Distribution, error) { return NewExponentialMean(0) }},
+		{"exp/negative-mean", func() (Distribution, error) { return NewExponentialMean(-1) }},
+		{"exp/nan-mean", func() (Distribution, error) { return NewExponentialMean(math.NaN()) }},
+		{"hyperexp/zero-mean", func() (Distribution, error) { return NewHyperExp2(0, 4) }},
+		{"hyperexp/cv-below-1", func() (Distribution, error) { return NewHyperExp2(1, 0.5) }},
+		{"hyperexp/nan-cv", func() (Distribution, error) { return NewHyperExp2(1, math.NaN()) }},
+		{"erlang/zero-mean", func() (Distribution, error) { return NewErlangMix(0, 0.5) }},
+		{"erlang/cv-zero", func() (Distribution, error) { return NewErlangMix(1, 0) }},
+		{"erlang/cv-at-1", func() (Distribution, error) { return NewErlangMix(1, 1) }},
+		{"erlang/cv-above-1", func() (Distribution, error) { return NewErlangMix(1, 1.2) }},
+		{"lognormal/zero-mean", func() (Distribution, error) { return NewLognormal(0, 1) }},
+		{"lognormal/zero-cv", func() (Distribution, error) { return NewLognormal(1, 0) }},
+		{"fit/negative-mean", func() (Distribution, error) { return FitMeanCV(-1, 1) }},
+		{"fit/negative-cv", func() (Distribution, error) { return FitMeanCV(1, -0.5) }},
+		{"fit/inf-mean-cv0", func() (Distribution, error) { return FitMeanCV(math.Inf(1), 0) }},
+		{"fit/nan-mean-cv0", func() (Distribution, error) { return FitMeanCV(math.NaN(), 0) }},
+		{"fit/nan-cv", func() (Distribution, error) { return FitMeanCV(1, math.NaN()) }},
+		{"heavytail/negative-cv", func() (Distribution, error) { return FitHeavyTail(1, -1) }},
+		{"empirical/empty", func() (Distribution, error) { return NewEmpirical(nil) }},
+		{"empirical/one-sample", func() (Distribution, error) { return NewEmpirical([]float64{1}) }},
+		{"empirical/nan-sample", func() (Distribution, error) { return NewEmpirical([]float64{1, math.NaN()}) }},
+		{"empirical/negative-sample", func() (Distribution, error) { return NewEmpirical([]float64{1, -2}) }},
+		{"empirical/all-zero", func() (Distribution, error) { return NewEmpirical([]float64{0, 0}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.make(); err == nil {
+				t.Fatalf("want error, got nil")
+			}
+		})
+	}
+}
+
+// TestFitMeanCVFamilies pins the family chosen per Cv branch.
+func TestFitMeanCVFamilies(t *testing.T) {
+	cases := []struct {
+		cv   float64
+		want string
+	}{
+		{0, "Constant"}, {0.3, "ErlangMix"}, {0.99, "ErlangMix"},
+		{1, "Exponential"}, {1.01, "HyperExp2"}, {3.6, "HyperExp2"},
+	}
+	for _, tc := range cases {
+		d, err := FitMeanCV(1, tc.cv)
+		if err != nil {
+			t.Fatalf("cv=%g: %v", tc.cv, err)
+		}
+		got := ""
+		switch d.(type) {
+		case Constant:
+			got = "Constant"
+		case ErlangMix:
+			got = "ErlangMix"
+		case Exponential:
+			got = "Exponential"
+		case HyperExp2:
+			got = "HyperExp2"
+		default:
+			got = "unknown"
+		}
+		if got != tc.want {
+			t.Errorf("cv=%g: fitted %s, want %s", tc.cv, got, tc.want)
+		}
+	}
+}
+
+// TestErlangMixPhaseCount pins Tijms' k selection: 1/k ≤ cv² ≤ 1/(k−1).
+func TestErlangMixPhaseCount(t *testing.T) {
+	cases := []struct {
+		cv float64
+		k  int
+	}{
+		{0.9, 2}, {0.75, 2}, {0.5, 4}, {0.45, 5}, {0.2, 25},
+	}
+	for _, tc := range cases {
+		e, err := NewErlangMix(1, tc.cv)
+		if err != nil {
+			t.Fatalf("cv=%g: %v", tc.cv, err)
+		}
+		if e.Phases() != tc.k {
+			t.Errorf("cv=%g: k=%d, want %d", tc.cv, e.Phases(), tc.k)
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	t.Run("exponential", func(t *testing.T) {
+		e, _ := NewExponentialMean(2)
+		if got, want := e.Quantile(0.5), 2*math.Ln2; relErr(got, want) > 1e-12 {
+			t.Errorf("median %g, want %g", got, want)
+		}
+		if e.Quantile(0) != 0 {
+			t.Errorf("Quantile(0) = %g, want 0", e.Quantile(0))
+		}
+		if !math.IsInf(e.Quantile(1), 1) {
+			t.Errorf("Quantile(1) = %g, want +Inf", e.Quantile(1))
+		}
+	})
+	t.Run("lognormal-median", func(t *testing.T) {
+		l, _ := NewLognormal(1, 1.5)
+		// Median of lognormal is exp(µ) = mean / √(1+cv²).
+		want := 1 / math.Sqrt(1+1.5*1.5)
+		if got := l.Quantile(0.5); relErr(got, want) > 1e-9 {
+			t.Errorf("median %g, want %g", got, want)
+		}
+	})
+	t.Run("empirical-interpolation", func(t *testing.T) {
+		emp, err := NewEmpirical([]float64{4, 2, 1, 3}) // sorts to 1,2,3,4
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks := map[float64]float64{0: 1, 0.5: 2.5, 1: 4, 1.0 / 3: 2}
+		for p, want := range checks {
+			if got := emp.Quantile(p); relErr(got, want) > 1e-12 {
+				t.Errorf("Quantile(%g) = %g, want %g", p, got, want)
+			}
+		}
+	})
+	t.Run("scaled-delegates", func(t *testing.T) {
+		e, _ := NewExponentialMean(1)
+		s := Scaled{Base: e, Factor: 3}
+		if got, want := s.Quantile(0.5), 3*math.Ln2; relErr(got, want) > 1e-12 {
+			t.Errorf("scaled median %g, want %g", got, want)
+		}
+	})
+	t.Run("scaled-no-closed-form", func(t *testing.T) {
+		h, _ := NewHyperExp2(1, 2)
+		s := Scaled{Base: h, Factor: 3}
+		if got := s.Quantile(0.5); !math.IsNaN(got) {
+			t.Errorf("scaled quantile over non-Quantiler = %g, want NaN", got)
+		}
+	})
+	t.Run("monotone", func(t *testing.T) {
+		l, _ := NewLognormal(1, 2)
+		prev := 0.0
+		for p := 0.05; p < 1; p += 0.05 {
+			q := l.Quantile(p)
+			if q < prev {
+				t.Fatalf("Quantile(%g) = %g < Quantile(%g) = %g", p, q, p-0.05, prev)
+			}
+			prev = q
+		}
+	})
+}
+
+// TestEmpiricalReplaysMoments checks that sampling the interpolated inverse
+// CDF reproduces the stored samples' own mean and Cv.
+func TestEmpiricalReplaysMoments(t *testing.T) {
+	base, err := FitHeavyTail(1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := SampleN(base, rand.New(rand.NewSource(5)), 20_000)
+	emp, err := NewEmpirical(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		mean, cv := sampleMoments(emp, rand.New(rand.NewSource(seed)), sampleN)
+		if e := relErr(mean, emp.Mean()); e > 0.02 {
+			t.Errorf("seed %d: replayed mean %g, stored %g (rel err %g)", seed, mean, emp.Mean(), e)
+		}
+		if e := relErr(cv, emp.CV()); e > 0.05 {
+			t.Errorf("seed %d: replayed cv %g, stored %g (rel err %g)", seed, cv, emp.CV(), e)
+		}
+	}
+}
+
+// TestHeavyTailIsHeavier pins the reason FitHeavyTail exists: at equal
+// (mean, Cv) the lognormal's extreme quantile exceeds the hyperexponential's.
+func TestHeavyTailIsHeavier(t *testing.T) {
+	ln, err := NewLognormal(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHyperExp2(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare p999 of the hyperexp by Monte Carlo against lognormal closed form.
+	samples := SampleN(h, rand.New(rand.NewSource(9)), sampleN)
+	hEmp, err := NewEmpirical(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lnQ, hQ := ln.Quantile(0.9999), hEmp.Quantile(0.9999); lnQ <= hQ {
+		t.Errorf("lognormal p9999 %g not heavier than hyperexp %g", lnQ, hQ)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	e, _ := NewExponentialMean(1)
+	got := SampleN(e, rand.New(rand.NewSource(1)), 17)
+	if len(got) != 17 {
+		t.Fatalf("len = %d, want 17", len(got))
+	}
+	if SampleN(e, rand.New(rand.NewSource(1)), 0) == nil {
+		// zero-length is fine; just must not panic
+		t.Log("zero-length sample returned nil slice")
+	}
+}
+
+func TestEmpiricalDoesNotAliasInput(t *testing.T) {
+	src := []float64{3, 1, 2}
+	emp, err := NewEmpirical(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 1e9
+	if got := emp.Quantile(1); got != 3 {
+		t.Errorf("mutating input changed empirical max: %g", got)
+	}
+}

@@ -1,0 +1,42 @@
+// Package dist provides the probability distributions the SleepScale
+// evaluation draws workloads from: inter-arrival times and service demands
+// with controlled mean and coefficient of variation (Cv), including the
+// heavy-tailed surrogates that stand in for BigHouse's stored empirical
+// CDFs (paper §4–§5, Table 5).
+//
+// # Families
+//
+//   - Exponential — the idealized Poisson/exponential model of §4 (Cv = 1).
+//   - HyperExp2 — a two-phase hyperexponential with balanced means, the
+//     standard moment match for Cv > 1 (bursty arrivals, Figure 3's
+//     Cv = 4 variant).
+//   - ErlangMix — a mixture of Erlang(k−1) and Erlang(k) with a common
+//     rate (Tijms' fit), the standard moment match for Cv < 1. A pure
+//     Erlang-k only reaches Cv = 1/√k; the mixture hits any Cv ∈ (0, 1)
+//     exactly.
+//   - Lognormal — the heavy-tailed fit used by NewEmpiricalStats to
+//     synthesize BigHouse-like traces from published (mean, Cv) pairs.
+//   - Empirical — a sorted-sample inverse-CDF, replaying measured or
+//     synthesized samples the way BigHouse replays its stored traces.
+//   - Scaled — wraps any distribution with a multiplicative factor,
+//     preserving Cv; used by workload.Stats.AtUtilization to rescale
+//     inter-arrival times to a target utilization (§5.2.1).
+//
+// # Fitting rules
+//
+// FitMeanCV(mean, cv) matches the first two moments exactly and picks the
+// family by Cv:
+//
+//	Cv < 1  → ErlangMix (Tijms' Erlang k−1/k mixture)
+//	Cv = 1  → Exponential
+//	Cv > 1  → HyperExp2 (balanced-means hyperexponential)
+//
+// FitHeavyTail(mean, cv) always returns a Lognormal with the same two
+// moments; its tail is heavier than any of the parametric fits above,
+// which is what makes it a better surrogate for scale-out service-time
+// distributions (cf. Subramaniam & Feng 2015).
+//
+// All samplers take an explicit *rand.Rand so that every draw is
+// deterministic in the caller's seed; nothing in this package reads global
+// randomness.
+package dist

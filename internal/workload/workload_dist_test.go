@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// statsConstructors builds Stats via every constructor for one spec.
+func statsConstructors(t *testing.T, s Spec) map[string]Stats {
+	t.Helper()
+	ideal, err := NewIdealizedStats(s)
+	if err != nil {
+		t.Fatalf("idealized: %v", err)
+	}
+	fitted, err := NewFittedStats(s)
+	if err != nil {
+		t.Fatalf("fitted: %v", err)
+	}
+	emp, err := NewEmpiricalStats(s, 50_000, 11)
+	if err != nil {
+		t.Fatalf("empirical: %v", err)
+	}
+	return map[string]Stats{"idealized": ideal, "fitted": fitted, "empirical": emp}
+}
+
+// TestStatsUtilizationRoundTrip rescales every constructor's Stats to a set
+// of target utilizations and checks ρ round-trips within 1e-9 with the
+// inter-arrival Cv preserved — the §5.2.1 rescaling invariant.
+func TestStatsUtilizationRoundTrip(t *testing.T) {
+	for _, spec := range Table5() {
+		for name, st := range statsConstructors(t, spec) {
+			for _, rho := range []float64{0.05, 0.3, 0.5, 0.9} {
+				scaled, err := st.AtUtilization(rho)
+				if err != nil {
+					t.Fatalf("%s/%s AtUtilization(%g): %v", spec.Name, name, rho, err)
+				}
+				if got := scaled.Utilization(); math.Abs(got-rho) > 1e-9 {
+					t.Errorf("%s/%s: Utilization() = %g, want %g", spec.Name, name, got, rho)
+				}
+				if got, want := scaled.Inter.CV(), st.Inter.CV(); math.Abs(got-want) > 1e-12 {
+					t.Errorf("%s/%s: inter Cv %g changed from %g", spec.Name, name, got, want)
+				}
+				if got, want := scaled.Size.Mean(), st.Size.Mean(); got != want {
+					t.Errorf("%s/%s: size mean %g changed from %g", spec.Name, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAtUtilizationDouble rescales twice and checks the second target wins
+// exactly (rescaling composes, it does not accumulate).
+func TestAtUtilizationDouble(t *testing.T) {
+	st, err := NewFittedStats(Mail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := st.AtUtilization(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.AtUtilization(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := twice.Utilization(); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("double rescale: Utilization() = %g, want 0.7", got)
+	}
+}
+
+// TestEmpiricalStatsDeterministicInSeed checks same (spec, n, seed) gives
+// bitwise-identical distributions and job streams, and a different seed does
+// not.
+func TestEmpiricalStatsDeterministicInSeed(t *testing.T) {
+	spec := DNS()
+	a, err := NewEmpiricalStats(spec, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEmpiricalStats(spec, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inter.Mean() != b.Inter.Mean() || a.Size.Mean() != b.Size.Mean() ||
+		a.Inter.CV() != b.Inter.CV() || a.Size.CV() != b.Size.CV() {
+		t.Fatalf("same seed produced different moments: %+v vs %+v", a, b)
+	}
+	ja := a.Jobs(200, rand.New(rand.NewSource(1)))
+	jb := b.Jobs(200, rand.New(rand.NewSource(1)))
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("job %d differs under identical seeds: %+v vs %+v", i, ja[i], jb[i])
+		}
+	}
+	c, err := NewEmpiricalStats(spec, 5000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inter.Mean() == c.Inter.Mean() && a.Size.Mean() == c.Size.Mean() {
+		t.Errorf("different seeds produced identical moments")
+	}
+}
+
+// TestEmpiricalStatsMatchesSpecMoments checks the surrogate lands near the
+// Table 5 summary statistics it was fit to.
+func TestEmpiricalStatsMatchesSpecMoments(t *testing.T) {
+	for _, spec := range Table5() {
+		st, err := NewEmpiricalStats(spec, 200_000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if got := st.Inter.Mean(); math.Abs(got-spec.InterArrivalMean)/spec.InterArrivalMean > 0.05 {
+			t.Errorf("%s: inter mean %g, want ≈ %g", spec.Name, got, spec.InterArrivalMean)
+		}
+		if got := st.Size.Mean(); math.Abs(got-spec.ServiceMean)/spec.ServiceMean > 0.05 {
+			t.Errorf("%s: size mean %g, want ≈ %g", spec.Name, got, spec.ServiceMean)
+		}
+	}
+}
