@@ -97,9 +97,43 @@ func BenchmarkPolicySelectionSerial(b *testing.B) {
 		b.Fatal(err)
 	}
 	jobs := stats.Jobs(2000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mgr.Select(jobs, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorSteadyState measures the zero-allocation kernel itself:
+// one reused Evaluator scoring one candidate per op over a 10,000-job stream
+// — the §5.1.1 inner loop with the per-call setup amortized away. allocs/op
+// must stay at 0; CI enforces a budget on it.
+func BenchmarkEvaluatorSteadyState(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(10000, rand.New(rand.NewSource(1)))
+	pol := sleepscale.Policy{Frequency: 0.6, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), spec.FreqExponent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := sleepscale.NewEvaluator(jobs, sleepscale.SimOptions{})
+	if _, err := ev.Evaluate(cfg); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +179,9 @@ func BenchmarkRefinedIdealizedSelection(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineThroughput measures raw simulator speed in jobs/op.
+// BenchmarkEngineThroughput measures raw simulator speed in jobs/op on a
+// reused (Reset) engine — the steady-state evaluation path, which must not
+// allocate.
 func BenchmarkEngineThroughput(b *testing.B) {
 	spec := sleepscale.DNS()
 	stats, err := sleepscale.NewIdealizedStats(spec)
@@ -158,10 +194,19 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng, err := sleepscale.NewEngine(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range jobs { // warm the engine's buffers
+		if _, err := eng.Process(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng, err := sleepscale.NewEngine(cfg, 0)
-		if err != nil {
+		if err := eng.Reset(cfg, 0); err != nil {
 			b.Fatal(err)
 		}
 		for _, j := range jobs {
@@ -409,8 +454,39 @@ func BenchmarkFarmScaleOut(b *testing.B) {
 	for _, k := range []int{1, 4, 16} {
 		name := map[int]string{1: "k=1", 4: "k=4", 16: "k=16"}[k]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := sleepscale.RunFarm(k, cfg, sleepscale.JSQ{}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TotalAvgPower, "watts")
+			}
+		})
+	}
+}
+
+// BenchmarkFarmScaleOutRoundRobin measures the parallel preassigned-dispatch
+// path (state-independent routing lets servers simulate concurrently).
+func BenchmarkFarmScaleOutRoundRobin(b *testing.B) {
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]sleepscale.Job, 40000)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / 4.0
+		jobs[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / 5.0}
+	}
+	for _, k := range []int{4, 16} {
+		name := map[int]string{4: "k=4", 16: "k=16"}[k]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sleepscale.RunFarm(k, cfg, &sleepscale.RoundRobin{}, jobs)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,163 @@
+// Command benchsnap runs the policy-evaluation benchmark suite, writes a
+// machine-readable snapshot (BENCH_selection.json) so successive PRs have a
+// perf trajectory, and enforces an allocs/op budget on the steady-state
+// evaluation path — the zero-allocation contract of the simulation kernel.
+//
+// Usage:
+//
+//	go run ./cmd/benchsnap [-bench regex] [-benchtime 10x] \
+//	    [-out BENCH_selection.json] [-budget 0] [-budget-bench regex]
+//
+// The tool exits non-zero when any benchmark matching -budget-bench exceeds
+// -budget allocs/op, which is how CI catches allocation regressions on the
+// hot path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the serialized benchmark report.
+type Snapshot struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	BenchTime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench       = flag.String("bench", "PolicyEvaluation$|PolicySelection$|PolicySelectionSerial$|EvaluatorSteadyState$|EngineThroughput$|FarmScaleOut|MultiCoreSimulate$", "benchmark regex passed to go test")
+		benchtime   = flag.String("benchtime", "5x", "benchtime passed to go test")
+		out         = flag.String("out", "BENCH_selection.json", "snapshot output path")
+		budget      = flag.Float64("budget", 0, "max allocs/op allowed on budgeted benchmarks")
+		budgetBench = flag.String("budget-bench", "EvaluatorSteadyState|EngineThroughput", "regex of benchmarks the allocs/op budget applies to")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: go test: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	benches, err := parseBench(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines matched")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		BenchTime:  *benchtime,
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %s (%d benchmarks)\n", *out, len(benches))
+
+	re, err := regexp.Compile(*budgetBench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: bad -budget-bench: %v\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, b := range benches {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		status := "ok"
+		if b.AllocsPerOp > *budget {
+			status = "OVER BUDGET"
+			failed = true
+		}
+		fmt.Printf("benchsnap: %-40s %g allocs/op (budget %g) %s\n",
+			b.Name, b.AllocsPerOp, *budget, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchsnap: evaluation path exceeds its allocs/op budget")
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   10   123456 ns/op   42 watts   100 B/op   3 allocs/op
+//
+// tolerating any number of custom unit pairs.
+func parseBench(out string) ([]Benchmark, error) {
+	var benches []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}

@@ -9,7 +9,12 @@
 //     platform states S0(a)/S0(i)/S3 (paper Tables 1–4): Xeon and Atom.
 //   - A discrete-event FCFS queueing simulator with DVFS-scaled service,
 //     sleep-state sequences with enter delays, and wake-up penalties
-//     (paper Algorithm 1), usable standalone via Simulate.
+//     (paper Algorithm 1), usable standalone via Simulate. The simulator
+//     is built as a reusable kernel: Engine.Reset rewinds an engine
+//     without giving up its buffers, and Evaluator scores many candidate
+//     policies over one shared job stream with zero steady-state
+//     allocations — the §5.1.1 selection loop (Manager.Select), the farm
+//     and the multi-core simulators all run on it.
 //   - Closed-form M/M/1-with-sleep-states analysis of mean power, mean
 //     response time and response-time tails (paper Appendix), via Model.
 //   - The SleepScale policy manager: enumerate (frequency, sleep plan)
@@ -40,6 +45,35 @@
 //	jobs := stats.Jobs(10000, rand.New(rand.NewSource(1)))
 //	best, _, _ := mgr.Select(jobs, 0.3)
 //	fmt.Println(best.Policy) // e.g. "f=0.52 C0(i)S0(i)"
+//
+// # Simulation-kernel reuse contract
+//
+// The hot evaluation path never allocates in steady state. The pieces and
+// their contracts:
+//
+//   - Engine.Reset(cfg, start) rewinds an engine exactly as a fresh
+//     NewEngine would while keeping its response-sample and residency
+//     buffers. Residency is tallied into a phase-indexed slice; the
+//     name-keyed map only materializes in Finish.
+//   - Evaluator owns one engine and a shared job stream; each Evaluate(cfg)
+//     returns a SimSummary — plain scalars, safe to keep across further
+//     calls. Results that alias evaluator storage (Responses) are only
+//     valid until the next Evaluate.
+//   - Manager.Select gives each worker goroutine one pooled Evaluator and
+//     one sleep-phase scratch buffer, so scoring a candidate costs zero
+//     allocations once the pool is warm. Manager.Evaluate remains the thin
+//     one-shot wrapper.
+//   - RunFarm simulates servers in parallel whenever the dispatcher routes
+//     independently of server state (it implements Preassigner — round-robin
+//     and random do, JSQ does not), merging per-server results in server
+//     order so the outcome is bit-identical to sequential dispatch.
+//   - SimulateMultiCore recycles whole k-core simulators through an internal
+//     pool; MultiCoreSimulator.Reset supports the same reuse directly.
+//
+// CI enforces the contract: cmd/benchsnap fails the build when the
+// steady-state benchmarks (BenchmarkEvaluatorSteadyState,
+// BenchmarkEngineThroughput) report any allocs/op, and writes the
+// BENCH_selection.json perf-trajectory snapshot.
 //
 // See examples/ for runnable programs and internal/experiments for the
 // harness that regenerates every table and figure in the paper.

@@ -61,23 +61,36 @@ func (m *Manager) Validate() error {
 }
 
 // Evaluate runs Algorithm 1 for one policy over the given job stream and
-// reports its metrics and feasibility.
+// reports its metrics and feasibility. It is the thin public wrapper around
+// the pooled-evaluator path Select uses per worker; callers scoring many
+// policies should prefer Select, which amortizes the simulation buffers.
 func (m *Manager) Evaluate(jobs []queue.Job, p policy.Policy) (policy.Evaluation, error) {
-	cfg, err := p.Config(m.Profile, m.FreqExponent)
+	ev := queue.GetEvaluator(jobs, queue.Options{})
+	defer ev.Release()
+	e, _, err := m.evaluateInto(ev, p, nil)
+	return e, err
+}
+
+// evaluateInto is the zero-allocation inner loop of Select: it resolves the
+// policy's configuration into the scratch phase buffer, scores it on the
+// worker's evaluator, and hands the (possibly grown) buffer back for the next
+// candidate.
+func (m *Manager) evaluateInto(ev *queue.Evaluator, p policy.Policy, buf []queue.SleepPhase) (policy.Evaluation, []queue.SleepPhase, error) {
+	cfg, err := p.AppendConfig(m.Profile, m.FreqExponent, buf[:0])
 	if err != nil {
-		return policy.Evaluation{}, err
+		return policy.Evaluation{}, buf, err
 	}
-	res, err := queue.Simulate(jobs, cfg, queue.Options{})
+	sum, err := ev.Evaluate(cfg)
 	if err != nil {
-		return policy.Evaluation{}, err
+		return policy.Evaluation{}, cfg.Phases, err
 	}
 	met := policy.Metrics{
-		AvgPower:     res.AvgPower,
-		MeanResponse: res.MeanResponse,
-		P95Response:  res.ResponseP95,
-		P99Response:  res.ResponseP99,
+		AvgPower:     sum.AvgPower,
+		MeanResponse: sum.MeanResponse,
+		P95Response:  sum.ResponseP95,
+		P99Response:  sum.ResponseP99,
 	}
-	return policy.Evaluation{Policy: p, Metrics: met, Feasible: m.QoS.Satisfied(met)}, nil
+	return policy.Evaluation{Policy: p, Metrics: met, Feasible: m.QoS.Satisfied(met)}, cfg.Phases, nil
 }
 
 // Select evaluates every policy in the space against the same job stream and
@@ -110,12 +123,17 @@ func (m *Manager) Select(jobs []queue.Job, rho float64) (policy.Evaluation, []po
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one pooled evaluator and one phase scratch
+			// buffer: candidate evaluation allocates nothing in steady state.
+			ev := queue.GetEvaluator(jobs, queue.Options{})
+			defer ev.Release()
+			var phases []queue.SleepPhase
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(pols) {
 					return
 				}
-				evals[i], errs[i] = m.Evaluate(jobs, pols[i])
+				evals[i], phases, errs[i] = m.evaluateInto(ev, pols[i], phases)
 			}
 		}()
 	}

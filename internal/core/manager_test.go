@@ -325,3 +325,30 @@ func TestRaceToHaltCostsMore(t *testing.T) {
 		t.Errorf("race-to-halt premium = %.2fx, want ≥ 1.3x (paper: up to 1.5x)", worstGap)
 	}
 }
+
+// TestSelectMatchesEvaluatePerPolicy pins the pooled-evaluator Select path to
+// the public thin-wrapper Evaluate bit-for-bit: reusable kernels must not
+// change what any candidate scores.
+func TestSelectMatchesEvaluatePerPolicy(t *testing.T) {
+	mu := workload.DNS().MaxServiceRate()
+	qos, _ := policy.NewMeanResponseQoS(0.8, mu)
+	jobs := dnsJobs(t, 0.3, 3000, 11)
+	m := dnsManager(t, qos)
+	m.Space.FreqStep = 0.1 // keep the per-policy reference sweep quick
+	_, evals, err := m.Select(jobs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) == 0 {
+		t.Fatal("no evaluations")
+	}
+	for _, e := range evals {
+		ref, err := m.Evaluate(jobs, e.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Metrics != ref.Metrics || e.Feasible != ref.Feasible {
+			t.Fatalf("policy %v: Select gave %+v, Evaluate gave %+v", e.Policy, e, ref)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package farm
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"sleepscale/internal/queue"
 )
@@ -21,6 +23,17 @@ type Dispatcher interface {
 	Name() string
 }
 
+// Preassigner is the optional fast path for dispatchers whose routing does
+// not depend on server state (round-robin, random — not JSQ): Preassign
+// computes the server index for every job of a sorted stream up front, which
+// lets Run simulate the per-server substreams in parallel and merge the
+// results deterministically. Preassign must consume exactly the same
+// dispatcher state (counters, randomness) as the equivalent sequence of Pick
+// calls, so the two paths route identically.
+type Preassigner interface {
+	Preassign(k int, jobs []queue.Job, dst []int)
+}
+
 // RoundRobin cycles through servers in order.
 type RoundRobin struct{ next int }
 
@@ -31,6 +44,14 @@ func (r *RoundRobin) Pick(f *Farm, _ queue.Job) int {
 	return i
 }
 
+// Preassign implements Preassigner.
+func (r *RoundRobin) Preassign(k int, jobs []queue.Job, dst []int) {
+	for i := range jobs {
+		dst[i] = r.next % k
+		r.next++
+	}
+}
+
 // Name implements Dispatcher.
 func (r *RoundRobin) Name() string { return "round-robin" }
 
@@ -39,6 +60,14 @@ type Random struct{ Rng *rand.Rand }
 
 // Pick implements Dispatcher.
 func (r *Random) Pick(f *Farm, _ queue.Job) int { return r.Rng.Intn(f.Size()) }
+
+// Preassign implements Preassigner; it draws from the Rng in arrival order,
+// matching the Pick sequence draw for draw.
+func (r *Random) Preassign(k int, jobs []queue.Job, dst []int) {
+	for i := range jobs {
+		dst[i] = r.Rng.Intn(k)
+	}
+}
 
 // Name implements Dispatcher.
 func (r *Random) Name() string { return "random" }
@@ -152,8 +181,19 @@ func (f *Farm) Finish(at float64) (Result, error) {
 }
 
 // Run is a convenience: dispatch a whole sorted job stream and finish at the
-// last departure across servers.
+// last departure across servers. When the dispatcher routes independently of
+// server state (it implements Preassigner), the per-server substreams are
+// simulated in parallel — each server's engine driven by one worker — and
+// merged in server order, reproducing the sequential result exactly. (All k
+// engines stay alive until the merge, so this path allocates per server; the
+// zero-allocation reuse contract covers Engine/Evaluator, not farms.)
 func Run(k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) (Result, error) {
+	if pre, ok := disp.(Preassigner); ok && k > 1 && len(jobs) > 0 {
+		if err := cfg.Validate(); err != nil {
+			return Result{}, err
+		}
+		return runPreassigned(k, cfg, disp, pre, jobs)
+	}
 	f, err := New(k, cfg, disp)
 	if err != nil {
 		return Result{}, err
@@ -169,5 +209,88 @@ func Run(k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) (Result, er
 			last = t
 		}
 	}
+	return f.Finish(last)
+}
+
+// runPreassigned is Run's parallel path: route every job up front, simulate
+// each server's substream concurrently, then aggregate in server order so the
+// merge is deterministic and bit-identical to the sequential dispatch.
+func runPreassigned(k int, cfg queue.Config, disp Dispatcher, pre Preassigner, jobs []queue.Job) (Result, error) {
+	assign := make([]int, len(jobs))
+	pre.Preassign(k, jobs, assign)
+
+	perSrv := make([]int, k)
+	for _, s := range assign {
+		if s < 0 || s >= k {
+			return Result{}, fmt.Errorf("farm: dispatcher %s picked server %d of %d", disp.Name(), s, k)
+		}
+		perSrv[s]++
+	}
+	// Bucket the stream into per-server substreams sharing one backing array,
+	// preserving arrival order within each server.
+	backing := make([]queue.Job, len(jobs))
+	offsets := make([]int, k+1)
+	for s := 0; s < k; s++ {
+		offsets[s+1] = offsets[s] + perSrv[s]
+	}
+	fill := append([]int(nil), offsets[:k]...)
+	for i, s := range assign {
+		backing[fill[s]] = jobs[i]
+		fill[s]++
+	}
+
+	engines := make([]*queue.Engine, k)
+	errs := make([]error, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				s := next
+				next++
+				mu.Unlock()
+				if s >= k {
+					return
+				}
+				eng, err := queue.NewEngine(cfg, 0)
+				if err != nil {
+					errs[s] = err
+					continue
+				}
+				engines[s] = eng
+				sub := backing[offsets[s]:offsets[s+1]]
+				for i := range sub {
+					if _, err := eng.Process(sub[i]); err != nil {
+						errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, i, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	last := 0.0
+	for _, eng := range engines {
+		if t := eng.FreeAt(); t > last {
+			last = t
+		}
+	}
+	// Merge through the same Farm.Finish the sequential path uses, so the
+	// aggregation can never diverge between the two.
+	f := &Farm{engines: engines, disp: disp, perSrv: perSrv}
 	return f.Finish(last)
 }

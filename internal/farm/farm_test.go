@@ -219,3 +219,105 @@ func TestFinishEmptyFarm(t *testing.T) {
 		t.Errorf("idle energy = %v, want %v", res.Energy, want)
 	}
 }
+
+// sequentialRun replays Run's sequential path explicitly (dispatch one job at
+// a time through a Farm), as the reference for the parallel preassigned path.
+func sequentialRun(t *testing.T, k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) Result {
+	t.Helper()
+	f, err := New(k, cfg, disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if _, _, err := f.Process(j); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	last := 0.0
+	for i := 0; i < f.Size(); i++ {
+		if ft := f.Server(i).FreeAt(); ft > last {
+			last = ft
+		}
+	}
+	res, err := f.Finish(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func requireResultsEqual(t *testing.T, got, want Result) {
+	t.Helper()
+	if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse ||
+		got.TotalAvgPower != want.TotalAvgPower || got.Energy != want.Energy {
+		t.Fatalf("aggregate diverges:\n got Jobs=%d Mean=%.17g Power=%.17g Energy=%.17g\nwant Jobs=%d Mean=%.17g Power=%.17g Energy=%.17g",
+			got.Jobs, got.MeanResponse, got.TotalAvgPower, got.Energy,
+			want.Jobs, want.MeanResponse, want.TotalAvgPower, want.Energy)
+	}
+	if len(got.PerServer) != len(want.PerServer) || len(got.JobShare) != len(want.JobShare) {
+		t.Fatalf("shape diverges: %d/%d servers, %d/%d shares",
+			len(got.PerServer), len(want.PerServer), len(got.JobShare), len(want.JobShare))
+	}
+	for i := range got.PerServer {
+		g, w := got.PerServer[i], want.PerServer[i]
+		if g.Jobs != w.Jobs || g.Energy != w.Energy || g.MeanResponse != w.MeanResponse ||
+			g.ResponseP95 != w.ResponseP95 || g.Duration != w.Duration || g.Wakes != w.Wakes {
+			t.Fatalf("server %d diverges:\n got %+v\nwant %+v", i, g, w)
+		}
+		if got.JobShare[i] != want.JobShare[i] {
+			t.Fatalf("server %d share %.17g != %.17g", i, got.JobShare[i], want.JobShare[i])
+		}
+	}
+}
+
+// TestRunParallelMatchesSequentialRoundRobin pins the preassigned parallel
+// path to the sequential dispatch bit-for-bit.
+func TestRunParallelMatchesSequentialRoundRobin(t *testing.T) {
+	jobs := expJobs(30000, 8, 5, 3)
+	for _, k := range []int{2, 4, 7} {
+		want := sequentialRun(t, k, testCfg(), &RoundRobin{}, jobs)
+		got, err := Run(k, testCfg(), &RoundRobin{}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsEqual(t, got, want)
+	}
+}
+
+// TestRunParallelMatchesSequentialRandom does the same for the random
+// dispatcher: Preassign must consume the Rng exactly as Pick would.
+func TestRunParallelMatchesSequentialRandom(t *testing.T) {
+	jobs := expJobs(30000, 8, 5, 4)
+	const k = 5
+	want := sequentialRun(t, k, testCfg(), &Random{Rng: rand.New(rand.NewSource(99))}, jobs)
+	got, err := Run(k, testCfg(), &Random{Rng: rand.New(rand.NewSource(99))}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsEqual(t, got, want)
+}
+
+// TestRunJSQStaysSequential: JSQ routing depends on queue state, so it must
+// not implement the preassigned fast path.
+func TestRunJSQStaysSequential(t *testing.T) {
+	if _, ok := interface{}(JSQ{}).(Preassigner); ok {
+		t.Fatal("JSQ must not implement Preassigner: its routing is state-dependent")
+	}
+}
+
+// TestRunParallelRejectsBadPreassign: an out-of-range preassignment must
+// surface as an error, mirroring the sequential dispatcher check.
+type badPreassigner struct{ RoundRobin }
+
+func (badPreassigner) Preassign(k int, jobs []queue.Job, dst []int) {
+	for i := range jobs {
+		dst[i] = k // out of range
+	}
+}
+
+func TestRunParallelRejectsBadPreassign(t *testing.T) {
+	jobs := expJobs(100, 8, 5, 5)
+	if _, err := Run(3, testCfg(), &badPreassigner{}, jobs); err == nil {
+		t.Fatal("out-of-range preassignment accepted")
+	}
+}

@@ -113,9 +113,16 @@ func (s *Stream) String() string {
 // Sample collects raw observations so that exact percentiles can be computed.
 // It keeps every observation; the SleepScale evaluator works with runs of
 // roughly 10⁴–10⁶ jobs, which fits comfortably in memory.
+//
+// Observations are stored in insertion order; order statistics (Percentile,
+// FractionAbove) are served from a lazily maintained sorted scratch copy, so
+// querying a percentile never disturbs insertion order. Reset and TrimFront
+// keep the underlying capacity, making a Sample reusable with zero
+// steady-state allocations.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs      []float64 // insertion order, never reordered
+	scratch []float64 // ascending copy, rebuilt lazily for order statistics
+	dirty   bool      // scratch is stale relative to xs
 	Stream
 }
 
@@ -127,21 +134,50 @@ func NewSample(n int) *Sample {
 // Add records one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.dirty = true
 	s.Stream.Add(x)
 }
 
 // Reset discards all observations but keeps the underlying capacity.
 func (s *Sample) Reset() {
 	s.xs = s.xs[:0]
-	s.sorted = true
+	s.scratch = s.scratch[:0]
+	s.dirty = false
 	s.Stream = Stream{}
 }
 
-// Values returns the raw observations in insertion order unless a percentile
-// has been requested, in which case the order is ascending. The slice aliases
+// TrimFront discards the first n observations in insertion order (e.g. a
+// simulation warm-up period) and recomputes the streaming moments over the
+// remainder. Trimming more than the sample size empties it.
+func (s *Sample) TrimFront(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(s.xs) {
+		s.Reset()
+		return
+	}
+	s.xs = s.xs[:copy(s.xs, s.xs[n:])]
+	s.dirty = true
+	s.Stream = Stream{}
+	for _, x := range s.xs {
+		s.Stream.Add(x)
+	}
+}
+
+// Values returns the raw observations in insertion order. The slice aliases
 // internal storage; callers must not modify it.
 func (s *Sample) Values() []float64 { return s.xs }
+
+// sortedValues returns the ascending scratch copy, rebuilding it if stale.
+func (s *Sample) sortedValues() []float64 {
+	if s.dirty || len(s.scratch) != len(s.xs) {
+		s.scratch = append(s.scratch[:0], s.xs...)
+		sort.Float64s(s.scratch)
+		s.dirty = false
+	}
+	return s.scratch
+}
 
 // Percentile reports the p-th percentile (0 ≤ p ≤ 100) using linear
 // interpolation between closest ranks. It returns 0 for an empty sample.
@@ -149,24 +185,40 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
-	}
+	xs := s.sortedValues()
 	if p <= 0 {
-		return s.xs[0]
+		return xs[0]
 	}
 	if p >= 100 {
-		return s.xs[len(s.xs)-1]
+		return xs[len(xs)-1]
 	}
-	rank := p / 100 * float64(len(s.xs)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// PercentileNearestRank reports the p-th percentile by the ceiling nearest-rank
+// rule: the smallest observation x such that at least p% of the sample is ≤ x.
+// It returns 0 for an empty sample.
+func (s *Sample) PercentileNearestRank(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	xs := s.sortedValues()
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return xs[idx]
 }
 
 // FractionAbove reports the fraction of observations strictly greater than or
@@ -175,13 +227,10 @@ func (s *Sample) FractionAbove(x float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
-	}
+	xs := s.sortedValues()
 	// First index with value >= x.
-	i := sort.SearchFloat64s(s.xs, x)
-	return float64(len(s.xs)-i) / float64(len(s.xs))
+	i := sort.SearchFloat64s(xs, x)
+	return float64(len(xs)-i) / float64(len(xs))
 }
 
 // WeightedTally accumulates time-weighted occupancy per named bucket, e.g.

@@ -344,3 +344,126 @@ func TestHistogramDegenerateConstruction(t *testing.T) {
 		t.Fatalf("degenerate histogram unusable")
 	}
 }
+
+func TestSampleValuesKeepInsertionOrderAfterPercentile(t *testing.T) {
+	s := NewSample(0)
+	in := []float64{5, 1, 4, 2, 3}
+	for _, x := range in {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("P50 = %v, want 3", got)
+	}
+	for i, x := range s.Values() {
+		if x != in[i] {
+			t.Fatalf("Values()[%d] = %v after percentile query, want insertion order %v", i, x, in)
+		}
+	}
+	// Adding after a percentile query must be reflected in later queries.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("P0 after post-query Add = %v, want 0", got)
+	}
+}
+
+func TestSampleTrimFront(t *testing.T) {
+	s := NewSample(0)
+	for _, x := range []float64{9, 1, 2, 3} {
+		s.Add(x)
+	}
+	// A percentile query before trimming must not disturb what TrimFront drops.
+	_ = s.Percentile(95)
+	s.TrimFront(1)
+	if s.Count() != 3 || s.Mean() != 2 || s.Max() != 3 || s.Min() != 1 {
+		t.Fatalf("after TrimFront(1): n=%d mean=%v min=%v max=%v", s.Count(), s.Mean(), s.Min(), s.Max())
+	}
+	want := []float64{1, 2, 3}
+	for i, x := range s.Values() {
+		if x != want[i] {
+			t.Fatalf("Values()[%d] = %v, want %v", i, x, want[i])
+		}
+	}
+	s.TrimFront(0) // no-op
+	if s.Count() != 3 {
+		t.Fatalf("TrimFront(0) changed the sample")
+	}
+	s.TrimFront(10) // over-trim empties
+	if s.Count() != 0 || len(s.Values()) != 0 {
+		t.Fatalf("TrimFront past the end did not empty the sample")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Percentile(50) != 7 {
+		t.Fatalf("sample unusable after over-trim")
+	}
+}
+
+// TestSampleTrimFrontMatchesRebuild pins the exact equivalence the queue
+// warm-up path relies on: TrimFront(n) must be bit-for-bit identical to
+// re-adding xs[n:] into a fresh sample.
+func TestSampleTrimFrontMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSample(0)
+	var raw []float64
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		s.Add(x)
+		raw = append(raw, x)
+	}
+	const n = 123
+	s.TrimFront(n)
+	fresh := NewSample(0)
+	for _, x := range raw[n:] {
+		fresh.Add(x)
+	}
+	if s.Count() != fresh.Count() || s.Mean() != fresh.Mean() ||
+		s.Variance() != fresh.Variance() || s.Min() != fresh.Min() || s.Max() != fresh.Max() {
+		t.Fatalf("TrimFront moments diverge from rebuild: %v vs %v", s.String(), fresh.String())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if s.Percentile(p) != fresh.Percentile(p) {
+			t.Fatalf("P%v diverges: %v vs %v", p, s.Percentile(p), fresh.Percentile(p))
+		}
+	}
+}
+
+func TestSamplePercentileNearestRank(t *testing.T) {
+	s := NewSample(0)
+	if got := s.PercentileNearestRank(95); got != 0 {
+		t.Fatalf("empty nearest-rank = %v, want 0", got)
+	}
+	for i := 1; i <= 20; i++ {
+		s.Add(float64(i))
+	}
+	// ceil(0.95*20)-1 = 18 → value 19.
+	if got := s.PercentileNearestRank(95); got != 19 {
+		t.Errorf("P95 nearest-rank = %v, want 19", got)
+	}
+	if got := s.PercentileNearestRank(0); got != 1 {
+		t.Errorf("P0 nearest-rank = %v, want 1", got)
+	}
+	if got := s.PercentileNearestRank(100); got != 20 {
+		t.Errorf("P100 nearest-rank = %v, want 20", got)
+	}
+}
+
+// TestSampleZeroAllocSteadyState pins the reuse contract: a warmed-up Sample
+// must Add/Reset/query without allocating.
+func TestSampleZeroAllocSteadyState(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 256; i++ {
+		s.Add(float64(i % 17))
+	}
+	_ = s.Percentile(95) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		for i := 0; i < 256; i++ {
+			s.Add(float64((i * 31) % 23))
+		}
+		_ = s.Percentile(95)
+		_ = s.PercentileNearestRank(95)
+		_ = s.Mean()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Sample reuse allocates %v/op, want 0", allocs)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sleepscale/internal/metrics"
 	"sleepscale/internal/queue"
@@ -137,7 +138,9 @@ type core struct {
 	energy float64
 }
 
-// Simulator is the resumable k-core engine.
+// Simulator is the resumable k-core engine. Reset rewinds it for a fresh run
+// while keeping its buffers, so one simulator can score many configurations
+// (or be recycled by Simulate's pool) without allocating.
 type Simulator struct {
 	cfg   Config
 	cores []core
@@ -146,35 +149,51 @@ type Simulator struct {
 	platformBusyUntil float64
 	billedP           float64
 	platformEnergy    float64
-	residency         *metrics.WeightedTally
+	// Platform residency tally: the bucket set is fixed, so three scalars
+	// replace a name-keyed map on the hot path.
+	residActive float64
+	residIdle   float64
+	residSleep  float64
 
 	lastSeen  float64
 	lastBegin float64
-	responses *metrics.Sample
+	responses metrics.Sample
 	started   float64
 }
 
 // New returns a simulator with all cores idle at time start.
 func New(cfg Config, start float64) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Simulator{}
+	if err := s.Reset(cfg, start); err != nil {
 		return nil, err
 	}
-	s := &Simulator{
-		cfg:               cfg,
-		cores:             make([]core, cfg.Cores),
-		platformBusyUntil: start,
-		billedP:           start,
-		lastSeen:          start,
-		lastBegin:         start,
-		responses:         metrics.NewSample(1024),
-		residency:         metrics.NewWeightedTally(),
-		started:           start,
+	return s, nil
+}
+
+// Reset rewinds the simulator to all cores idle at time start under cfg,
+// exactly as a fresh New would, but reuses the core and response buffers.
+func (s *Simulator) Reset(cfg Config, start float64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	if cap(s.cores) < cfg.Cores {
+		s.cores = make([]core, cfg.Cores)
+	} else {
+		s.cores = s.cores[:cfg.Cores]
 	}
 	for i := range s.cores {
-		s.cores[i].freeAt = start
-		s.cores[i].billed = start
+		s.cores[i] = core{freeAt: start, billed: start}
 	}
-	return s, nil
+	s.platformBusyUntil = start
+	s.billedP = start
+	s.platformEnergy = 0
+	s.residActive, s.residIdle, s.residSleep = 0, 0, 0
+	s.lastSeen = start
+	s.lastBegin = start
+	s.started = start
+	s.responses.Reset()
+	return nil
 }
 
 // coreIdleEnergy bills core idle time [from, to) against the CPU sleep
@@ -230,12 +249,12 @@ func (s *Simulator) platformIdleEnergy(from, to float64) {
 	if o1 < sleepAt {
 		seg := math.Min(o2, sleepAt) - o1
 		s.platformEnergy += seg * s.cfg.PlatformIdlePower
-		s.residency.Add("idle", seg)
+		s.residIdle += seg
 	}
 	if o2 > sleepAt {
 		seg := o2 - math.Max(o1, sleepAt)
 		s.platformEnergy += seg * s.cfg.PlatformSleepPower
-		s.residency.Add("sleep", seg)
+		s.residSleep += seg
 	}
 }
 
@@ -315,7 +334,7 @@ func (s *Simulator) Process(j queue.Job) (float64, error) {
 		seg := end - math.Max(begin, s.billedP)
 		if seg > 0 {
 			s.platformEnergy += seg * s.cfg.PlatformActivePower
-			s.residency.Add("active", seg)
+			s.residActive += seg
 		}
 		s.platformBusyUntil = end
 		s.billedP = end
@@ -360,17 +379,29 @@ func (s *Simulator) Finish(at float64) (Result, error) {
 	if res.Duration > 0 {
 		res.AvgPower = res.Energy / res.Duration
 	}
-	for _, name := range s.residency.Names() {
-		res.PlatformResidency[name] = s.residency.Get(name)
+	if s.residActive != 0 {
+		res.PlatformResidency["active"] = s.residActive
+	}
+	if s.residIdle != 0 {
+		res.PlatformResidency["idle"] = s.residIdle
+	}
+	if s.residSleep != 0 {
+		res.PlatformResidency["sleep"] = s.residSleep
 	}
 	return res, nil
 }
 
+// simPool recycles simulators across Simulate calls: Result carries no
+// references into the simulator (CoreBusy and PlatformResidency are fresh),
+// so the kernel's buffers can be reused immediately.
+var simPool = sync.Pool{New: func() any { return new(Simulator) }}
+
 // Simulate runs a whole sorted job stream from time 0 and finishes at the
-// last departure.
+// last departure, drawing a reusable simulator from an internal pool.
 func Simulate(jobs []queue.Job, cfg Config) (Result, error) {
-	sim, err := New(cfg, 0)
-	if err != nil {
+	sim := simPool.Get().(*Simulator)
+	defer simPool.Put(sim)
+	if err := sim.Reset(cfg, 0); err != nil {
 		return Result{}, err
 	}
 	for i, j := range jobs {

@@ -370,3 +370,84 @@ func TestEmptyStream(t *testing.T) {
 		t.Errorf("empty stream result: %+v", res)
 	}
 }
+
+// TestResetMatchesFresh pins Simulator.Reset: a dirtied then Reset simulator
+// must reproduce a fresh one's result bit-for-bit, including shrinking and
+// growing the core count.
+func TestResetMatchesFresh(t *testing.T) {
+	jobs := expJobs(5000, 10, 5, 8)
+	for _, cores := range []int{1, 4, 2} {
+		cfg := xeonQuad(cores)
+		want, err := Simulate(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(xeonQuad(8), 0) // dirty with a different shape first
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs[:500] {
+			if _, err := sim.Process(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sim.Reset(cfg, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range jobs {
+			if _, err := sim.Process(j); err != nil {
+				t.Fatalf("job %d: %v", i, err)
+			}
+		}
+		last := 0.0
+		for i := 0; i < cores; i++ {
+			if ft := sim.cores[i].freeAt; ft > last {
+				last = ft
+			}
+		}
+		got, err := sim.Finish(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Jobs != want.Jobs || got.Energy != want.Energy ||
+			got.MeanResponse != want.MeanResponse || got.ResponseP95 != want.ResponseP95 ||
+			got.CPUEnergy != want.CPUEnergy || got.PlatformEnergy != want.PlatformEnergy ||
+			got.Duration != want.Duration {
+			t.Fatalf("cores=%d: reset diverges from fresh:\n got %+v\nwant %+v", cores, got, want)
+		}
+		for k, v := range want.PlatformResidency {
+			if got.PlatformResidency[k] != v {
+				t.Errorf("cores=%d: residency[%s] = %v, want %v", cores, k, got.PlatformResidency[k], v)
+			}
+		}
+	}
+}
+
+// TestSimulatePoolReuseDeterministic: repeated Simulate calls (which recycle
+// pooled simulators) must be identical, and results must not alias pooled
+// state.
+func TestSimulatePoolReuseDeterministic(t *testing.T) {
+	jobs := expJobs(3000, 12, 5, 9)
+	cfg := xeonQuad(4)
+	first, err := Simulate(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBusy := append([]float64(nil), first.CoreBusy...)
+	for i := 0; i < 5; i++ {
+		again, err := Simulate(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Energy != first.Energy || again.MeanResponse != first.MeanResponse ||
+			again.Jobs != first.Jobs {
+			t.Fatalf("run %d diverges: %+v vs %+v", i, again, first)
+		}
+	}
+	// The first result must be untouched by later pooled runs.
+	for i, v := range first.CoreBusy {
+		if v != firstBusy[i] {
+			t.Fatalf("CoreBusy mutated by pooled reuse")
+		}
+	}
+}

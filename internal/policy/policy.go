@@ -132,6 +132,15 @@ func (p Policy) String() string {
 // Config resolves the policy against a power profile into the numeric
 // queue.Config the simulator consumes. freqExponent is the workload's β.
 func (p Policy) Config(prof *power.Profile, freqExponent float64) (queue.Config, error) {
+	return p.AppendConfig(prof, freqExponent, nil)
+}
+
+// AppendConfig is Config with caller-provided phase storage: the resolved
+// phases are appended to buf (normally buf[:0] of a scratch slice), so a
+// selection loop resolving thousands of candidates reuses one buffer instead
+// of allocating per policy. The returned Config's Phases alias buf's array
+// whenever capacity suffices.
+func (p Policy) AppendConfig(prof *power.Profile, freqExponent float64, buf []queue.SleepPhase) (queue.Config, error) {
 	if err := p.Plan.Validate(); err != nil {
 		return queue.Config{}, err
 	}
@@ -140,6 +149,7 @@ func (p Policy) Config(prof *power.Profile, freqExponent float64) (queue.Config,
 		FreqExponent: freqExponent,
 		ActivePower:  prof.ActivePower(p.Frequency),
 		IdlePower:    prof.ActivePower(p.Frequency),
+		Phases:       buf,
 	}
 	for _, ph := range p.Plan.Phases {
 		cfg.Phases = append(cfg.Phases, queue.SleepPhase{

@@ -97,7 +97,26 @@ var (
 )
 
 // String implements fmt.Stringer, e.g. "C0(i)S0(i)".
-func (s State) String() string { return s.CPU.String() + s.Platform.String() }
+func (s State) String() string {
+	// The combined states the policy space enumerates return interned
+	// constants: the hot policy-evaluation loop stringifies states per
+	// candidate and must not allocate.
+	switch s {
+	case State{C0a, S0a}:
+		return "C0(a)S0(a)"
+	case State{C0i, S0i}:
+		return "C0(i)S0(i)"
+	case State{C1, S0i}:
+		return "C1S0(i)"
+	case State{C3, S0i}:
+		return "C3S0(i)"
+	case State{C6, S0i}:
+		return "C6S0(i)"
+	case State{C6, S3}:
+		return "C6S3"
+	}
+	return s.CPU.String() + s.Platform.String()
+}
 
 // Valid reports whether the platform state supports the CPU state per
 // Table 3: S0(a)↔C0(a); S0(i)↔{C0(i),C1,C3,C6}; S3↔C6.

@@ -11,17 +11,29 @@
 // phase's wake-up latency, during which the server consumes active power
 // (the paper's conservative assumption) and serves nothing.
 //
-// Two entry points are provided: Simulate, the batch evaluator the policy
-// manager uses (one call per candidate policy), and Engine, a resumable
-// simulator that supports changing the configuration mid-run so that the
-// SleepScale runtime can switch policies at epoch boundaries while queue
-// backlog carries across epochs.
+// Three entry points are provided: Simulate, the batch evaluator for one-off
+// runs; Engine, a resumable simulator that supports changing the
+// configuration mid-run so that the SleepScale runtime can switch policies at
+// epoch boundaries while queue backlog carries across epochs; and Evaluator,
+// the reusable simulation kernel the policy manager uses to score many
+// candidate configurations against one shared job stream.
+//
+// # Reuse contract
+//
+// Engine and Evaluator are allocation-conscious: Engine.Reset rewinds an
+// engine for a fresh run while keeping every internal buffer (the response
+// sample and the phase-residency tally), and Evaluator.Evaluate produces a
+// Summary — plain scalars, no heap references — so the §5.1.1 selection loop
+// runs with zero steady-state allocations. Anything that must survive the
+// next Reset (Result.Responses, Result.Residency) is only materialized by
+// Finish, which Simulate calls on a fresh engine.
 package queue
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sleepscale/internal/metrics"
 )
@@ -140,7 +152,9 @@ const PreSleepBucket = "idle-active"
 
 // Engine is a resumable FCFS simulator. Create with NewEngine, feed jobs in
 // non-decreasing arrival order with Process, optionally switch configuration
-// with SetConfigAt, and close with Finish.
+// with SetConfigAt, and close with Finish. Reset rewinds the engine for a
+// fresh run under a new configuration while keeping its internal buffers, so
+// one engine can score many candidate policies without allocating.
 type Engine struct {
 	cfg Config
 
@@ -156,8 +170,15 @@ type Engine struct {
 	started  float64
 	lastSeen float64
 
-	residency *metrics.WeightedTally
-	responses *metrics.Sample
+	// resid is the hot-path residency tally, indexed by phase: resid[0] is
+	// the pre-sleep bucket, resid[i+1] is cfg.Phases[i]. The name-keyed map
+	// only materializes in Finish. residPrev carries residency accumulated
+	// under earlier configurations across SetConfigAt switches; it stays nil
+	// until the first switch, so the one-config evaluation path never
+	// touches a map.
+	resid     []float64
+	residPrev *metrics.WeightedTally
+	responses metrics.Sample
 }
 
 // ErrOutOfOrder reports a job processed with an arrival before the previous
@@ -166,19 +187,42 @@ var ErrOutOfOrder = errors.New("queue: job arrivals out of order")
 
 // NewEngine returns an engine that starts idle at time start under cfg.
 func NewEngine(cfg Config, start float64) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reset(cfg, start); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		cfg:       cfg,
-		freeAt:    start,
-		anchor:    start,
-		billed:    start,
-		started:   start,
-		lastSeen:  start,
-		residency: metrics.NewWeightedTally(),
-		responses: metrics.NewSample(1024),
-	}, nil
+	return e, nil
+}
+
+// Reset rewinds the engine to start idle at time start under cfg, exactly as
+// a fresh NewEngine would, but reuses every internal buffer. Results returned
+// by a previous Finish remain valid except for Result.Responses, which
+// aliases the engine's sample and is cleared by the reset.
+func (e *Engine) Reset(cfg Config, start float64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	e.cfg = cfg
+	e.freeAt, e.anchor, e.billed = start, start, start
+	e.started, e.lastSeen = start, start
+	e.energy, e.busy, e.wake, e.idle = 0, 0, 0, 0
+	e.wakes = 0
+	e.resid = resizeZero(e.resid, len(cfg.Phases)+1)
+	e.residPrev = nil
+	e.responses.Reset()
+	return nil
+}
+
+// resizeZero returns s resized to n zeroed elements, reusing capacity.
+func resizeZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // billIdle charges idle energy for the absolute interval [from, to) against
@@ -197,7 +241,7 @@ func (e *Engine) billIdle(from, to float64) {
 	if o1 < preEnd {
 		seg := math.Min(o2, preEnd) - o1
 		e.energy += seg * e.cfg.IdlePower
-		e.residency.Add(PreSleepBucket, seg)
+		e.resid[0] += seg
 	}
 	for i, ph := range e.cfg.Phases {
 		start := ph.EnterAfter
@@ -209,7 +253,24 @@ func (e *Engine) billIdle(from, to float64) {
 		hi := math.Min(o2, end)
 		if hi > lo {
 			e.energy += (hi - lo) * ph.Power
-			e.residency.Add(ph.Name, hi-lo)
+			e.resid[i+1] += hi - lo
+		}
+	}
+}
+
+// flushResidency folds the phase-indexed tally into the name-keyed carry
+// tally, zeroing the slice. Called at configuration switches (the phase set
+// may change) — never on the one-config hot path.
+func (e *Engine) flushResidency() {
+	if e.residPrev == nil {
+		e.residPrev = metrics.NewWeightedTally()
+	}
+	if e.resid[0] != 0 {
+		e.residPrev.Add(PreSleepBucket, e.resid[0])
+	}
+	for i, ph := range e.cfg.Phases {
+		if v := e.resid[i+1]; v != 0 {
+			e.residPrev.Add(ph.Name, v)
 		}
 	}
 }
@@ -293,7 +354,11 @@ func (e *Engine) SetConfigAt(t float64, cfg Config) error {
 		e.billed = t
 	}
 	e.lastSeen = t
+	// The new configuration may have a different phase set, so the
+	// phase-indexed residency tally is folded into the name-keyed carry.
+	e.flushResidency()
 	e.cfg = cfg
+	e.resid = resizeZero(e.resid, len(cfg.Phases)+1)
 	return nil
 }
 
@@ -333,9 +398,29 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 }
 
-// Finish closes the run at time at (which must be ≥ the last departure),
-// billing any trailing idle, and returns the aggregate result.
-func (e *Engine) Finish(at float64) (Result, error) {
+// Summary is the scalar aggregate of a run: the same quantities as Result
+// minus the residency map and the raw response sample, so producing one
+// allocates nothing. It is what Evaluator returns per candidate policy.
+type Summary struct {
+	Jobs                int
+	MeanResponse        float64
+	ResponseP95         float64
+	ResponseP99         float64
+	AvgPower            float64
+	Energy              float64
+	Duration            float64
+	BusyTime            float64
+	WakeTime            float64
+	IdleTime            float64
+	Wakes               int
+	MeasuredUtilization float64
+}
+
+// FinishSummary closes the run at time at (which must be ≥ the last
+// departure), billing any trailing idle, and returns the scalar aggregate.
+// Unlike Finish it materializes no residency map and exposes no sample, so
+// the engine can be Reset and reused without invalidating the return value.
+func (e *Engine) FinishSummary(at float64) Summary {
 	if at < e.freeAt {
 		at = e.freeAt
 	}
@@ -344,7 +429,7 @@ func (e *Engine) Finish(at float64) (Result, error) {
 		e.billed = at
 	}
 	dur := at - e.started
-	res := Result{
+	sum := Summary{
 		Jobs:         e.responses.Count(),
 		MeanResponse: e.responses.Mean(),
 		ResponseP95:  e.responses.Percentile(95),
@@ -355,15 +440,48 @@ func (e *Engine) Finish(at float64) (Result, error) {
 		WakeTime:     e.wake,
 		IdleTime:     e.idle,
 		Wakes:        e.wakes,
-		Residency:    map[string]float64{},
-		Responses:    e.responses,
-	}
-	for _, name := range e.residency.Names() {
-		res.Residency[name] = e.residency.Get(name)
 	}
 	if dur > 0 {
-		res.AvgPower = e.energy / dur
-		res.MeasuredUtilization = e.busy / dur
+		sum.AvgPower = e.energy / dur
+		sum.MeasuredUtilization = e.busy / dur
+	}
+	return sum
+}
+
+// Finish closes the run at time at (which must be ≥ the last departure),
+// billing any trailing idle, and returns the aggregate result. The returned
+// Result.Responses aliases the engine's sample: it is valid until the next
+// Reset.
+func (e *Engine) Finish(at float64) (Result, error) {
+	sum := e.FinishSummary(at)
+	res := Result{
+		Jobs:                sum.Jobs,
+		MeanResponse:        sum.MeanResponse,
+		ResponseP95:         sum.ResponseP95,
+		ResponseP99:         sum.ResponseP99,
+		AvgPower:            sum.AvgPower,
+		Energy:              sum.Energy,
+		Duration:            sum.Duration,
+		BusyTime:            sum.BusyTime,
+		WakeTime:            sum.WakeTime,
+		IdleTime:            sum.IdleTime,
+		Wakes:               sum.Wakes,
+		MeasuredUtilization: sum.MeasuredUtilization,
+		Residency:           make(map[string]float64, len(e.resid)),
+		Responses:           &e.responses,
+	}
+	if e.residPrev != nil {
+		for _, name := range e.residPrev.Names() {
+			res.Residency[name] = e.residPrev.Get(name)
+		}
+	}
+	if v := e.resid[0]; v != 0 {
+		res.Residency[PreSleepBucket] += v
+	}
+	for i, ph := range e.cfg.Phases {
+		if v := e.resid[i+1]; v != 0 {
+			res.Residency[ph.Name] += v
+		}
 	}
 	return res, nil
 }
@@ -377,27 +495,97 @@ type Options struct {
 
 // Simulate runs Algorithm 1: it serves jobs (which must be sorted by
 // arrival) under cfg, starting idle at time 0, and ends the measurement at
-// the last departure. This is the evaluator the policy manager calls once
-// per candidate policy.
+// the last departure. For scoring many candidate configurations against one
+// stream, Evaluator amortizes this function's per-call allocations.
 func Simulate(jobs []Job, cfg Config, opts Options) (Result, error) {
 	eng, err := NewEngine(cfg, 0)
 	if err != nil {
 		return Result{}, err
 	}
-	for i, j := range jobs {
-		if _, err := eng.Process(j); err != nil {
-			return Result{}, fmt.Errorf("job %d: %w", i, err)
-		}
-	}
-	if opts.Warmup > 0 && opts.Warmup < eng.responses.Count() {
-		warm := metrics.NewSample(eng.responses.Count() - opts.Warmup)
-		vals := eng.responses.Values()
-		// Values() order may be sorted after percentile queries; here no
-		// percentile has been requested yet, so insertion order holds.
-		for _, v := range vals[opts.Warmup:] {
-			warm.Add(v)
-		}
-		eng.responses = warm
+	if err := eng.run(jobs, opts); err != nil {
+		return Result{}, err
 	}
 	return eng.Finish(eng.freeAt)
+}
+
+// run feeds a whole sorted stream through the engine and applies the warm-up
+// trim. The engine must be freshly constructed or Reset.
+func (e *Engine) run(jobs []Job, opts Options) error {
+	for i := range jobs {
+		if _, err := e.Process(jobs[i]); err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	// Sample keeps insertion order regardless of percentile queries, so
+	// trimming the front is always the first Warmup responses. A warm-up
+	// longer than the run keeps the full sample (there is nothing after the
+	// transient to measure).
+	if opts.Warmup > 0 && opts.Warmup < e.responses.Count() {
+		e.responses.TrimFront(opts.Warmup)
+	}
+	return nil
+}
+
+// Evaluator is the reusable simulation kernel for candidate-policy scoring:
+// it owns one Engine (and thereby the response-sample and residency buffers)
+// and evaluates many configurations over one shared job stream with zero
+// steady-state allocations. An Evaluator is not safe for concurrent use; the
+// selection loop gives each worker its own (see GetEvaluator).
+type Evaluator struct {
+	eng  Engine
+	jobs []Job
+	opts Options
+}
+
+// NewEvaluator returns an evaluator that scores candidates against jobs
+// (sorted by arrival) under opts.
+func NewEvaluator(jobs []Job, opts Options) *Evaluator {
+	return &Evaluator{jobs: jobs, opts: opts}
+}
+
+// SetStream replaces the shared job stream and options for later Evaluate
+// calls, keeping the evaluator's buffers.
+func (ev *Evaluator) SetStream(jobs []Job, opts Options) {
+	ev.jobs = jobs
+	ev.opts = opts
+}
+
+// Evaluate runs Algorithm 1 for one candidate configuration over the shared
+// stream, exactly as Simulate(jobs, cfg, opts) would, and returns the scalar
+// summary. The result is a value: it stays valid across further Evaluate
+// calls.
+func (ev *Evaluator) Evaluate(cfg Config) (Summary, error) {
+	if err := ev.eng.Reset(cfg, 0); err != nil {
+		return Summary{}, err
+	}
+	if err := ev.eng.run(ev.jobs, ev.opts); err != nil {
+		return Summary{}, err
+	}
+	return ev.eng.FinishSummary(ev.eng.freeAt), nil
+}
+
+// Responses exposes the response sample of the most recent Evaluate call,
+// e.g. for tail inspection. It aliases evaluator-owned storage: the next
+// Evaluate or Release invalidates it.
+func (ev *Evaluator) Responses() *metrics.Sample { return &ev.eng.responses }
+
+// evaluatorPool recycles evaluators (and their engine buffers) across policy
+// selections, so the per-epoch decision loop settles into zero allocations.
+var evaluatorPool = sync.Pool{New: func() any { return new(Evaluator) }}
+
+// GetEvaluator returns a pooled evaluator bound to the given stream. Release
+// it with Release when done; one evaluator per goroutine.
+func GetEvaluator(jobs []Job, opts Options) *Evaluator {
+	ev := evaluatorPool.Get().(*Evaluator)
+	ev.SetStream(jobs, opts)
+	return ev
+}
+
+// Release drops the evaluator's stream reference (so the pool does not pin
+// caller job slices) and returns it to the pool; the internal buffers are
+// kept for the next GetEvaluator.
+func (ev *Evaluator) Release() {
+	ev.jobs = nil
+	ev.opts = Options{}
+	evaluatorPool.Put(ev)
 }

@@ -498,3 +498,23 @@ func TestSnapshotDeltas(t *testing.T) {
 		t.Errorf("energy did not increase")
 	}
 }
+
+// TestWarmupLongerThanRunKeepsFullSample pins the pre-existing guard: a
+// warm-up spanning the whole run (or more) leaves the sample untrimmed.
+func TestWarmupLongerThanRunKeepsFullSample(t *testing.T) {
+	jobs := []Job{
+		{Arrival: 0, Size: 5},
+		{Arrival: 10, Size: 1},
+	}
+	cfg := Config{Frequency: 1, FreqExponent: 1, ActivePower: 1, IdlePower: 1}
+	for _, warm := range []int{2, 3, 100} {
+		res, err := Simulate(jobs, cfg, Options{Warmup: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Jobs != 2 {
+			t.Errorf("Warmup=%d: jobs = %d, want full sample of 2", warm, res.Jobs)
+		}
+		approx(t, "mean response", res.MeanResponse, 3, 1e-12)
+	}
+}

@@ -75,8 +75,16 @@ type (
 	SimResult = queue.Result
 	// SimOptions tunes Simulate.
 	SimOptions = queue.Options
-	// Engine is the resumable simulator used for trace-driven runs.
+	// Engine is the resumable simulator used for trace-driven runs. Its
+	// Reset method rewinds it for a fresh run while keeping every internal
+	// buffer.
 	Engine = queue.Engine
+	// Evaluator is the reusable simulation kernel: it scores many candidate
+	// configurations against one shared job stream with zero steady-state
+	// allocations.
+	Evaluator = queue.Evaluator
+	// SimSummary is the scalar aggregate an Evaluator returns per candidate.
+	SimSummary = queue.Summary
 )
 
 // Simulate runs Algorithm 1: serve jobs (sorted by arrival) under cfg,
@@ -88,6 +96,12 @@ func Simulate(jobs []Job, cfg SimConfig, opts SimOptions) (SimResult, error) {
 // NewEngine returns a resumable simulator starting idle at time start.
 func NewEngine(cfg SimConfig, start float64) (*Engine, error) {
 	return queue.NewEngine(cfg, start)
+}
+
+// NewEvaluator returns a reusable evaluator that scores candidate
+// configurations against jobs (sorted by arrival) under opts.
+func NewEvaluator(jobs []Job, opts SimOptions) *Evaluator {
+	return queue.NewEvaluator(jobs, opts)
 }
 
 // Closed forms (paper Appendix).
@@ -307,6 +321,9 @@ type (
 	FarmResult = farm.Result
 	// Dispatcher routes arriving jobs across a farm's servers.
 	Dispatcher = farm.Dispatcher
+	// Preassigner marks dispatchers whose routing is independent of server
+	// state; RunFarm simulates their servers in parallel.
+	Preassigner = farm.Preassigner
 	// RoundRobin, RandomDispatch and JSQ are the provided dispatchers.
 	RoundRobin     = farm.RoundRobin
 	RandomDispatch = farm.Random
