@@ -217,6 +217,91 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Streaming workload subsystem benchmarks.
+
+// weekTrace is the streaming benchmarks' fixture: a full 7-day (10080-slot)
+// synthetic file-server week.
+func weekTrace(b *testing.B) *sleepscale.Trace {
+	b.Helper()
+	tr := sleepscale.FileServerTrace(7, 1)
+	if tr.Len() != 10080 {
+		b.Fatalf("week trace has %d slots, want 10080", tr.Len())
+	}
+	return tr
+}
+
+// BenchmarkStreamRunWeekTrace runs the full §6 evaluation loop over a 7-day
+// trace with the streaming job loop: B/op is the whole run's footprint and
+// stays independent of trace length (the job stream — hundreds of thousands
+// of jobs — is never materialized; only chunk and epoch buffers live).
+func BenchmarkStreamRunWeekTrace(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := weekTrace(b)
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	var jobs int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sleepscale.Run(sleepscale.RunnerConfig{
+			Stats:        stats,
+			FreqExponent: spec.FreqExponent,
+			Profile:      sleepscale.Xeon(),
+			Trace:        tr,
+			EpochSlots:   15,
+			Predictor:    sleepscale.NewNaivePredictor(),
+			Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+			Seed:         1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = rep.Jobs
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkStreamSourceSteadyState measures the streaming generator alone:
+// one op resets and fully re-drains the 7-day trace-driven source through a
+// reused chunk buffer. allocs/op must stay at 0 — CI gates the budget on it,
+// the streaming analogue of the evaluator's zero-allocation contract.
+func BenchmarkStreamSourceSteadyState(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := weekTrace(b)
+	src, err := sleepscale.NewTraceSource(stats, tr, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]sleepscale.Job, 256)
+	var jobs int
+	drain := func() int {
+		src.Reset(1)
+		n := 0
+		for {
+			k, ok := src.Next(buf)
+			n += k
+			if !ok {
+				return n
+			}
+		}
+	}
+	drain() // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs = drain()
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
 // BenchmarkPredictorLMSCUSUM measures one Algorithm 2 step.
 func BenchmarkPredictorLMSCUSUM(b *testing.B) {
 	lc, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)

@@ -1,7 +1,16 @@
-// Command benchsnap runs the policy-evaluation benchmark suite, writes a
-// machine-readable snapshot (BENCH_selection.json) so successive PRs have a
-// perf trajectory, and enforces an allocs/op budget on the steady-state
-// evaluation path — the zero-allocation contract of the simulation kernel.
+// Command benchsnap runs a benchmark suite, writes a machine-readable
+// snapshot so successive PRs have a perf trajectory, and enforces an
+// allocs/op budget on the suite's steady-state path.
+//
+// CI runs it twice: once with the defaults for the policy-evaluation suite
+// (BENCH_selection.json, gating the Evaluator/Engine zero-allocation
+// contract) and once for the streaming workload subsystem —
+//
+//	go run ./cmd/benchsnap -bench 'StreamRunWeekTrace$|StreamSourceSteadyState$' \
+//	    -budget-bench 'StreamSourceSteadyState$' -out BENCH_stream.json
+//
+// — gating the streaming generator's run loop at 0 allocs/op and recording
+// the week-long-trace run's footprint.
 //
 // Usage:
 //

@@ -38,6 +38,8 @@ func main() {
 		evalJobs      = flag.Int("evaljobs", 1500, "bootstrap jobs per policy selection")
 		seed          = flag.Int64("seed", 1, "seed")
 		verbose       = flag.Bool("v", false, "print per-epoch decisions")
+		streaming     = flag.Bool("stream", false, "pull jobs from an explicit streaming source (bounded job-buffer memory; bit-identical to the default path)")
+		burst         = flag.String("burst", "none", "overlay a bursty arrival source on the trace stream: none, mmpp or flash (implies -stream)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep, err := sleepscale.Run(sleepscale.RunnerConfig{
+	cfg := sleepscale.RunnerConfig{
 		Stats:        stats,
 		FreqExponent: spec.FreqExponent,
 		Profile:      sleepscale.Xeon(),
@@ -75,9 +77,22 @@ func main() {
 		Predictor:    pred,
 		Strategy:     strat,
 		Seed:         *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	var rep sleepscale.RunReport
+	if *streaming || *burst != "none" {
+		src, err := buildSource(stats, tr, *burst, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err = sleepscale.RunSource(cfg, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rep, err = sleepscale.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("strategy=%s predictor=%s T=%dmin α=%.2f workload=%s trace=%s (%d slots)\n",
@@ -106,6 +121,51 @@ func main() {
 				e.Index, e.Predicted, e.Realized, e.Policy, e.Jobs, e.MeanDelay)
 		}
 	}
+}
+
+// buildSource assembles the streaming job source: the trace-driven
+// generator (seeded like the default path, so -stream alone reproduces it
+// bit for bit), optionally merged with a bursty overlay.
+func buildSource(stats sleepscale.Stats, tr *sleepscale.Trace, burst string, seed int64) (sleepscale.StreamSource, error) {
+	src, err := sleepscale.NewTraceSource(stats, tr, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch burst {
+	case "none":
+		return src, nil
+	case "mmpp":
+		// On/off bursts at twice the workload's native rate, ~5 min on,
+		// ~20 min off.
+		overlay, err := sleepscale.NewMMPPSource(sleepscale.MMPPConfig{
+			OnRate:  2 / stats.Inter.Mean(),
+			OffRate: 0,
+			MeanOn:  300,
+			MeanOff: 1200,
+			Size:    stats.Size,
+			Horizon: tr.Duration(),
+		}, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		return sleepscale.MergeSources(src, overlay), nil
+	case "flash":
+		// Flash crowds: ~hourly onsets spiking to 9× a light base rate,
+		// decaying over ~2 minutes.
+		overlay, err := sleepscale.NewFlashCrowdSource(sleepscale.FlashCrowdConfig{
+			BaseRate:   0.2 / stats.Inter.Mean(),
+			SpikeEvery: 3600,
+			Peak:       8,
+			Decay:      120,
+			Size:       stats.Size,
+			Horizon:    tr.Duration(),
+		}, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		return sleepscale.MergeSources(src, overlay), nil
+	}
+	return nil, fmt.Errorf("unknown burst overlay %q", burst)
 }
 
 func specByName(name string) (sleepscale.Spec, error) {

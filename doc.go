@@ -69,12 +69,42 @@
 //     order so the outcome is bit-identical to sequential dispatch.
 //   - SimulateMultiCore recycles whole k-core simulators through an internal
 //     pool; MultiCoreSimulator.Reset supports the same reuse directly.
+//   - RunFarm's preassigned parallel path draws its routing and bucketing
+//     scratch (including the job-stream-sized backing array) from a shared
+//     pool, so repeated scale-out sweeps settle into steady-state reuse;
+//     engines stay per-call, so results never alias pooled storage.
 //
 // CI enforces the contract: cmd/benchsnap fails the build when the
 // steady-state benchmarks (BenchmarkEvaluatorSteadyState,
 // BenchmarkEngineThroughput) report any allocs/op, and writes the
 // BENCH_selection.json perf-trajectory snapshot.
 //
-// See examples/ for runnable programs and internal/experiments for the
+// # Streaming workloads
+//
+// Job streams need not be materialized. The streaming workload subsystem
+// (internal/stream) provides pull-based sources that deliver
+// arrival-ordered jobs in bounded chunks with zero steady-state
+// allocations, so week-long traces run in O(chunk) job-buffer memory:
+//
+//   - Run streams its trace-driven jobs from the incremental generator
+//     behind Stats.TraceJobs — one generation core, two drivers, so the
+//     streamed and materialized streams are bit-identical for equal seeds.
+//   - RunSource accepts any StreamSource: NewTraceSource,
+//     NewCSVTraceSource (row-at-a-time CSV replay), NewStationarySource,
+//     and the scenario generators NewMMPPSource (on/off bursts),
+//     NewFlashCrowdSource (spike-and-decay overlays) and NewDiurnalSource
+//     (sinusoidal modulation).
+//   - MergeSources, ScaleRateSource and SpliceSources compose sources into
+//     scenarios (a trace baseline plus a burst overlay, a mid-week flash
+//     crowd); Reset(seed) replays any composition deterministically.
+//   - SimulateSource and RunFarmSources are the streaming counterparts of
+//     Simulate and RunFarm (one source per server).
+//
+// CI gates the streaming loop too: BenchmarkStreamSourceSteadyState must
+// report 0 allocs/op, and BenchmarkStreamRunWeekTrace records a full 7-day
+// streamed run in BENCH_stream.json.
+//
+// See examples/ for runnable programs (examples/week-long drives a 7-day
+// trace through the streaming loop) and internal/experiments for the
 // harness that regenerates every table and figure in the paper.
 package sleepscale

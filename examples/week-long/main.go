@@ -1,0 +1,114 @@
+// Example week-long: run a full 7-day (10080-slot) utilization trace
+// through the streaming evaluation loop. The job stream — a few hundred
+// thousand jobs — is never materialized: jobs are pulled from the
+// incremental trace generator in 256-job chunks, so peak job-buffer memory
+// is independent of trace length. The demo then replays the same week
+// through the materialized path (stream.Slice over the full TraceJobs
+// slice) to show the two are bit-identical, and finishes with a composed
+// scenario: the trace baseline spliced into a flash-crowd afternoon.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"sleepscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("week-long: ")
+
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sleepscale.FileServerTrace(7, 1) // 7 days, 10080 minute slots
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg := sleepscale.RunnerConfig{
+		Stats:        stats,
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   15,
+		Predictor:    sleepscale.NewNaivePredictor(),
+		Strategy:     sleepscale.NewStaticStrategy(pol, "R2H(C6)"),
+		Seed:         1,
+	}
+
+	// 1. Streamed: the default Run pulls jobs chunk by chunk.
+	streamedAlloc, streamed := measure(func() sleepscale.RunReport {
+		rep, err := sleepscale.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	})
+	fmt.Printf("streamed week     %d jobs, %.4f s mean response, %.1f W, %.1f MB allocated\n",
+		streamed.Jobs, streamed.MeanResponse, streamed.AvgPower, streamedAlloc)
+
+	// 2. Materialized: the whole week's job stream up front, through the
+	// slice adapter. Same epoch accounting, same numbers, more memory.
+	materializedAlloc, materialized := measure(func() sleepscale.RunReport {
+		src, err := sleepscale.NewTraceSource(stats, tr, cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs, err := sleepscale.CollectSource(src, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sleepscale.RunSource(cfg, sleepscale.SliceSource(jobs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	})
+	fmt.Printf("materialized week %d jobs, %.4f s mean response, %.1f W, %.1f MB allocated\n",
+		materialized.Jobs, materialized.MeanResponse, materialized.AvgPower, materializedAlloc)
+	if streamed.Jobs != materialized.Jobs || streamed.Energy != materialized.Energy ||
+		streamed.MeanResponse != materialized.MeanResponse {
+		log.Fatal("streamed and materialized runs diverged")
+	}
+	fmt.Println("streamed == materialized: bit-identical epoch metrics")
+
+	// 3. Scenario composition: the same trace baseline until mid-week, then
+	// a flash-crowd regime — arrival shapes a fixed trace cannot express.
+	base, err := sleepscale.NewTraceSource(stats, tr, cfg.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crowd, err := sleepscale.NewFlashCrowdSource(sleepscale.FlashCrowdConfig{
+		BaseRate:   0.3 / stats.Inter.Mean(),
+		SpikeEvery: 3 * 3600,
+		Peak:       10,
+		Decay:      300,
+		Size:       stats.Size,
+		Horizon:    tr.Duration() / 2,
+	}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spliced, err := sleepscale.SpliceSources(base, tr.Duration()/2, crowd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, err := sleepscale.RunSource(cfg, spliced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flash-crowd week  %d jobs, %.4f s mean response, %.1f W\n",
+		scenario.Jobs, scenario.MeanResponse, scenario.AvgPower)
+}
+
+// measure reports the MB allocated while fn runs, alongside its result.
+func measure(fn func() sleepscale.RunReport) (float64, sleepscale.RunReport) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	rep := fn()
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20), rep
+}

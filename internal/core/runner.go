@@ -10,6 +10,7 @@ import (
 	"sleepscale/internal/power"
 	"sleepscale/internal/predict"
 	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
 	"sleepscale/internal/trace"
 	"sleepscale/internal/workload"
 )
@@ -129,18 +130,59 @@ func (r *RunReport) PlanFractions() map[string]float64 {
 // the predictor. Queue backlog carries across epoch boundaries, so
 // under-prediction shows up as delay in later epochs exactly as §5.2.3
 // describes.
+//
+// The job stream is never materialized: Run streams it from the
+// workload.TraceGen incremental generator (seeded with cfg.Seed, so the
+// stream is bit-identical to Stats.TraceJobs under the same seed) through
+// RunSource, keeping peak job-buffer memory independent of trace length. A
+// pre-generated slice runs through RunSource(cfg, stream.Slice(jobs)).
 func Run(cfg RunnerConfig) (RunReport, error) {
-	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
-		return RunReport{}, fmt.Errorf("core: runner needs a non-empty trace")
-	}
-	if err := cfg.Trace.Validate(); err != nil {
+	// Validate before touching cfg.Stats, so configuration mistakes stay
+	// errors rather than nil-distribution panics in the generator.
+	if err := validateRunner(cfg); err != nil {
 		return RunReport{}, err
 	}
+	if cfg.Stats.Inter == nil || cfg.Stats.Size == nil {
+		return RunReport{}, fmt.Errorf("core: runner needs workload stats to generate the job stream")
+	}
+	src, err := cfg.Stats.NewTraceGen(cfg.Trace.Utilization, cfg.Trace.SlotSeconds, cfg.Seed)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("core: job stream: %w", err)
+	}
+	return RunSource(cfg, src)
+}
+
+// validateRunner is the configuration check shared by Run and RunSource.
+func validateRunner(cfg RunnerConfig) error {
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return fmt.Errorf("core: runner needs a non-empty trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return err
+	}
 	if cfg.EpochSlots < 1 {
-		return RunReport{}, fmt.Errorf("core: epoch slots %d < 1", cfg.EpochSlots)
+		return fmt.Errorf("core: epoch slots %d < 1", cfg.EpochSlots)
 	}
 	if cfg.Predictor == nil || cfg.Strategy == nil {
-		return RunReport{}, fmt.Errorf("core: runner needs a predictor and a strategy")
+		return fmt.Errorf("core: runner needs a predictor and a strategy")
+	}
+	return nil
+}
+
+// RunSource is the streaming evaluation loop: identical epoch accounting to
+// Run, with jobs pulled from src in bounded chunks — any stream.Source (a
+// CSV replay, an MMPP burst overlay merged onto a trace, a flash-crowd
+// scenario) drives the full runtime. cfg.Stats is not consulted; the trace
+// still drives epoch boundaries and the predictor's observations. The
+// source is consumed from its current position (Reset it first for
+// reproducibility); cfg.Seed seeds only the strategy's bootstrap
+// randomness. Jobs arriving at or after the trace's end are left unread.
+func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
+	if err := validateRunner(cfg); err != nil {
+		return RunReport{}, err
+	}
+	if src == nil {
+		return RunReport{}, fmt.Errorf("core: runner needs a job source")
 	}
 	windowEpochs := cfg.WindowEpochs
 	if windowEpochs <= 0 {
@@ -151,9 +193,7 @@ func Run(cfg RunnerConfig) (RunReport, error) {
 		return RunReport{}, err
 	}
 
-	genRng := rand.New(rand.NewSource(cfg.Seed))
 	decideRng := rand.New(rand.NewSource(cfg.Seed + 0x5157))
-	jobs := cfg.Stats.TraceJobs(cfg.Trace.Utilization, cfg.Trace.SlotSeconds, genRng)
 
 	report := RunReport{
 		Strategy:   cfg.Strategy.Name(),
@@ -173,6 +213,14 @@ func Run(cfg RunnerConfig) (RunReport, error) {
 	// epoch instead of reallocated.
 	var epochDelays metrics.Sample
 	report.Epochs = make([]EpochRecord, 0, nEpochs)
+
+	// The chunk cursor and the per-epoch job log are the run's only job
+	// buffers: one chunk of lookahead plus one epoch of arrivals, however
+	// long the trace.
+	buf := make([]queue.Job, stream.DefaultChunk)
+	bufPos, bufN := 0, 0
+	exhausted := false
+	var epochJobs []queue.Job
 
 	for e := 0; e < nEpochs; e++ {
 		startSlot := e * cfg.EpochSlots
@@ -208,18 +256,40 @@ func Run(cfg RunnerConfig) (RunReport, error) {
 			return RunReport{}, fmt.Errorf("core: epoch %d switch: %w", e, err)
 		}
 
-		// Serve this epoch's arrivals.
+		// Serve this epoch's arrivals from the chunk cursor.
 		epochDelays.Reset()
-		epochFirst := jobIdx
-		for jobIdx < len(jobs) && jobs[jobIdx].Arrival < epochEnd {
-			resp, err := eng.Process(jobs[jobIdx])
+		epochJobs = epochJobs[:0]
+		for {
+			if bufPos == bufN {
+				if exhausted {
+					break
+				}
+				n, ok := src.Next(buf)
+				bufPos, bufN = 0, n
+				if !ok {
+					exhausted = true
+				}
+				if n == 0 {
+					if exhausted {
+						break
+					}
+					continue
+				}
+			}
+			j := buf[bufPos]
+			if j.Arrival >= epochEnd {
+				break
+			}
+			resp, err := eng.Process(j)
 			if err != nil {
 				return RunReport{}, fmt.Errorf("core: epoch %d job %d: %w", e, jobIdx, err)
 			}
 			epochDelays.Add(resp)
+			epochJobs = append(epochJobs, j)
+			bufPos++
 			jobIdx++
 		}
-		window.Push(eventlog.FromJobs(jobs[epochFirst:jobIdx], epochStart))
+		window.Push(eventlog.FromJobs(epochJobs, epochStart))
 
 		// Feed the predictor the realized utilization of each slot.
 		var realized float64
@@ -243,6 +313,9 @@ func Run(cfg RunnerConfig) (RunReport, error) {
 		freqSum += pol.Frequency
 	}
 
+	if err := stream.Err(src); err != nil {
+		return RunReport{}, fmt.Errorf("core: job source: %w", err)
+	}
 	res, err := eng.Finish(cfg.Trace.Duration())
 	if err != nil {
 		return RunReport{}, err

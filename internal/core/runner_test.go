@@ -1,13 +1,18 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"sleepscale/internal/eventlog"
 	"sleepscale/internal/policy"
 	"sleepscale/internal/power"
 	"sleepscale/internal/predict"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
 	"sleepscale/internal/trace"
 	"sleepscale/internal/workload"
 )
@@ -143,6 +148,13 @@ func TestRunValidatesConfig(t *testing.T) {
 	if _, err := Run(c); err == nil {
 		t.Error("invalid trace accepted")
 	}
+	// A zero-value Stats must surface as an error, not a nil-distribution
+	// panic inside the streaming generator.
+	c = good
+	c.Stats = workload.Stats{}
+	if _, err := Run(c); err == nil {
+		t.Error("empty workload stats accepted")
+	}
 }
 
 func TestRunDeterministicInSeed(t *testing.T) {
@@ -255,3 +267,163 @@ func (s *managerStrategyForTest) Decide(in DecideInput) (policy.Policy, error) {
 }
 
 var _ = eventlog.Epoch{} // keep the import for documentation clarity
+
+// goldenTrace is the equivalence tests' fixture: a slice of the synthetic
+// email-store day, wide-ranging enough to exercise variable per-slot rates.
+func goldenTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.EmailStore(1, 3).DailyWindow(120, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// requireReportsIdentical pins two runs to bit-identical epoch metrics and
+// aggregates — the streamed/materialized equivalence contract.
+func requireReportsIdentical(t *testing.T, got, want RunReport) {
+	t.Helper()
+	if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse ||
+		got.P95Response != want.P95Response || got.AvgPower != want.AvgPower ||
+		got.Energy != want.Energy || got.Duration != want.Duration ||
+		got.MeanFrequency != want.MeanFrequency {
+		t.Fatalf("aggregates diverge:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Epochs) != len(want.Epochs) {
+		t.Fatalf("epochs: %d vs %d", len(got.Epochs), len(want.Epochs))
+	}
+	for i := range got.Epochs {
+		if !reflect.DeepEqual(got.Epochs[i], want.Epochs[i]) {
+			t.Fatalf("epoch %d diverges:\n got %+v\nwant %+v", i, got.Epochs[i], want.Epochs[i])
+		}
+	}
+	if !reflect.DeepEqual(got.PlanEpochs, want.PlanEpochs) {
+		t.Fatalf("plan usage diverges: %v vs %v", got.PlanEpochs, want.PlanEpochs)
+	}
+}
+
+// TestRunStreamedMatchesMaterialized is the subsystem's core equivalence
+// claim: the streaming Run (jobs pulled chunk by chunk from the incremental
+// generator) reproduces a run over the fully materialized TraceJobs stream
+// bit for bit, on the golden trace, for both a static and a switching
+// strategy.
+func TestRunStreamedMatchesMaterialized(t *testing.T) {
+	tr := goldenTrace(t)
+	strategies := map[string]func() Strategy{
+		"static": func() Strategy {
+			return &staticStrategy{pol: policy.Policy{
+				Frequency: 0.7, Plan: policy.SingleState(power.DeepSleep)}}
+		},
+		"switching": func() Strategy {
+			return &switchingStrategy{plans: []policy.Policy{
+				{Frequency: 1, Plan: policy.SingleState(power.OperatingIdle)},
+				{Frequency: 0.6, Plan: policy.SingleState(power.DeeperSleep)},
+			}}
+		},
+	}
+	for name, mk := range strategies {
+		t.Run(name, func(t *testing.T) {
+			cfg := runnerConfig(t, mk(), tr, 5)
+			streamed, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Materialized path: the full TraceJobs slice through the
+			// stream.Slice adapter, with the generator's exact seeding.
+			cfg2 := runnerConfig(t, mk(), tr, 5)
+			jobs := cfg2.Stats.TraceJobs(tr.Utilization, tr.SlotSeconds,
+				rand.New(rand.NewSource(cfg2.Seed)))
+			if len(jobs) == 0 {
+				t.Fatal("no jobs in materialized stream")
+			}
+			materialized, err := RunSource(cfg2, stream.Slice(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Jobs != len(jobs) {
+				t.Fatalf("streamed run served %d jobs, materialized stream has %d",
+					streamed.Jobs, len(jobs))
+			}
+			requireReportsIdentical(t, streamed, materialized)
+		})
+	}
+}
+
+// TestRunSourceScenario drives the runner from a composed scenario source
+// (trace baseline merged with an MMPP burst overlay) — the bursty shapes
+// the fixed-trace path cannot express.
+func TestRunSourceScenario(t *testing.T) {
+	tr := goldenTrace(t)
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)}
+	cfg := runnerConfig(t, &staticStrategy{pol: pol}, tr, 5)
+
+	base, err := cfg.Stats.NewTraceGen(tr.Utilization, tr.SlotSeconds, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := RunSource(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := runnerConfig(t, &staticStrategy{pol: pol}, tr, 5)
+	base2, err := cfg2.Stats.NewTraceGen(tr.Utilization, tr.SlotSeconds, cfg2.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := stream.NewMMPP(stream.MMPPConfig{
+		OnRate: 2, OffRate: 0, MeanOn: 300, MeanOff: 1200,
+		Size: cfg2.Stats.Size, Horizon: tr.Duration(),
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBurst, err := RunSource(cfg2, stream.Merge(base2, burst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBurst.Jobs <= baseline.Jobs {
+		t.Fatalf("burst overlay added no jobs: %d vs %d", withBurst.Jobs, baseline.Jobs)
+	}
+	if withBurst.Energy <= baseline.Energy {
+		t.Errorf("burst overlay added no energy: %g vs %g", withBurst.Energy, baseline.Energy)
+	}
+}
+
+// failingSource delivers a few jobs then fails, checking RunSource surfaces
+// deferred source errors instead of silently truncating the run.
+type failingSource struct {
+	n   int
+	err error
+}
+
+func (f *failingSource) Next(buf []queue.Job) (int, bool) {
+	n := 0
+	for n < len(buf) && f.n < 5 {
+		buf[n] = queue.Job{Arrival: float64(f.n), Size: 0.01}
+		f.n++
+		n++
+	}
+	return n, f.n < 5
+}
+func (f *failingSource) Reset(int64) { f.n = 0 }
+func (f *failingSource) Err() error  { return f.err }
+
+func TestRunSourceSurfacesSourceError(t *testing.T) {
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)}
+	tr := shortTrace(4, 0.2)
+	cfg := runnerConfig(t, &staticStrategy{pol: pol}, tr, 2)
+	src := &failingSource{err: errTest}
+	if _, err := RunSource(cfg, src); err == nil {
+		t.Fatal("source error not surfaced")
+	}
+	src = &failingSource{}
+	if _, err := RunSource(cfg, src); err != nil {
+		t.Fatalf("clean source rejected: %v", err)
+	}
+	if _, err := RunSource(cfg, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+var errTest = fmt.Errorf("synthetic stream failure")

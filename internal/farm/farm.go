@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
 )
 
 // Dispatcher routes each arriving job to one of k servers.
@@ -184,15 +185,20 @@ func (f *Farm) Finish(at float64) (Result, error) {
 // last departure across servers. When the dispatcher routes independently of
 // server state (it implements Preassigner), the per-server substreams are
 // simulated in parallel — each server's engine driven by one worker — and
-// merged in server order, reproducing the sequential result exactly. (All k
-// engines stay alive until the merge, so this path allocates per server; the
-// zero-allocation reuse contract covers Engine/Evaluator, not farms.)
+// merged in server order, reproducing the sequential result exactly. The
+// parallel path draws its routing and bucketing scratch (the job-stream-sized
+// backing array included) from a shared pool, so repeated scale-out sweeps
+// settle into steady-state reuse; engines stay per-call, so returned
+// Results never alias pooled storage.
 func Run(k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) (Result, error) {
 	if pre, ok := disp.(Preassigner); ok && k > 1 && len(jobs) > 0 {
 		if err := cfg.Validate(); err != nil {
 			return Result{}, err
 		}
-		return runPreassigned(k, cfg, disp, pre, jobs)
+		sc := scratchPool.Get().(*runScratch)
+		res, err := sc.runPreassigned(k, cfg, disp, pre, jobs)
+		scratchPool.Put(sc)
+		return res, err
 	}
 	f, err := New(k, cfg, disp)
 	if err != nil {
@@ -203,44 +209,89 @@ func Run(k int, cfg queue.Config, disp Dispatcher, jobs []queue.Job) (Result, er
 			return Result{}, fmt.Errorf("farm: job %d: %w", i, err)
 		}
 	}
+	return f.Finish(lastFree(f.engines))
+}
+
+// lastFree reports the latest departure across engines.
+func lastFree(engines []*queue.Engine) float64 {
 	last := 0.0
-	for _, eng := range f.engines {
+	for _, eng := range engines {
 		if t := eng.FreeAt(); t > last {
 			last = t
 		}
 	}
-	return f.Finish(last)
+	return last
+}
+
+// runScratch is the reusable state of one preassigned parallel run: the
+// routing table, the bucketed substreams' backing array and the per-server
+// counters. Pooling it takes the per-call bucketing allocation out of
+// repeated scale-out sweeps — the farm-level counterpart of the queue
+// package's evaluator pool. Engines are deliberately NOT pooled: the
+// returned Result.PerServer[i].Responses alias engine samples, and pooled
+// engines would let a later (or concurrent) Run corrupt results a caller
+// still holds.
+type runScratch struct {
+	assign  []int
+	offsets []int
+	fill    []int
+	perSrv  []int
+	backing []queue.Job
+	errs    []error
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// resizeInts returns s with length n, reusing capacity; contents are
+// unspecified (callers overwrite).
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // runPreassigned is Run's parallel path: route every job up front, simulate
 // each server's substream concurrently, then aggregate in server order so the
 // merge is deterministic and bit-identical to the sequential dispatch.
-func runPreassigned(k int, cfg queue.Config, disp Dispatcher, pre Preassigner, jobs []queue.Job) (Result, error) {
-	assign := make([]int, len(jobs))
-	pre.Preassign(k, jobs, assign)
+func (sc *runScratch) runPreassigned(k int, cfg queue.Config, disp Dispatcher, pre Preassigner, jobs []queue.Job) (Result, error) {
+	sc.assign = resizeInts(sc.assign, len(jobs))
+	pre.Preassign(k, jobs, sc.assign)
 
-	perSrv := make([]int, k)
-	for _, s := range assign {
+	sc.perSrv = resizeInts(sc.perSrv, k)
+	for s := range sc.perSrv {
+		sc.perSrv[s] = 0
+	}
+	for _, s := range sc.assign {
 		if s < 0 || s >= k {
 			return Result{}, fmt.Errorf("farm: dispatcher %s picked server %d of %d", disp.Name(), s, k)
 		}
-		perSrv[s]++
+		sc.perSrv[s]++
 	}
 	// Bucket the stream into per-server substreams sharing one backing array,
 	// preserving arrival order within each server.
-	backing := make([]queue.Job, len(jobs))
-	offsets := make([]int, k+1)
-	for s := 0; s < k; s++ {
-		offsets[s+1] = offsets[s] + perSrv[s]
+	if cap(sc.backing) < len(jobs) {
+		sc.backing = make([]queue.Job, len(jobs))
 	}
-	fill := append([]int(nil), offsets[:k]...)
-	for i, s := range assign {
-		backing[fill[s]] = jobs[i]
-		fill[s]++
+	sc.backing = sc.backing[:len(jobs)]
+	sc.offsets = resizeInts(sc.offsets, k+1)
+	sc.offsets[0] = 0
+	for s := 0; s < k; s++ {
+		sc.offsets[s+1] = sc.offsets[s] + sc.perSrv[s]
+	}
+	sc.fill = resizeInts(sc.fill, k)
+	copy(sc.fill, sc.offsets[:k])
+	for i, s := range sc.assign {
+		sc.backing[sc.fill[s]] = jobs[i]
+		sc.fill[s]++
 	}
 
 	engines := make([]*queue.Engine, k)
-	errs := make([]error, k)
+	sc.errs = sc.errs[:0]
+	for s := 0; s < k; s++ {
+		sc.errs = append(sc.errs, nil)
+	}
+	errs := sc.errs
 	workers := runtime.GOMAXPROCS(0)
 	if workers > k {
 		workers = k
@@ -266,7 +317,7 @@ func runPreassigned(k int, cfg queue.Config, disp Dispatcher, pre Preassigner, j
 					continue
 				}
 				engines[s] = eng
-				sub := backing[offsets[s]:offsets[s+1]]
+				sub := sc.backing[sc.offsets[s]:sc.offsets[s+1]]
 				for i := range sub {
 					if _, err := eng.Process(sub[i]); err != nil {
 						errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, i, err)
@@ -283,14 +334,94 @@ func runPreassigned(k int, cfg queue.Config, disp Dispatcher, pre Preassigner, j
 		}
 	}
 
-	last := 0.0
-	for _, eng := range engines {
-		if t := eng.FreeAt(); t > last {
-			last = t
-		}
-	}
 	// Merge through the same Farm.Finish the sequential path uses, so the
 	// aggregation can never diverge between the two.
-	f := &Farm{engines: engines, disp: disp, perSrv: perSrv}
-	return f.Finish(last)
+	f := &Farm{engines: engines, disp: disp, perSrv: sc.perSrv}
+	return f.Finish(lastFree(engines))
+}
+
+// RunSources runs one server per source: server i serves exactly the jobs
+// srcs[i] delivers, the routing having been decided by construction (a
+// sharded trace, per-server scenario generators). Servers simulate in
+// parallel, each pulling bounded chunks, and aggregate deterministically in
+// server order. Sources are consumed from their current position; sources
+// exposing Err() error surface their failure. Like Run's preassigned path,
+// per-server job-buffer memory is one chunk, so week-long per-server
+// streams run in O(k·chunk).
+func RunSources(cfg queue.Config, srcs []queue.JobSource) (Result, error) {
+	k := len(srcs)
+	if k < 1 {
+		return Result{}, fmt.Errorf("farm: no job sources")
+	}
+	for s, src := range srcs {
+		if src == nil {
+			return Result{}, fmt.Errorf("farm: nil job source for server %d", s)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	engines := make([]*queue.Engine, k)
+	perSrv := make([]int, k)
+	errs := make([]error, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf [stream.DefaultChunk]queue.Job
+			for {
+				mu.Lock()
+				s := next
+				next++
+				mu.Unlock()
+				if s >= k {
+					return
+				}
+				eng, err := queue.NewEngine(cfg, 0)
+				if err != nil {
+					errs[s] = err
+					continue
+				}
+				engines[s] = eng
+				src := srcs[s]
+				served := 0
+				for errs[s] == nil {
+					n, ok := src.Next(buf[:])
+					for i := 0; i < n; i++ {
+						if _, err := eng.Process(buf[i]); err != nil {
+							errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, served+i, err)
+							break
+						}
+					}
+					served += n
+					if !ok {
+						break
+					}
+				}
+				perSrv[s] = served
+				if errs[s] == nil {
+					if es, ok := src.(interface{ Err() error }); ok {
+						if err := es.Err(); err != nil {
+							errs[s] = fmt.Errorf("farm: server %d source: %w", s, err)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	f := &Farm{engines: engines, perSrv: perSrv}
+	return f.Finish(lastFree(engines))
 }

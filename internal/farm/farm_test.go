@@ -1,8 +1,10 @@
 package farm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"sleepscale/internal/queue"
@@ -319,5 +321,118 @@ func TestRunParallelRejectsBadPreassign(t *testing.T) {
 	jobs := expJobs(100, 8, 5, 5)
 	if _, err := Run(3, testCfg(), &badPreassigner{}, jobs); err == nil {
 		t.Fatal("out-of-range preassignment accepted")
+	}
+}
+
+// sliceSource adapts a job slice to queue.JobSource for RunSources tests.
+type sliceSource struct {
+	jobs []queue.Job
+	pos  int
+}
+
+func (s *sliceSource) Next(buf []queue.Job) (int, bool) {
+	n := copy(buf, s.jobs[s.pos:])
+	s.pos += n
+	return n, s.pos < len(s.jobs)
+}
+
+// TestRunSourcesMatchesPreassigned: feeding each server its round-robin
+// substream as a source must reproduce the dispatched run bit for bit — the
+// sources are just a streamed expression of the same routing.
+func TestRunSourcesMatchesPreassigned(t *testing.T) {
+	jobs := expJobs(30000, 8, 5, 11)
+	const k = 4
+	want, err := Run(k, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([][]queue.Job, k)
+	for i, j := range jobs {
+		subs[i%k] = append(subs[i%k], j)
+	}
+	srcs := make([]queue.JobSource, k)
+	for s := range srcs {
+		srcs[s] = &sliceSource{jobs: subs[s]}
+	}
+	got, err := RunSources(testCfg(), srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsEqual(t, got, want)
+}
+
+func TestRunSourcesValidation(t *testing.T) {
+	if _, err := RunSources(testCfg(), nil); err == nil {
+		t.Error("empty source list accepted")
+	}
+	if _, err := RunSources(queue.Config{}, []queue.JobSource{&sliceSource{}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := RunSources(testCfg(), []queue.JobSource{&sliceSource{}, nil}); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+// failingFarmSource exposes a deferred error.
+type failingFarmSource struct{ sliceSource }
+
+func (f *failingFarmSource) Err() error { return errSynthetic }
+
+var errSynthetic = fmt.Errorf("synthetic farm source failure")
+
+func TestRunSourcesSurfacesSourceError(t *testing.T) {
+	srcs := []queue.JobSource{
+		&sliceSource{jobs: expJobs(10, 8, 5, 1)},
+		&failingFarmSource{sliceSource{jobs: expJobs(10, 8, 5, 2)}},
+	}
+	if _, err := RunSources(testCfg(), srcs); err == nil {
+		t.Fatal("source error not surfaced")
+	}
+}
+
+// TestPooledScratchStableAcrossRuns: the preassigned path's pooled scratch
+// and engines must not leak state between runs — repeated identical runs
+// stay bit-identical, including after an interleaved differently-shaped run.
+func TestPooledScratchStableAcrossRuns(t *testing.T) {
+	jobs := expJobs(20000, 8, 5, 21)
+	first, err := Run(4, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different shape in between re-dirties the pooled buffers.
+	if _, err := Run(7, testCfg(), &RoundRobin{}, jobs[:5000]); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(4, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsEqual(t, again, first)
+}
+
+// TestPooledScratchConcurrentRuns exercises pool handout under the race
+// detector: concurrent preassigned runs must not share scratch.
+func TestPooledScratchConcurrentRuns(t *testing.T) {
+	jobs := expJobs(8000, 8, 5, 31)
+	want, err := Run(3, testCfg(), &RoundRobin{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	results := make([]Result, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = Run(3, testCfg(), &RoundRobin{}, jobs)
+		}(g)
+	}
+	wg.Wait()
+	for g := range errs {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		requireResultsEqual(t, results[g], want)
 	}
 }

@@ -508,6 +508,51 @@ func Simulate(jobs []Job, cfg Config, opts Options) (Result, error) {
 	return eng.Finish(eng.freeAt)
 }
 
+// JobSource is the minimal pull interface the streaming drivers consume: it
+// fills buf with the next jobs in non-decreasing arrival order, returning
+// the count and whether more may follow (the stream package's Source
+// satisfies it). Sources that can fail mid-stream expose Err() error, which
+// the drivers check after exhaustion.
+type JobSource interface {
+	Next(buf []Job) (n int, ok bool)
+}
+
+// sourceChunk sizes the drivers' pull buffers: the job-stream memory
+// high-water mark of a streamed run, independent of stream length.
+const sourceChunk = 256
+
+// SimulateSource is Simulate for streams that are never materialized: it
+// serves jobs pulled from src in chunk-sized batches under cfg, starting
+// idle at time 0 and ending the measurement at the last departure. Peak
+// job-buffer memory is one chunk regardless of stream length.
+func SimulateSource(src JobSource, cfg Config, opts Options) (Result, error) {
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	var buf [sourceChunk]Job
+	served := 0
+	for {
+		n, ok := src.Next(buf[:])
+		for i := 0; i < n; i++ {
+			if _, err := eng.Process(buf[i]); err != nil {
+				return Result{}, fmt.Errorf("job %d: %w", served+i, err)
+			}
+		}
+		served += n
+		if !ok {
+			break
+		}
+	}
+	if es, ok := src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return Result{}, fmt.Errorf("queue: job source: %w", err)
+		}
+	}
+	eng.trimWarmup(opts)
+	return eng.Finish(eng.freeAt)
+}
+
 // run feeds a whole sorted stream through the engine and applies the warm-up
 // trim. The engine must be freshly constructed or Reset.
 func (e *Engine) run(jobs []Job, opts Options) error {
@@ -516,14 +561,19 @@ func (e *Engine) run(jobs []Job, opts Options) error {
 			return fmt.Errorf("job %d: %w", i, err)
 		}
 	}
-	// Sample keeps insertion order regardless of percentile queries, so
-	// trimming the front is always the first Warmup responses. A warm-up
-	// longer than the run keeps the full sample (there is nothing after the
-	// transient to measure).
+	e.trimWarmup(opts)
+	return nil
+}
+
+// trimWarmup applies the warm-up trim shared by the materialized and
+// streamed drivers. Sample keeps insertion order regardless of percentile
+// queries, so trimming the front is always the first Warmup responses. A
+// warm-up longer than the run keeps the full sample (there is nothing after
+// the transient to measure).
+func (e *Engine) trimWarmup(opts Options) {
 	if opts.Warmup > 0 && opts.Warmup < e.responses.Count() {
 		e.responses.TrimFront(opts.Warmup)
 	}
-	return nil
 }
 
 // Evaluator is the reusable simulation kernel for candidate-policy scoring:

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"sleepscale/internal/queue"
+)
+
+// mergeSeedStride derives per-child seeds on a combinator Reset (a
+// golden-ratio odd constant; wraparound is fine, distinctness is the point).
+const mergeSeedStride int64 = 0x2545F4914F6CDD1D
+
+// Merge interleaves sources into one arrival-ordered stream, buffering one
+// chunk per operand (O(k·chunk) memory). Ties break toward the earlier
+// operand, so the interleave is deterministic. Reset(seed) resets child i
+// with seed + (i+1)·mergeSeedStride, making a composed scenario replayable
+// from one seed.
+func Merge(sources ...Source) Source {
+	m := &mergeSource{
+		srcs: sources,
+		bufs: make([][]queue.Job, len(sources)),
+		pos:  make([]int, len(sources)),
+		n:    make([]int, len(sources)),
+		done: make([]bool, len(sources)),
+	}
+	for i := range m.bufs {
+		m.bufs[i] = make([]queue.Job, DefaultChunk)
+	}
+	return m
+}
+
+type mergeSource struct {
+	srcs []Source
+	bufs [][]queue.Job
+	pos  []int
+	n    []int
+	done []bool
+}
+
+// fill reports whether source i has a buffered head, refilling as needed.
+func (m *mergeSource) fill(i int) bool {
+	for m.pos[i] == m.n[i] {
+		if m.done[i] {
+			return false
+		}
+		n, ok := m.srcs[i].Next(m.bufs[i])
+		m.pos[i], m.n[i] = 0, n
+		if !ok {
+			m.done[i] = true
+		}
+	}
+	return true
+}
+
+// Next implements Source.
+func (m *mergeSource) Next(out []queue.Job) (int, bool) {
+	k := 0
+	for k < len(out) {
+		best := -1
+		var bestT float64
+		for i := range m.srcs {
+			if !m.fill(i) {
+				continue
+			}
+			if h := m.bufs[i][m.pos[i]]; best < 0 || h.Arrival < bestT {
+				best, bestT = i, h.Arrival
+			}
+		}
+		if best < 0 {
+			return k, false
+		}
+		out[k] = m.bufs[best][m.pos[best]]
+		m.pos[best]++
+		k++
+	}
+	return k, true
+}
+
+// Reset implements Source.
+func (m *mergeSource) Reset(seed int64) {
+	for i, s := range m.srcs {
+		s.Reset(seed + int64(i+1)*mergeSeedStride)
+		m.pos[i], m.n[i], m.done[i] = 0, 0, false
+	}
+}
+
+// Err reports the first child error.
+func (m *mergeSource) Err() error {
+	for _, s := range m.srcs {
+		if err := Err(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScaleRate compresses the stream's time axis by factor > 0: every arrival
+// instant divides by it, multiplying the arrival rate; service demands are
+// untouched. Factor 2 doubles the load, factor 0.5 halves it.
+func ScaleRate(src Source, factor float64) (Source, error) {
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("stream: rate factor %g not a positive finite number", factor)
+	}
+	return &scaleSource{src: src, factor: factor}, nil
+}
+
+type scaleSource struct {
+	src    Source
+	factor float64
+}
+
+// Next implements Source.
+func (s *scaleSource) Next(buf []queue.Job) (int, bool) {
+	n, ok := s.src.Next(buf)
+	for i := range buf[:n] {
+		buf[i].Arrival /= s.factor
+	}
+	return n, ok
+}
+
+// Reset implements Source.
+func (s *scaleSource) Reset(seed int64) { s.src.Reset(seed) }
+
+// Err forwards the child error.
+func (s *scaleSource) Err() error { return Err(s.src) }
+
+// Splice plays a until time at (exclusive), then b with every arrival
+// shifted by at — scenario stitching, e.g. a quiet morning followed by a
+// flash crowd. Once the cut is reached a is never read again; if a runs dry
+// early, b starts at the cut regardless.
+func Splice(a Source, at float64, b Source) (Source, error) {
+	if at < 0 || math.IsNaN(at) {
+		return nil, fmt.Errorf("stream: splice time %g negative", at)
+	}
+	return &spliceSource{a: a, b: b, at: at}, nil
+}
+
+type spliceSource struct {
+	a, b Source
+	at   float64
+	inB  bool
+}
+
+// Next implements Source.
+func (s *spliceSource) Next(buf []queue.Job) (int, bool) {
+	n := 0
+	if !s.inB {
+		m, ok := s.a.Next(buf)
+		cut := m
+		for i := 0; i < m; i++ {
+			if buf[i].Arrival >= s.at {
+				cut = i
+				break
+			}
+		}
+		n = cut
+		if cut < m || !ok {
+			s.inB = true // jobs past the cut are discarded
+		}
+		if !s.inB {
+			return n, true
+		}
+	}
+	m, ok := s.b.Next(buf[n:])
+	for i := n; i < n+m; i++ {
+		buf[i].Arrival += s.at
+	}
+	return n + m, ok
+}
+
+// Reset implements Source.
+func (s *spliceSource) Reset(seed int64) {
+	s.a.Reset(seed + mergeSeedStride)
+	s.b.Reset(seed + 2*mergeSeedStride)
+	s.inB = false
+}
+
+// Err reports the first operand error.
+func (s *spliceSource) Err() error {
+	if err := Err(s.a); err != nil {
+		return err
+	}
+	return Err(s.b)
+}

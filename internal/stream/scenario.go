@@ -1,0 +1,329 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sleepscale/internal/dist"
+	"sleepscale/internal/queue"
+)
+
+// validateHorizon checks a generation horizon shared by the synthetic
+// scenario sources.
+func validateHorizon(h float64) error {
+	if !(h > 0) || math.IsInf(h, 0) {
+		return fmt.Errorf("stream: horizon %g not a positive finite duration", h)
+	}
+	return nil
+}
+
+func validateSize(d dist.Distribution) error {
+	if d == nil {
+		return fmt.Errorf("stream: nil size distribution")
+	}
+	return nil
+}
+
+// MMPPConfig parameterizes a two-state (on/off) Markov-modulated Poisson
+// process: arrivals are Poisson at OnRate during on-sojourns and at OffRate
+// during off-sojourns, with exponentially distributed sojourn durations —
+// the canonical bursty arrival model of scale-out workload studies.
+type MMPPConfig struct {
+	// OnRate and OffRate are the arrival rates (jobs/second) in the two
+	// modulation states; OffRate may be 0 for strict on/off bursts.
+	OnRate  float64
+	OffRate float64
+	// MeanOn and MeanOff are the mean sojourn durations in seconds.
+	MeanOn  float64
+	MeanOff float64
+	// Size is the service-demand distribution (seconds of work at f = 1).
+	Size dist.Distribution
+	// Horizon bounds generation: arrivals lie in [0, Horizon).
+	Horizon float64
+}
+
+func (c MMPPConfig) validate() error {
+	if c.OnRate < 0 || c.OffRate < 0 || (c.OnRate == 0 && c.OffRate == 0) {
+		return fmt.Errorf("stream: mmpp rates (%g, %g) need one positive, none negative", c.OnRate, c.OffRate)
+	}
+	if !(c.MeanOn > 0) || !(c.MeanOff > 0) {
+		return fmt.Errorf("stream: mmpp sojourn means (%g, %g) must be positive", c.MeanOn, c.MeanOff)
+	}
+	if err := validateSize(c.Size); err != nil {
+		return err
+	}
+	return validateHorizon(c.Horizon)
+}
+
+// MMPP is the on/off burst source; it starts an on-sojourn at time 0.
+type MMPP struct {
+	cfg MMPPConfig
+	rng *rand.Rand
+
+	t        float64
+	on       bool
+	phaseEnd float64
+	done     bool
+}
+
+// NewMMPP returns an MMPP source, deterministic in seed.
+func NewMMPP(cfg MMPPConfig, seed int64) (*MMPP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &MMPP{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	m.start()
+	return m, nil
+}
+
+func (m *MMPP) start() {
+	m.t, m.on, m.done = 0, true, false
+	m.phaseEnd = m.rng.ExpFloat64() * m.cfg.MeanOn
+}
+
+// switchPhase jumps to the current sojourn's end and flips the modulation
+// state. Discarding the partial inter-arrival gap is exact: within a
+// sojourn the process is homogeneous Poisson, hence memoryless.
+func (m *MMPP) switchPhase() {
+	if m.phaseEnd >= m.cfg.Horizon {
+		m.done = true
+		return
+	}
+	m.t = m.phaseEnd
+	m.on = !m.on
+	mean := m.cfg.MeanOff
+	if m.on {
+		mean = m.cfg.MeanOn
+	}
+	m.phaseEnd = m.t + m.rng.ExpFloat64()*mean
+}
+
+// Next implements Source.
+func (m *MMPP) Next(buf []queue.Job) (n int, ok bool) {
+	for n < len(buf) {
+		if m.done {
+			return n, false
+		}
+		rate := m.cfg.OffRate
+		if m.on {
+			rate = m.cfg.OnRate
+		}
+		if rate <= 0 {
+			m.switchPhase()
+			continue
+		}
+		cand := m.t + m.rng.ExpFloat64()/rate
+		if cand >= m.phaseEnd {
+			m.switchPhase()
+			continue
+		}
+		if cand >= m.cfg.Horizon {
+			m.done = true
+			return n, false
+		}
+		m.t = cand
+		buf[n] = queue.Job{Arrival: m.t, Size: m.cfg.Size.Sample(m.rng)}
+		n++
+	}
+	return n, true
+}
+
+// Reset implements Source.
+func (m *MMPP) Reset(seed int64) {
+	m.rng.Seed(seed)
+	m.start()
+}
+
+// FlashCrowdConfig parameterizes a spike-and-decay arrival process: a
+// Poisson base rate whose intensity is multiplied by randomly arriving,
+// exponentially decaying spikes (a shot-noise overlay) —
+//
+//	λ(t) = BaseRate · (1 + Σ_spikes Peak · e^{−(t−t_spike)/Decay}).
+type FlashCrowdConfig struct {
+	// BaseRate is the quiescent arrival rate, jobs/second.
+	BaseRate float64
+	// SpikeEvery is the mean seconds between flash onsets (Poisson).
+	SpikeEvery float64
+	// Peak is the rate multiple each onset adds: intensity jumps by
+	// Peak·BaseRate and decays from there.
+	Peak float64
+	// Decay is the spike's e-folding time in seconds.
+	Decay float64
+	// Size is the service-demand distribution.
+	Size dist.Distribution
+	// Horizon bounds generation: arrivals lie in [0, Horizon).
+	Horizon float64
+}
+
+func (c FlashCrowdConfig) validate() error {
+	if !(c.BaseRate > 0) {
+		return fmt.Errorf("stream: flash-crowd base rate %g must be positive", c.BaseRate)
+	}
+	if !(c.SpikeEvery > 0) || !(c.Decay > 0) || c.Peak < 0 {
+		return fmt.Errorf("stream: flash-crowd spike parameters (every %g, peak %g, decay %g) invalid",
+			c.SpikeEvery, c.Peak, c.Decay)
+	}
+	if err := validateSize(c.Size); err != nil {
+		return err
+	}
+	return validateHorizon(c.Horizon)
+}
+
+// FlashCrowd generates the spike-and-decay process by Ogata thinning:
+// between spike onsets the intensity only decays, so the intensity at the
+// segment's left edge bounds it and candidate arrivals thin exactly.
+type FlashCrowd struct {
+	cfg FlashCrowdConfig
+	rng *rand.Rand
+
+	t         float64
+	amp       float64 // spike amplitude at time ampT
+	ampT      float64
+	nextSpike float64
+	done      bool
+}
+
+// NewFlashCrowd returns a flash-crowd source, deterministic in seed.
+func NewFlashCrowd(cfg FlashCrowdConfig, seed int64) (*FlashCrowd, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &FlashCrowd{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f.start()
+	return f, nil
+}
+
+func (f *FlashCrowd) start() {
+	f.t, f.amp, f.ampT, f.done = 0, 0, 0, false
+	f.nextSpike = f.rng.ExpFloat64() * f.cfg.SpikeEvery
+}
+
+// rate evaluates λ(t) for t ≥ f.ampT.
+func (f *FlashCrowd) rate(t float64) float64 {
+	return f.cfg.BaseRate * (1 + f.amp*math.Exp(-(t-f.ampT)/f.cfg.Decay))
+}
+
+// Next implements Source.
+func (f *FlashCrowd) Next(buf []queue.Job) (n int, ok bool) {
+	for n < len(buf) {
+		if f.done {
+			return n, false
+		}
+		lam := f.rate(f.t) // upper bound over [t, nextSpike): decaying
+		cand := f.t + f.rng.ExpFloat64()/lam
+		if cand >= f.nextSpike && f.nextSpike < f.cfg.Horizon {
+			// A spike fires first: fold the decay to the onset instant,
+			// add the new shot, and restart the thinning segment there
+			// (exact by memorylessness of the bounding process).
+			f.amp = f.amp*math.Exp(-(f.nextSpike-f.ampT)/f.cfg.Decay) + f.cfg.Peak
+			f.ampT = f.nextSpike
+			f.t = f.nextSpike
+			f.nextSpike = f.t + f.rng.ExpFloat64()*f.cfg.SpikeEvery
+			continue
+		}
+		if cand >= f.cfg.Horizon {
+			f.done = true
+			return n, false
+		}
+		f.t = cand
+		if f.rng.Float64()*lam <= f.rate(cand) {
+			buf[n] = queue.Job{Arrival: f.t, Size: f.cfg.Size.Sample(f.rng)}
+			n++
+		}
+	}
+	return n, true
+}
+
+// Reset implements Source.
+func (f *FlashCrowd) Reset(seed int64) {
+	f.rng.Seed(seed)
+	f.start()
+}
+
+// DiurnalConfig parameterizes a sinusoidally modulated Poisson process —
+//
+//	λ(t) = BaseRate + (PeakRate−BaseRate) · ½(1 + cos 2π(t/Period − Phase))
+//
+// peaking at t = Phase·Period each cycle, the day/night swing of the
+// paper's Figure 7 traces as a continuous-time source.
+type DiurnalConfig struct {
+	// BaseRate and PeakRate are the trough and peak arrival rates,
+	// jobs/second (0 ≤ BaseRate ≤ PeakRate, PeakRate > 0).
+	BaseRate float64
+	PeakRate float64
+	// Period is the modulation period in seconds (86400 for a day).
+	Period float64
+	// Phase is the fraction of the period at which the peak occurs, in
+	// [0, 1).
+	Phase float64
+	// Size is the service-demand distribution.
+	Size dist.Distribution
+	// Horizon bounds generation: arrivals lie in [0, Horizon).
+	Horizon float64
+}
+
+func (c DiurnalConfig) validate() error {
+	if c.BaseRate < 0 || !(c.PeakRate > 0) || c.BaseRate > c.PeakRate {
+		return fmt.Errorf("stream: diurnal rates (base %g, peak %g) need 0 ≤ base ≤ peak, peak > 0",
+			c.BaseRate, c.PeakRate)
+	}
+	if !(c.Period > 0) {
+		return fmt.Errorf("stream: diurnal period %g must be positive", c.Period)
+	}
+	if c.Phase < 0 || c.Phase >= 1 {
+		return fmt.Errorf("stream: diurnal phase %g outside [0,1)", c.Phase)
+	}
+	if err := validateSize(c.Size); err != nil {
+		return err
+	}
+	return validateHorizon(c.Horizon)
+}
+
+// Diurnal generates the modulated process by thinning against the constant
+// bound PeakRate.
+type Diurnal struct {
+	cfg  DiurnalConfig
+	rng  *rand.Rand
+	t    float64
+	done bool
+}
+
+// NewDiurnal returns a diurnal source, deterministic in seed.
+func NewDiurnal(cfg DiurnalConfig, seed int64) (*Diurnal, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Diurnal{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// rate evaluates λ(t).
+func (d *Diurnal) rate(t float64) float64 {
+	x := t/d.cfg.Period - d.cfg.Phase
+	return d.cfg.BaseRate + (d.cfg.PeakRate-d.cfg.BaseRate)*0.5*(1+math.Cos(2*math.Pi*x))
+}
+
+// Next implements Source.
+func (d *Diurnal) Next(buf []queue.Job) (n int, ok bool) {
+	for n < len(buf) {
+		if d.done {
+			return n, false
+		}
+		d.t += d.rng.ExpFloat64() / d.cfg.PeakRate
+		if d.t >= d.cfg.Horizon {
+			d.done = true
+			return n, false
+		}
+		if d.rng.Float64()*d.cfg.PeakRate <= d.rate(d.t) {
+			buf[n] = queue.Job{Arrival: d.t, Size: d.cfg.Size.Sample(d.rng)}
+			n++
+		}
+	}
+	return n, true
+}
+
+// Reset implements Source.
+func (d *Diurnal) Reset(seed int64) {
+	d.rng.Seed(seed)
+	d.t, d.done = 0, false
+}

@@ -224,32 +224,69 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a trace written by WriteCSV. Name and SlotSeconds are the
-// caller's to fill; SlotSeconds defaults to 60.
+// caller's to fill; SlotSeconds defaults to 60. It is a thin materializing
+// driver over SlotReader, so batch parsing and streaming replay share one
+// row parser.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty csv")
-	}
+	sr := NewSlotReader(r)
 	t := &Trace{Name: "csv", SlotSeconds: 60}
-	for i, row := range rows {
-		if i == 0 && len(row) >= 2 && row[0] == "slot" {
-			continue
-		}
-		if len(row) < 2 {
-			return nil, fmt.Errorf("trace: row %d has %d fields", i, len(row))
-		}
-		u, err := strconv.ParseFloat(row[1], 64)
+	for {
+		u, ok, err := sr.Next()
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", i, err)
+			return nil, err
+		}
+		if !ok {
+			break
 		}
 		t.Utilization = append(t.Utilization, u)
 	}
-	if err := t.Validate(); err != nil {
-		return nil, err
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
 	}
 	return t, nil
+}
+
+// SlotReader parses a WriteCSV-format trace one row at a time, so week-long
+// (or unbounded) traces replay in O(1) memory. Each Next validates its row
+// the way ReadCSV validates the whole file.
+type SlotReader struct {
+	cr  *csv.Reader
+	row int
+}
+
+// NewSlotReader returns a reader over r; an optional "slot,utilization"
+// header row is skipped.
+func NewSlotReader(r io.Reader) *SlotReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // every row must have exactly 2 fields, checked below
+	return &SlotReader{cr: cr}
+}
+
+// Next returns the next slot's utilization; ok is false at end of input.
+func (sr *SlotReader) Next() (u float64, ok bool, err error) {
+	for {
+		row, err := sr.cr.Read()
+		if err == io.EOF {
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, fmt.Errorf("trace: read csv: %w", err)
+		}
+		i := sr.row
+		sr.row++
+		if i == 0 && len(row) >= 2 && row[0] == "slot" {
+			continue
+		}
+		if len(row) != 2 {
+			return 0, false, fmt.Errorf("trace: row %d has %d fields, want 2", i, len(row))
+		}
+		u, perr := strconv.ParseFloat(row[1], 64)
+		if perr != nil {
+			return 0, false, fmt.Errorf("trace: row %d: %w", i, perr)
+		}
+		if u < 0 || u >= 1 || math.IsNaN(u) {
+			return 0, false, fmt.Errorf("trace: row %d utilization %g outside [0,1)", i, u)
+		}
+		return u, true, nil
+	}
 }

@@ -274,3 +274,62 @@ func sqrt(x float64) float64 {
 	}
 	return g
 }
+
+// TestSlotReaderMatchesReadCSV pins the one-parser-two-drivers invariant:
+// row-at-a-time streaming yields exactly the slots batch parsing does.
+func TestSlotReaderMatchesReadCSV(t *testing.T) {
+	tr := EmailStore(1, 9)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want, err := ReadCSV(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewSlotReader(bytes.NewReader(data))
+	var got []float64
+	for {
+		u, ok, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, u)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("%d slots, want %d", len(got), want.Len())
+	}
+	for i := range got {
+		if got[i] != want.Utilization[i] {
+			t.Fatalf("slot %d: %v != %v", i, got[i], want.Utilization[i])
+		}
+	}
+}
+
+func TestSlotReaderErrors(t *testing.T) {
+	cases := []string{
+		"slot,utilization\n0,notanumber\n",
+		"slot,utilization\n0,1.5\n",
+		"slot,utilization\n0,-0.1\n",
+		"slot,utilization\nlonely\n",
+		"0,0.5\n1,0.6,0.9\n", // ragged row: extra field
+	}
+	for i, s := range cases {
+		sr := NewSlotReader(strings.NewReader(s))
+		var err error
+		var ok bool
+		for {
+			_, ok, err = sr.Next()
+			if err != nil || !ok {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+}

@@ -206,25 +206,162 @@ func (st Stats) Jobs(n int, rng *rand.Rand) []queue.Job {
 // slot so a zero-utilization slot produces no arrivals; the gap straddling a
 // slot boundary is redrawn at the new slot's rate (a negligible boundary
 // effect at minute-long slots).
+//
+// TraceJobs materializes the whole stream; it is a thin driver over the
+// same incremental core as TraceGen, so the two can never drift: a TraceGen
+// seeded like rng delivers bit-identical jobs in bounded chunks.
 func (st Stats) TraceJobs(utilization []float64, minuteSeconds float64, rng *rand.Rand) []queue.Job {
+	g := TraceGen{
+		stats:       st,
+		feed:        &sliceFeed{utilization: utilization},
+		slotSeconds: minuteSeconds,
+		rng:         rng,
+		baseMean:    st.Inter.Mean(),
+		sizeMean:    st.Size.Mean(),
+	}
 	var jobs []queue.Job
-	baseMean := st.Inter.Mean()
-	sizeMean := st.Size.Mean()
-	for m, rho := range utilization {
-		if rho <= 0 {
-			continue
-		}
-		slotStart := float64(m) * minuteSeconds
-		slotEnd := slotStart + minuteSeconds
-		scale := sizeMean / rho / baseMean
-		tnow := slotStart
-		for {
-			tnow += st.Inter.Sample(rng) * scale
-			if tnow >= slotEnd {
-				break
-			}
-			jobs = append(jobs, queue.Job{Arrival: tnow, Size: st.Size.Sample(rng)})
+	var buf [128]queue.Job
+	for {
+		n, ok := g.Next(buf[:])
+		jobs = append(jobs, buf[:n]...)
+		if !ok {
+			return jobs
 		}
 	}
-	return jobs
 }
+
+// SlotFeed supplies successive utilization slots to a TraceGen. Slice-backed
+// traces use the built-in feed; streaming feeds (a CSV row reader, a live
+// telemetry tap) let a generator run without ever holding the whole trace.
+type SlotFeed interface {
+	// NextSlot returns the next slot's target utilization ρ; ok is false
+	// once the trace is exhausted. Errors end the stream.
+	NextSlot() (rho float64, ok bool, err error)
+	// ResetSlots rewinds the feed to the first slot.
+	ResetSlots() error
+}
+
+// sliceFeed feeds slots from a materialized utilization slice.
+type sliceFeed struct {
+	utilization []float64
+	pos         int
+}
+
+func (f *sliceFeed) NextSlot() (float64, bool, error) {
+	if f.pos >= len(f.utilization) {
+		return 0, false, nil
+	}
+	u := f.utilization[f.pos]
+	f.pos++
+	return u, true, nil
+}
+
+func (f *sliceFeed) ResetSlots() error {
+	f.pos = 0
+	return nil
+}
+
+// TraceGen is the incremental form of TraceJobs: it delivers the identical
+// job stream in caller-sized chunks, holding O(1) state regardless of trace
+// length. It implements the stream package's Source contract (Next, Reset,
+// Err) and allocates nothing in steady state.
+type TraceGen struct {
+	stats       Stats
+	feed        SlotFeed
+	slotSeconds float64
+	rng         *rand.Rand
+	baseMean    float64
+	sizeMean    float64
+
+	slot    int // index of the next slot to pull from the feed
+	inSlot  bool
+	tnow    float64
+	scale   float64
+	slotEnd float64
+	done    bool
+	err     error
+}
+
+// NewTraceGen returns a generator over a materialized utilization slice,
+// deterministic in seed: it yields exactly TraceJobs(utilization,
+// slotSeconds, rand.New(rand.NewSource(seed))).
+func (st Stats) NewTraceGen(utilization []float64, slotSeconds float64, seed int64) (*TraceGen, error) {
+	return st.NewTraceGenFeed(&sliceFeed{utilization: utilization}, slotSeconds, seed)
+}
+
+// NewTraceGenFeed returns a generator pulling slots from feed — the fully
+// streaming form, for traces too long to materialize.
+func (st Stats) NewTraceGenFeed(feed SlotFeed, slotSeconds float64, seed int64) (*TraceGen, error) {
+	if feed == nil {
+		return nil, fmt.Errorf("workload: nil slot feed")
+	}
+	if slotSeconds <= 0 {
+		return nil, fmt.Errorf("workload: slot length %g ≤ 0", slotSeconds)
+	}
+	return &TraceGen{
+		stats:       st,
+		feed:        feed,
+		slotSeconds: slotSeconds,
+		rng:         rand.New(rand.NewSource(seed)),
+		baseMean:    st.Inter.Mean(),
+		sizeMean:    st.Size.Mean(),
+	}, nil
+}
+
+// Next fills buf with the next jobs in non-decreasing arrival order. It
+// reports how many were written and whether more may follow; n can be less
+// than len(buf) even mid-stream. After ok=false the generator stays
+// exhausted until Reset; check Err for a feed failure.
+func (g *TraceGen) Next(buf []queue.Job) (n int, ok bool) {
+	for n < len(buf) {
+		if g.done {
+			return n, false
+		}
+		if !g.inSlot {
+			rho, more, err := g.feed.NextSlot()
+			if err != nil {
+				g.err = fmt.Errorf("workload: slot %d: %w", g.slot, err)
+				g.done = true
+				return n, false
+			}
+			if !more {
+				g.done = true
+				return n, false
+			}
+			m := g.slot
+			g.slot++
+			if rho <= 0 {
+				continue
+			}
+			slotStart := float64(m) * g.slotSeconds
+			g.slotEnd = slotStart + g.slotSeconds
+			g.scale = g.sizeMean / rho / g.baseMean
+			g.tnow = slotStart
+			g.inSlot = true
+		}
+		g.tnow += g.stats.Inter.Sample(g.rng) * g.scale
+		if g.tnow >= g.slotEnd {
+			g.inSlot = false
+			continue
+		}
+		buf[n] = queue.Job{Arrival: g.tnow, Size: g.stats.Size.Sample(g.rng)}
+		n++
+	}
+	return n, true
+}
+
+// Reset rewinds the generator to the first slot and reseeds its randomness,
+// so equal seeds replay bit-identical streams. A generator built over a
+// caller-owned rng (the TraceJobs path) gets a fresh deterministic state.
+func (g *TraceGen) Reset(seed int64) {
+	g.rng.Seed(seed)
+	g.slot, g.inSlot, g.done, g.err = 0, false, false, nil
+	if err := g.feed.ResetSlots(); err != nil {
+		g.err = fmt.Errorf("workload: reset slot feed: %w", err)
+		g.done = true
+	}
+}
+
+// Err reports a slot-feed failure that ended the stream early; nil for a
+// clean end.
+func (g *TraceGen) Err() error { return g.err }

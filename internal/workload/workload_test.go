@@ -1,12 +1,14 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"sleepscale/internal/metrics"
+	"sleepscale/internal/queue"
 )
 
 func approx(t *testing.T, name string, got, want, tol float64) {
@@ -264,5 +266,148 @@ func TestStatsConstructorsRejectBadSpec(t *testing.T) {
 	}
 	if _, err := NewEmpiricalStats(bad, 100, 1); err == nil {
 		t.Error("empirical accepted bad spec")
+	}
+}
+
+// TestTraceGenMatchesTraceJobs pins the one-generator-two-drivers
+// invariant: the incremental TraceGen and the materializing TraceJobs are
+// the same core, so equal seeds give bit-identical streams, regardless of
+// chunk size.
+func TestTraceGenMatchesTraceJobs(t *testing.T) {
+	st, err := NewFittedStats(Mail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := []float64{0.3, 0, 0.8, 0.05, 0.6, 0, 0, 0.9}
+	const slot, seed = 30.0, 17
+	want := st.TraceJobs(util, slot, rand.New(rand.NewSource(seed)))
+	if len(want) == 0 {
+		t.Fatal("empty reference stream")
+	}
+	for _, chunk := range []int{1, 3, 1024} {
+		g, err := st.NewTraceGen(util, slot, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []queue.Job
+		buf := make([]queue.Job, chunk)
+		for {
+			n, ok := g.Next(buf)
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		if g.Err() != nil {
+			t.Fatal(g.Err())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d jobs, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d job %d: %+v != %+v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTraceGenReset pins Reset determinism: the same seed replays the same
+// stream, a different seed a different one.
+func TestTraceGenReset(t *testing.T) {
+	st, err := NewIdealizedStats(DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := []float64{0.4, 0.7, 0.2}
+	g, err := st.NewTraceGen(util, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func() []queue.Job {
+		var out []queue.Job
+		buf := make([]queue.Job, 8)
+		for {
+			n, ok := g.Next(buf)
+			out = append(out, buf[:n]...)
+			if !ok {
+				return out
+			}
+		}
+	}
+	first := drain()
+	g.Reset(5)
+	second := drain()
+	if len(first) != len(second) {
+		t.Fatalf("replay length %d != %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay job %d: %+v != %+v", i, second[i], first[i])
+		}
+	}
+	g.Reset(6)
+	third := drain()
+	same := len(third) == len(first)
+	if same {
+		for i := range third {
+			if third[i] != first[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(first) > 0 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// errFeed fails after two good slots.
+type errFeed struct{ n int }
+
+func (f *errFeed) NextSlot() (float64, bool, error) {
+	f.n++
+	if f.n > 2 {
+		return 0, false, fmt.Errorf("synthetic feed failure")
+	}
+	return 0.5, true, nil
+}
+func (f *errFeed) ResetSlots() error { f.n = 0; return nil }
+
+func TestTraceGenFeedErrorSurfaces(t *testing.T) {
+	st, err := NewIdealizedStats(DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.NewTraceGenFeed(&errFeed{}, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]queue.Job, 16)
+	for {
+		if _, ok := g.Next(buf); !ok {
+			break
+		}
+	}
+	if g.Err() == nil {
+		t.Fatal("feed error not surfaced")
+	}
+	// Reset clears the error and replays the good prefix.
+	g.Reset(1)
+	if g.Err() != nil {
+		t.Fatalf("error survived reset: %v", g.Err())
+	}
+}
+
+func TestNewTraceGenValidation(t *testing.T) {
+	st, err := NewIdealizedStats(DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NewTraceGen(nil, 0, 1); err == nil {
+		t.Error("zero slot length accepted")
+	}
+	if _, err := st.NewTraceGenFeed(nil, 60, 1); err == nil {
+		t.Error("nil feed accepted")
 	}
 }

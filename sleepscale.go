@@ -1,8 +1,11 @@
 package sleepscale
 
 import (
+	"io"
+
 	"sleepscale/internal/analytic"
 	"sleepscale/internal/core"
+	"sleepscale/internal/dist"
 	"sleepscale/internal/farm"
 	"sleepscale/internal/multicore"
 	"sleepscale/internal/policy"
@@ -10,6 +13,7 @@ import (
 	"sleepscale/internal/predict"
 	"sleepscale/internal/queue"
 	"sleepscale/internal/strategy"
+	"sleepscale/internal/stream"
 	"sleepscale/internal/trace"
 	"sleepscale/internal/workload"
 )
@@ -202,6 +206,99 @@ func NewEmpiricalStats(s Spec, n int, seed int64) (Stats, error) {
 	return workload.NewEmpiricalStats(s, n, seed)
 }
 
+// Distribution is a sampleable probability distribution (the type behind
+// Stats.Inter and Stats.Size), usable directly in the streaming scenario
+// configurations.
+type Distribution = dist.Distribution
+
+// FitDistribution moment-matches a distribution to the given mean and
+// coefficient of variation — Erlang mixture for Cv < 1, exponential at
+// Cv = 1, balanced-means hyperexponential for Cv > 1.
+func FitDistribution(mean, cv float64) (Distribution, error) { return dist.FitMeanCV(mean, cv) }
+
+// Streaming workload subsystem: bounded-memory job sources for week-long
+// traces and bursty scenarios (see internal/stream's package docs for the
+// Source contract).
+type (
+	// JobSource is the minimal pull interface the streaming simulators
+	// drive: chunked delivery of arrival-ordered jobs.
+	JobSource = queue.JobSource
+	// StreamSource adds Reset(seed) for reproducible replay; every source
+	// below implements it.
+	StreamSource = stream.Source
+	// MMPPConfig parameterizes the on/off Markov-modulated Poisson source.
+	MMPPConfig = stream.MMPPConfig
+	// FlashCrowdConfig parameterizes the spike-and-decay overlay source.
+	FlashCrowdConfig = stream.FlashCrowdConfig
+	// DiurnalConfig parameterizes the sinusoidally modulated source.
+	DiurnalConfig = stream.DiurnalConfig
+)
+
+// NewTraceSource streams the §6 trace-driven job stream: bit-identical to
+// Stats.TraceJobs under the same seed, in O(chunk) memory.
+func NewTraceSource(st Stats, tr *Trace, seed int64) (StreamSource, error) {
+	return stream.Trace(st, tr, seed)
+}
+
+// NewCSVTraceSource replays a WriteCSV-format utilization trace row at a
+// time through the trace-driven generator; Reset seeks r back to the start.
+func NewCSVTraceSource(r io.ReadSeeker, st Stats, slotSeconds float64, seed int64) (StreamSource, error) {
+	return stream.CSVTrace(r, st, slotSeconds, seed)
+}
+
+// NewStationarySource streams a fixed-rate job stream from the workload
+// statistics over [0, horizon) — the streaming analogue of Stats.Jobs.
+func NewStationarySource(st Stats, horizon float64, seed int64) (StreamSource, error) {
+	return stream.NewStationary(st, horizon, seed)
+}
+
+// NewMMPPSource returns the on/off burst source.
+func NewMMPPSource(cfg MMPPConfig, seed int64) (StreamSource, error) {
+	return stream.NewMMPP(cfg, seed)
+}
+
+// NewFlashCrowdSource returns the spike-and-decay source.
+func NewFlashCrowdSource(cfg FlashCrowdConfig, seed int64) (StreamSource, error) {
+	return stream.NewFlashCrowd(cfg, seed)
+}
+
+// NewDiurnalSource returns the sinusoidally modulated source.
+func NewDiurnalSource(cfg DiurnalConfig, seed int64) (StreamSource, error) {
+	return stream.NewDiurnal(cfg, seed)
+}
+
+// MergeSources interleaves sources into one arrival-ordered stream (e.g. a
+// trace baseline plus an MMPP burst overlay).
+func MergeSources(sources ...StreamSource) StreamSource { return stream.Merge(sources...) }
+
+// ScaleRateSource multiplies a stream's arrival rate by factor (sizes
+// untouched).
+func ScaleRateSource(src StreamSource, factor float64) (StreamSource, error) {
+	return stream.ScaleRate(src, factor)
+}
+
+// SpliceSources plays a until time at, then b shifted to start there.
+func SpliceSources(a StreamSource, at float64, b StreamSource) (StreamSource, error) {
+	return stream.Splice(a, at, b)
+}
+
+// SliceSource adapts a materialized job slice (sorted by arrival) to the
+// streaming drivers.
+func SliceSource(jobs []Job) StreamSource { return stream.Slice(jobs) }
+
+// CollectSource drains a source into a slice with chunk-sized reads
+// (chunk < 1 picks the default).
+func CollectSource(src StreamSource, chunk int) ([]Job, error) { return stream.Collect(src, chunk) }
+
+// SourceErr reports a source's deferred mid-stream failure, if any.
+func SourceErr(src StreamSource) error { return stream.Err(src) }
+
+// SimulateSource is Simulate for streams that are never materialized: peak
+// job-buffer memory is one chunk regardless of stream length.
+func SimulateSource(src JobSource, cfg SimConfig, opts SimOptions) (SimResult, error) {
+	return queue.SimulateSource(src, cfg, opts)
+}
+
 // Utilization traces (paper Figure 7).
 type (
 	// Trace is a per-slot utilization sequence.
@@ -271,8 +368,16 @@ func NewManager(prof *Profile, spec Spec, qos QoS) *Manager {
 }
 
 // Run executes the §6 evaluation loop: epoch-by-epoch prediction, policy
-// selection and trace-driven serving.
+// selection and trace-driven serving. The job stream is streamed from the
+// incremental trace generator, so week-long traces run in bounded memory.
 func Run(cfg RunnerConfig) (RunReport, error) { return core.Run(cfg) }
+
+// RunSource executes the evaluation loop with jobs pulled from an arbitrary
+// streaming source — CSV replay, burst overlays, spliced scenarios — with
+// the same epoch accounting as Run.
+func RunSource(cfg RunnerConfig, src StreamSource) (RunReport, error) {
+	return core.RunSource(cfg, src)
+}
 
 // Strategies (paper §6.1).
 
@@ -338,6 +443,13 @@ func NewFarm(k int, cfg SimConfig, disp Dispatcher) (*Farm, error) {
 // RunFarm dispatches a sorted job stream across k servers and aggregates.
 func RunFarm(k int, cfg SimConfig, disp Dispatcher, jobs []Job) (FarmResult, error) {
 	return farm.Run(k, cfg, disp, jobs)
+}
+
+// RunFarmSources runs one server per job source (the routing decided by
+// construction), simulating servers in parallel with bounded per-server
+// chunk buffers.
+func RunFarmSources(cfg SimConfig, srcs []JobSource) (FarmResult, error) {
+	return farm.RunSources(cfg, srcs)
 }
 
 // Multi-core extension (paper §7 future work): one chip, k cores, a shared
