@@ -302,6 +302,95 @@ func BenchmarkStreamSourceSteadyState(b *testing.B) {
 	b.ReportMetric(float64(jobs), "jobs")
 }
 
+// ---------------------------------------------------------------------------
+// Streamed farm-dispatch benchmarks.
+
+// dispatchStats builds the idealized DNS workload driving the dispatch
+// benchmarks' stationary source.
+func dispatchStats(b *testing.B) sleepscale.Stats {
+	b.Helper()
+	stats, err := sleepscale.NewIdealizedStats(sleepscale.DNS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stats
+}
+
+// BenchmarkFarmDispatchSteadyState measures the streaming k-way dispatch
+// loop on a reused farm: one op resets four JSQ-dispatched servers and
+// re-serves a rewound stationary stream through the farm-owned chunk
+// buffer. allocs/op must stay at 0 — CI gates the budget on it via
+// BENCH_farm.json, the farm-level analogue of the evaluator's and stream
+// generator's zero-allocation contracts.
+func BenchmarkFarmDispatchSteadyState(b *testing.B) {
+	stats := dispatchStats(b)
+	// The single-server stream at ρ = 0.3 spread over 4 servers: ~10k jobs.
+	horizon := stats.Inter.Mean() * 10000
+	src, err := sleepscale.NewStationarySource(stats, horizon, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := sleepscale.NewFarm(4, cfg, sleepscale.JSQ{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.ServeSource(src); err != nil { // warm engine + chunk buffers
+		b.Fatal(err)
+	}
+	var jobs int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		src.Reset(1)
+		n, err := f.ServeSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = n
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkFarmDispatchParallelJSQ measures the time-sliced parallel JSQ
+// mode end to end — routing against the freeAt shadow, concurrent
+// per-server simulation, deterministic merge — over a 16-server farm.
+func BenchmarkFarmDispatchParallelJSQ(b *testing.B) {
+	stats := dispatchStats(b)
+	horizon := stats.Inter.Mean() * 40000
+	src, err := sleepscale.NewStationarySource(stats, horizon, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(1)
+		res, err := sleepscale.RunFarmSource(16, cfg, sleepscale.JSQ{}, src,
+			sleepscale.FarmDispatchOptions{Parallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalAvgPower, "watts")
+	}
+}
+
 // BenchmarkPredictorLMSCUSUM measures one Algorithm 2 step.
 func BenchmarkPredictorLMSCUSUM(b *testing.B) {
 	lc, err := sleepscale.NewLMSCUSUMPredictor(10, 0.5)

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkEvaluatorSteadyState-8   	      10	   123456 ns/op	      42 watts	     100 B/op	       3 allocs/op
+BenchmarkEngineThroughput-8       	       5	   999999 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	benches, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.NsPerOp != 123456 || b.BytesPerOp != 100 || b.AllocsPerOp != 3 || b.Iterations != 10 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["watts"] != 42 {
+		t.Errorf("custom metric lost: %+v", b.Metrics)
+	}
+}
+
+func bm(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 0), bm("B", 1000, 5)}
+	fresh := []Benchmark{bm("A", 120, 0), bm("B", 900, 5), bm("C", 50, 1)}
+	regressions, notes := compareBaseline(base, fresh, 0.25, true)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "C") {
+		t.Errorf("new benchmark C should be a note: %v", notes)
+	}
+}
+
+func TestCompareBaselineNsRegression(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 0)}
+	// 25% tolerance: 126 ns/op over a 100 ns/op baseline fails, 125 passes.
+	if r, _ := compareBaseline(base, []Benchmark{bm("A", 125, 0)}, 0.25, true); len(r) != 0 {
+		t.Errorf("at-tolerance run flagged: %v", r)
+	}
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 126, 0)}, 0.25, true)
+	if len(r) != 1 || !strings.Contains(r[0], "ns/op") {
+		t.Errorf("over-tolerance run not flagged: %v", r)
+	}
+}
+
+func TestCompareBaselineAllocRegression(t *testing.T) {
+	// A zero-alloc baseline is an exact contract: a single alloc fails.
+	base := []Benchmark{bm("A", 100, 0)}
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 1)}, 0.25, true)
+	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
+		t.Errorf("alloc regression not flagged: %v", r)
+	}
+	// Improvements are fine.
+	base = []Benchmark{bm("B", 100, 7)}
+	if r, _ := compareBaseline(base, []Benchmark{bm("B", 100, 2)}, 0.25, true); len(r) != 0 {
+		t.Errorf("alloc improvement flagged: %v", r)
+	}
+	// Nonzero baselines absorb goroutine-recycling jitter (≤ max(2, 2%))
+	// but not real growth.
+	base = []Benchmark{bm("C", 100, 300)}
+	if r, _ := compareBaseline(base, []Benchmark{bm("C", 100, 305)}, 0.25, true); len(r) != 0 {
+		t.Errorf("jitter within grace flagged: %v", r)
+	}
+	r, _ = compareBaseline(base, []Benchmark{bm("C", 100, 330)}, 0.25, true)
+	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
+		t.Errorf("real alloc growth not flagged: %v", r)
+	}
+}
+
+func TestCompareBaselineMissingBenchmark(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 0), bm("Gone", 100, 0)}
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 0)}, 0.25, true)
+	if len(r) != 1 || !strings.Contains(r[0], "Gone") {
+		t.Errorf("missing benchmark not flagged: %v", r)
+	}
+}
+
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, []byte(`{
+		"go_version": "go1.24",
+		"benchmarks": [{"name": "A", "iterations": 3, "ns_per_op": 42}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].NsPerOp != 42 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if _, err := readSnapshot(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(empty); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}
+
+// TestCompareBaselineCrossEnvironment: a baseline from a different machine
+// class (different GOMAXPROCS) must not fail the build on environment-bound
+// metrics — ns/op and goroutine-scaling allocs become notes — while the
+// zero-alloc contracts and the missing-benchmark check stay enforced.
+func TestCompareBaselineCrossEnvironment(t *testing.T) {
+	base := []Benchmark{bm("Fast", 100, 0), bm("Par", 100, 181), bm("Gone", 1, 0)}
+	fresh := []Benchmark{bm("Fast", 500, 0), bm("Par", 500, 400)}
+	r, notes := compareBaseline(base, fresh, 0.25, false)
+	if len(r) != 1 || !strings.Contains(r[0], "Gone") {
+		t.Errorf("cross-env: only the missing benchmark should fail, got %v", r)
+	}
+	if len(notes) != 3 { // two ns/op drifts plus Par's alloc drift
+		t.Errorf("cross-env: ns/op and alloc drifts should be notes, got %v", notes)
+	}
+	// A zero-alloc contract broken cross-env still fails.
+	r, _ = compareBaseline([]Benchmark{bm("Zero", 100, 0)}, []Benchmark{bm("Zero", 100, 3)}, 0.25, false)
+	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
+		t.Errorf("cross-env zero-alloc regression not flagged: %v", r)
+	}
+}
+
+// TestMergeMin: repeated -count runs collapse to the per-metric minimum in
+// first-appearance order.
+func TestMergeMin(t *testing.T) {
+	merged := mergeMin([]Benchmark{
+		bm("A", 300, 5), bm("B", 50, 0), bm("A", 100, 7), bm("A", 200, 3),
+	})
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d entries, want 2", len(merged))
+	}
+	if merged[0].Name != "A" || merged[1].Name != "B" {
+		t.Fatalf("order not preserved: %v, %v", merged[0].Name, merged[1].Name)
+	}
+	if merged[0].NsPerOp != 100 || merged[0].AllocsPerOp != 3 {
+		t.Errorf("A minimum = %g ns/op, %g allocs/op; want 100, 3", merged[0].NsPerOp, merged[0].AllocsPerOp)
+	}
+}

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	farmsim -mode farm -sizes 1,2,4,8 -dispatch jsq -lambda 4 -mu 5
+//	farmsim -mode farm -stream -parallel -sizes 4,16 -dispatch jsq
 //	farmsim -mode chip -sizes 1,2,4 -lambda 14 -mu 5
+//
+// With -stream the farm mode never materializes the job stream: jobs are
+// pulled from a stationary source in bounded chunks through the streaming
+// dispatch loop (JSQ included), and -parallel adds the time-sliced parallel
+// simulation — bit-identical to the sequential dispatch.
 package main
 
 import (
@@ -24,13 +30,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("farmsim: ")
 	var (
-		mode     = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
-		sizesArg = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
-		dispatch = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr or random")
-		lambda   = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
-		mu       = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
-		jobs     = flag.Int("jobs", 50000, "jobs to simulate")
-		seed     = flag.Int64("seed", 1, "seed")
+		mode      = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
+		sizesArg  = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
+		dispatch  = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr or random")
+		lambda    = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
+		mu        = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
+		jobs      = flag.Int("jobs", 50000, "jobs to simulate")
+		seed      = flag.Int64("seed", 1, "seed")
+		streaming = flag.Bool("stream", false, "farm mode: pull jobs from a streaming source (O(chunk) memory) instead of materializing")
+		parallel  = flag.Bool("parallel", false, "with -stream: time-sliced parallel simulation (bit-identical results)")
 	)
 	flag.Parse()
 
@@ -38,15 +46,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	stream := make([]sleepscale.Job, *jobs)
-	tnow := 0.0
-	for i := range stream {
-		tnow += rng.ExpFloat64() / *lambda
-		stream[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / *mu}
+	// The materialized job slice only exists outside -stream farm runs —
+	// materializing it anyway would do exactly the work the flag avoids.
+	var stream []sleepscale.Job
+	if *mode != "farm" || !*streaming {
+		rng := rand.New(rand.NewSource(*seed))
+		stream = make([]sleepscale.Job, *jobs)
+		tnow := 0.0
+		for i := range stream {
+			tnow += rng.ExpFloat64() / *lambda
+			stream[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / *mu}
+		}
 	}
 
-	fmt.Printf("mode=%s λ=%.2f/s µ=%.2f/s jobs=%d\n\n", *mode, *lambda, *mu, *jobs)
+	fmt.Printf("mode=%s λ=%.2f/s µ=%.2f/s jobs=%d stream=%v\n\n", *mode, *lambda, *mu, *jobs, *streaming)
 	fmt.Printf("%6s  %10s  %10s  %12s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)")
 	for _, k := range sizes {
 		switch *mode {
@@ -60,9 +73,22 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := sleepscale.RunFarm(k, cfg, disp, stream)
-			if err != nil {
-				log.Fatal(err)
+			var res sleepscale.FarmResult
+			if *streaming {
+				src, err := buildStream(*lambda, *mu, *jobs, *seed)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err = sleepscale.RunFarmSource(k, cfg, disp, src,
+					sleepscale.FarmDispatchOptions{Parallel: *parallel})
+				if err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				res, err = sleepscale.RunFarm(k, cfg, disp, stream)
+				if err != nil {
+					log.Fatal(err)
+				}
 			}
 			var p95 float64
 			for _, s := range res.PerServer {
@@ -105,6 +131,22 @@ func parseSizes(arg string) ([]int, error) {
 		out = append(out, k)
 	}
 	return out, nil
+}
+
+// buildStream returns the streaming analogue of the materialized M/M job
+// slice: a stationary Poisson/exponential source generating ≈jobs arrivals
+// (horizon = jobs/λ), pulled in bounded chunks by the dispatch loop.
+func buildStream(lambda, mu float64, jobs int, seed int64) (sleepscale.StreamSource, error) {
+	inter, err := sleepscale.FitDistribution(1/lambda, 1)
+	if err != nil {
+		return nil, err
+	}
+	size, err := sleepscale.FitDistribution(1/mu, 1)
+	if err != nil {
+		return nil, err
+	}
+	return sleepscale.NewStationarySource(
+		sleepscale.Stats{Inter: inter, Size: size}, float64(jobs)/lambda, seed)
 }
 
 func buildDispatcher(name string, seed int64) (sleepscale.Dispatcher, error) {

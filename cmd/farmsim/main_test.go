@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"sleepscale"
+)
 
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes("1, 2,16")
@@ -14,6 +18,29 @@ func TestParseSizes(t *testing.T) {
 		if _, err := parseSizes(bad); err == nil {
 			t.Errorf("parseSizes(%q) accepted", bad)
 		}
+	}
+}
+
+func TestBuildStream(t *testing.T) {
+	src, err := buildStream(4, 5, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := sleepscale.CollectSource(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Poisson(4/s) stream over a 250 s horizon: ≈1000 arrivals, sorted.
+	if len(jobs) < 800 || len(jobs) > 1200 {
+		t.Errorf("generated %d jobs, want ≈1000", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatal("stream not sorted by arrival")
+		}
+	}
+	if _, err := buildStream(-1, 5, 1000, 1); err == nil {
+		t.Error("negative rate accepted")
 	}
 }
 

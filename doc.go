@@ -104,7 +104,40 @@
 // report 0 allocs/op, and BenchmarkStreamRunWeekTrace records a full 7-day
 // streamed run in BENCH_stream.json.
 //
+// # Streaming farm dispatch
+//
+// RunFarmSource closes the gap between the two: one streamed source,
+// k servers, a real dispatcher. Jobs are pulled in bounded chunks and
+// routed at their arrival instants with the per-server engines advancing in
+// virtual-time order, so the state-dependent JSQ dispatcher sees accurate
+// queue depths without the stream ever being materialized. Dispatchers
+// advertise how they may be parallelized:
+//
+//   - Preassigner (round-robin, random): routing is state-independent, so
+//     assignments preassign and servers simulate concurrently.
+//   - VirtualRouter (JSQ): routing depends only on each server's
+//     work-completion time, which the driver tracks as a scalar shadow
+//     advanced by SimConfig.NextFreeAt — an exact mirror of the engine's
+//     availability arithmetic.
+//
+// FarmDispatchOptions.Parallel enables the time-sliced parallel mode: the
+// stream is cut into slices at dispatch-forced synchronization points, each
+// slice routes serially and simulates concurrently, and the merge is
+// bit-identical to the sequential dispatch — the determinism contract
+// equivalence tests and a golden snapshot pin down. RunFarmEpochs layers
+// the §6 epoch loop on top: one strategy decision per epoch applied
+// fleet-wide, farm-wide delay statistics feeding the over-provisioning
+// guard (with k = 1 it matches RunSource bit for bit).
+//
+// CI gates this path as well — BenchmarkFarmDispatchSteadyState (the
+// Reset+ServeSource loop) must hold 0 allocs/op in BENCH_farm.json — and
+// every bench snapshot doubles as a regression baseline: cmd/benchsnap
+// -baseline fails the build when a benchmark regresses more than 25% ns/op
+// (or allocates beyond its baseline) against the committed snapshot.
+//
 // See examples/ for runnable programs (examples/week-long drives a 7-day
-// trace through the streaming loop) and internal/experiments for the
-// harness that regenerates every table and figure in the paper.
+// trace through the streaming loop; examples/streamed-farm dispatches a
+// 7-day diurnal + flash-crowd scenario across 16 servers) and
+// internal/experiments for the harness that regenerates every table and
+// figure in the paper.
 package sleepscale

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"sleepscale/internal/farm"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
+)
+
+// FarmRunReport aggregates a trace-driven run over a k-server farm. The
+// embedded RunReport carries the fleet-wide quantities: Jobs is the total
+// served, MeanResponse the job-weighted mean across servers, AvgPower the
+// cluster's steady draw (the sum of per-server average powers) and
+// P95Response the worst per-server 95th percentile — the bound a
+// cluster-level SLA would be held to.
+type FarmRunReport struct {
+	RunReport
+	// Servers is the farm size k.
+	Servers int
+	// Dispatcher names the routing discipline.
+	Dispatcher string
+	// JobShare[i] is the fraction of jobs server i handled.
+	JobShare []float64
+	// PerServer holds each server's closed-out simulation result.
+	PerServer []queue.Result
+}
+
+// farmBackend drives a dispatched farm through the shared epoch loop.
+type farmBackend struct {
+	servers int
+	disp    farm.Dispatcher
+	f       *farm.Farm
+}
+
+func (b *farmBackend) applyPolicy(epochStart float64, qcfg queue.Config) error {
+	if b.f == nil {
+		f, err := farm.New(b.servers, qcfg, b.disp)
+		if err != nil {
+			return err
+		}
+		b.f = f
+		return nil
+	}
+	for s := 0; s < b.servers; s++ {
+		if err := b.f.Server(s).SetConfigAt(epochStart, qcfg); err != nil {
+			return fmt.Errorf("server %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+func (b *farmBackend) process(j queue.Job) (float64, error) {
+	resp, _, err := b.f.Process(j)
+	return resp, err
+}
+
+// RunFarmSource executes the §6 evaluation loop of RunSource over a
+// k-server farm behind a dispatcher: one strategy decision per epoch,
+// applied fleet-wide (every server switches to the chosen policy at the
+// epoch boundary — the homogeneous-cluster operating model of the scale-out
+// studies), with jobs pulled from src in bounded chunks and routed through
+// disp at their arrival instants, so state-dependent dispatchers like JSQ
+// see live backlogs. The epoch accounting is runEpochs — the same driver
+// RunSource uses — so per-epoch delay statistics aggregate across the whole
+// farm and feed the §5.2.3 over-provisioning guard exactly as the
+// single-server runner's do; with k = 1 the report's aggregate fields match
+// RunSource bit for bit.
+//
+// The trace drives epoch boundaries and the predictor's observations;
+// cfg.Stats is not consulted. The source is consumed from its current
+// position (Reset it first for reproducibility). Jobs arriving at or after
+// the trace's end are left unread.
+func RunFarmSource(cfg RunnerConfig, servers int, disp farm.Dispatcher, src stream.Source) (FarmRunReport, error) {
+	if err := validateRunner(cfg); err != nil {
+		return FarmRunReport{}, err
+	}
+	if servers < 1 {
+		return FarmRunReport{}, fmt.Errorf("core: farm size %d < 1", servers)
+	}
+	if disp == nil {
+		return FarmRunReport{}, fmt.Errorf("core: farm runner needs a dispatcher")
+	}
+	report := FarmRunReport{
+		RunReport: RunReport{
+			Strategy:   cfg.Strategy.Name(),
+			Predictor:  cfg.Predictor.Name(),
+			PlanEpochs: make(map[string]int),
+		},
+		Servers:    servers,
+		Dispatcher: disp.Name(),
+	}
+	backend := &farmBackend{servers: servers, disp: disp}
+	if err := runEpochs(cfg, src, backend, &report.RunReport); err != nil {
+		return FarmRunReport{}, err
+	}
+	res, err := backend.f.Finish(cfg.Trace.Duration())
+	if err != nil {
+		return FarmRunReport{}, err
+	}
+	report.Jobs = res.Jobs
+	report.MeanResponse = res.MeanResponse
+	report.AvgPower = res.TotalAvgPower
+	report.Energy = res.Energy
+	report.JobShare = res.JobShare
+	report.PerServer = res.PerServer
+	for _, sr := range res.PerServer {
+		if sr.ResponseP95 > report.P95Response {
+			report.P95Response = sr.ResponseP95
+		}
+		if sr.Duration > report.Duration {
+			report.Duration = sr.Duration
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sleepscale/internal/farm"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/stream"
+)
+
+// farmSource builds a reproducible trace-driven source for farm-runner
+// tests, reset to seed before use.
+func farmSource(t *testing.T, cfg RunnerConfig) stream.Source {
+	t.Helper()
+	src, err := cfg.Stats.NewTraceGen(cfg.Trace.Utilization, cfg.Trace.SlotSeconds, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestRunFarmSourceBasics(t *testing.T) {
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)}
+	tr := shortTrace(20, 0.6)
+	cfg := runnerConfig(t, &staticStrategy{pol: pol}, tr, 5)
+	rep, err := RunFarmSource(cfg, 3, &farm.RoundRobin{}, farmSource(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs served")
+	}
+	if rep.Servers != 3 || rep.Dispatcher != "round-robin" {
+		t.Errorf("report identifies %d servers / %q", rep.Servers, rep.Dispatcher)
+	}
+	if len(rep.Epochs) != 4 {
+		t.Errorf("epochs = %d, want 4", len(rep.Epochs))
+	}
+	if len(rep.PerServer) != 3 || len(rep.JobShare) != 3 {
+		t.Fatalf("per-server shape: %d results, %d shares", len(rep.PerServer), len(rep.JobShare))
+	}
+	var share, jobs float64
+	for s := range rep.PerServer {
+		share += rep.JobShare[s]
+		jobs += float64(rep.PerServer[s].Jobs)
+	}
+	if math.Abs(share-1) > 1e-12 {
+		t.Errorf("job shares sum to %v, want 1", share)
+	}
+	if int(jobs) != rep.Jobs {
+		t.Errorf("per-server jobs sum %v != total %d", jobs, rep.Jobs)
+	}
+	// Cluster power is the sum of per-server draws: more than one idle
+	// server's worth, and the report's AvgPower must be that total.
+	var total float64
+	for _, sr := range rep.PerServer {
+		total += sr.AvgPower
+	}
+	if math.Abs(total-rep.AvgPower) > 1e-9 {
+		t.Errorf("AvgPower %v != per-server sum %v", rep.AvgPower, total)
+	}
+}
+
+// TestRunFarmSourceK1MatchesRunSource anchors the farm epoch runner to the
+// single-server runner: with one server, any dispatcher degenerates to the
+// same engine fed the same jobs under the same per-epoch switches, so every
+// aggregate must match RunSource bit for bit.
+func TestRunFarmSourceK1MatchesRunSource(t *testing.T) {
+	pols := []policy.Policy{
+		{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)},
+		{Frequency: 0.7, Plan: policy.SingleState(power.Sleep)},
+	}
+	tr := shortTrace(24, 0.5)
+	cfg := runnerConfig(t, &switchingStrategy{plans: pols}, tr, 4)
+	want, err := RunSource(cfg, farmSource(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := runnerConfig(t, &switchingStrategy{plans: pols}, tr, 4)
+	got, err := RunFarmSource(cfg2, 1, farm.JSQ{}, farmSource(t, cfg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse ||
+		got.P95Response != want.P95Response || got.AvgPower != want.AvgPower ||
+		got.Energy != want.Energy || got.Duration != want.Duration ||
+		got.MeanFrequency != want.MeanFrequency {
+		t.Fatalf("k=1 farm run diverges from RunSource:\n got %+v\nwant %+v", got.RunReport, want)
+	}
+	if len(got.Epochs) != len(want.Epochs) {
+		t.Fatalf("epoch counts diverge: %d vs %d", len(got.Epochs), len(want.Epochs))
+	}
+	for e := range got.Epochs {
+		g, w := got.Epochs[e], want.Epochs[e]
+		if g.Index != w.Index || g.Predicted != w.Predicted || g.Realized != w.Realized ||
+			g.Jobs != w.Jobs || g.MeanDelay != w.MeanDelay || g.Policy.Frequency != w.Policy.Frequency {
+			t.Fatalf("epoch %d diverges:\n got %+v\nwant %+v", e, g, w)
+		}
+	}
+}
+
+// TestRunFarmSourceScaleOutSpreadsLoad: with JSQ over more servers, the
+// same aggregate stream must yield a lower mean response while total power
+// grows sub-linearly (idle servers sleep) — the §7 scale-out story through
+// the epoch runner.
+func TestRunFarmSourceScaleOutSpreadsLoad(t *testing.T) {
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)}
+	tr := shortTrace(20, 0.8)
+	cfg := runnerConfig(t, &staticStrategy{pol: pol}, tr, 5)
+	one, err := RunFarmSource(cfg, 1, farm.JSQ{}, farmSource(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunFarmSource(cfg, 4, farm.JSQ{}, farmSource(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.MeanResponse >= one.MeanResponse {
+		t.Errorf("scale-out did not improve response: %v vs %v", four.MeanResponse, one.MeanResponse)
+	}
+	if four.AvgPower >= 4*one.AvgPower {
+		t.Errorf("4 servers draw %v W ≥ 4× one server's %v W — sleep not exploited", four.AvgPower, one.AvgPower)
+	}
+}
+
+func TestRunFarmSourceValidation(t *testing.T) {
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeepSleep)}
+	tr := shortTrace(10, 0.3)
+	cfg := runnerConfig(t, &staticStrategy{pol: pol}, tr, 5)
+	src := farmSource(t, cfg)
+	if _, err := RunFarmSource(cfg, 0, farm.JSQ{}, src); err == nil {
+		t.Error("farm size 0 accepted")
+	}
+	if _, err := RunFarmSource(cfg, 2, nil, src); err == nil {
+		t.Error("nil dispatcher accepted")
+	}
+	if _, err := RunFarmSource(cfg, 2, farm.JSQ{}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	bad := cfg
+	bad.EpochSlots = 0
+	if _, err := RunFarmSource(bad, 2, farm.JSQ{}, src); err == nil {
+		t.Error("invalid runner config accepted")
+	}
+}

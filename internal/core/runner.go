@@ -181,8 +181,66 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 	if err := validateRunner(cfg); err != nil {
 		return RunReport{}, err
 	}
+	report := RunReport{
+		Strategy:   cfg.Strategy.Name(),
+		Predictor:  cfg.Predictor.Name(),
+		PlanEpochs: make(map[string]int),
+	}
+	backend := &engineBackend{}
+	if err := runEpochs(cfg, src, backend, &report); err != nil {
+		return RunReport{}, err
+	}
+	res, err := backend.eng.Finish(cfg.Trace.Duration())
+	if err != nil {
+		return RunReport{}, err
+	}
+	report.Jobs = res.Jobs
+	report.MeanResponse = res.MeanResponse
+	report.P95Response = res.ResponseP95
+	report.AvgPower = res.AvgPower
+	report.Energy = res.Energy
+	report.Duration = res.Duration
+	return report, nil
+}
+
+// epochBackend abstracts what the epoch loop drives: one engine (RunSource)
+// or a dispatched farm (RunFarmSource). applyPolicy installs the epoch's
+// configuration — the first call creates the backend — and process serves
+// one job, returning its response time.
+type epochBackend interface {
+	applyPolicy(epochStart float64, qcfg queue.Config) error
+	process(j queue.Job) (float64, error)
+}
+
+// engineBackend is the single-server backend.
+type engineBackend struct{ eng *queue.Engine }
+
+func (b *engineBackend) applyPolicy(epochStart float64, qcfg queue.Config) error {
+	if b.eng == nil {
+		eng, err := queue.NewEngine(qcfg, 0)
+		if err != nil {
+			return err
+		}
+		b.eng = eng
+		return nil
+	}
+	return b.eng.SetConfigAt(epochStart, qcfg)
+}
+
+func (b *engineBackend) process(j queue.Job) (float64, error) { return b.eng.Process(j) }
+
+// runEpochs is the shared §6 epoch loop behind RunSource and RunFarmSource:
+// per epoch it predicts utilization, lets the strategy pick a policy,
+// installs it on the backend, serves the epoch's arrivals from the chunk
+// cursor, logs them in the ring window and feeds realized utilizations back
+// to the predictor. One implementation serves both runners, so their epoch
+// accounting — including the k = 1 bit-for-bit equivalence the farm runner
+// guarantees — can never drift. It fills report.Epochs, PlanEpochs and
+// MeanFrequency; closing out the backend and the aggregate report fields is
+// the caller's job. cfg must already have passed validateRunner.
+func runEpochs(cfg RunnerConfig, src stream.Source, backend epochBackend, report *RunReport) error {
 	if src == nil {
-		return RunReport{}, fmt.Errorf("core: runner needs a job source")
+		return fmt.Errorf("core: runner needs a job source")
 	}
 	windowEpochs := cfg.WindowEpochs
 	if windowEpochs <= 0 {
@@ -190,18 +248,11 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 	}
 	window, err := eventlog.NewWindow(windowEpochs)
 	if err != nil {
-		return RunReport{}, err
+		return err
 	}
 
 	decideRng := rand.New(rand.NewSource(cfg.Seed + 0x5157))
 
-	report := RunReport{
-		Strategy:   cfg.Strategy.Name(),
-		Predictor:  cfg.Predictor.Name(),
-		PlanEpochs: make(map[string]int),
-	}
-
-	var eng *queue.Engine
 	slotSec := cfg.Trace.SlotSeconds
 	nSlots := cfg.Trace.Len()
 	nEpochs := (nSlots + cfg.EpochSlots - 1) / cfg.EpochSlots
@@ -217,9 +268,7 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 	// The chunk cursor and the per-epoch job log are the run's only job
 	// buffers: one chunk of lookahead plus one epoch of arrivals, however
 	// long the trace.
-	buf := make([]queue.Job, stream.DefaultChunk)
-	bufPos, bufN := 0, 0
-	exhausted := false
+	cursor := stream.NewCursor(src)
 	var epochJobs []queue.Job
 
 	for e := 0; e < nEpochs; e++ {
@@ -241,55 +290,36 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 			Rng:                  decideRng,
 		})
 		if err != nil {
-			return RunReport{}, fmt.Errorf("core: epoch %d decision: %w", e, err)
+			return fmt.Errorf("core: epoch %d decision: %w", e, err)
 		}
 		qcfg, err := pol.Config(cfg.Profile, cfg.FreqExponent)
 		if err != nil {
-			return RunReport{}, fmt.Errorf("core: epoch %d policy %v: %w", e, pol, err)
+			return fmt.Errorf("core: epoch %d policy %v: %w", e, pol, err)
 		}
-		if eng == nil {
-			eng, err = queue.NewEngine(qcfg, 0)
-			if err != nil {
-				return RunReport{}, err
-			}
-		} else if err := eng.SetConfigAt(epochStart, qcfg); err != nil {
-			return RunReport{}, fmt.Errorf("core: epoch %d switch: %w", e, err)
+		if err := backend.applyPolicy(epochStart, qcfg); err != nil {
+			return fmt.Errorf("core: epoch %d switch: %w", e, err)
 		}
 
 		// Serve this epoch's arrivals from the chunk cursor.
 		epochDelays.Reset()
 		epochJobs = epochJobs[:0]
 		for {
-			if bufPos == bufN {
-				if exhausted {
-					break
-				}
-				n, ok := src.Next(buf)
-				bufPos, bufN = 0, n
-				if !ok {
-					exhausted = true
-				}
-				if n == 0 {
-					if exhausted {
-						break
-					}
-					continue
-				}
-			}
-			j := buf[bufPos]
-			if j.Arrival >= epochEnd {
+			j, ok := cursor.Peek()
+			if !ok || j.Arrival >= epochEnd {
 				break
 			}
-			resp, err := eng.Process(j)
+			resp, err := backend.process(j)
 			if err != nil {
-				return RunReport{}, fmt.Errorf("core: epoch %d job %d: %w", e, jobIdx, err)
+				return fmt.Errorf("core: epoch %d job %d: %w", e, jobIdx, err)
 			}
 			epochDelays.Add(resp)
 			epochJobs = append(epochJobs, j)
-			bufPos++
+			cursor.Advance()
 			jobIdx++
 		}
-		window.Push(eventlog.FromJobs(epochJobs, epochStart))
+		// PushJobs logs the epoch in the window's recycled ring buffers —
+		// no per-epoch slice allocations (the old FromJobs path's two).
+		window.PushJobs(epochJobs, epochStart)
 
 		// Feed the predictor the realized utilization of each slot.
 		var realized float64
@@ -314,22 +344,12 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 	}
 
 	if err := stream.Err(src); err != nil {
-		return RunReport{}, fmt.Errorf("core: job source: %w", err)
+		return fmt.Errorf("core: job source: %w", err)
 	}
-	res, err := eng.Finish(cfg.Trace.Duration())
-	if err != nil {
-		return RunReport{}, err
-	}
-	report.Jobs = res.Jobs
-	report.MeanResponse = res.MeanResponse
-	report.P95Response = res.ResponseP95
-	report.AvgPower = res.AvgPower
-	report.Energy = res.Energy
-	report.Duration = res.Duration
 	if nEpochs > 0 {
 		report.MeanFrequency = freqSum / float64(nEpochs)
 	}
-	return report, nil
+	return nil
 }
 
 func clampRho(r float64) float64 {

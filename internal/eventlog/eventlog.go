@@ -38,10 +38,14 @@ func FromJobs(jobs []queue.Job, epochStart float64) Epoch {
 }
 
 // Window is a bounded ring of the most recent epochs; "average behavior from
-// the past several epochs will suffice" (§5.2.1).
+// the past several epochs will suffice" (§5.2.1). The ring owns its epoch
+// buffers: an evicted epoch's gap and size slices are recycled for the
+// incoming one, so the steady-state logging path — PushJobs every epoch —
+// allocates nothing once the buffers have grown to the largest epoch seen.
 type Window struct {
-	epochs []Epoch
-	cap    int
+	epochs []Epoch // fixed-capacity ring storage
+	head   int     // index of the oldest held epoch
+	count  int     // epochs currently held
 }
 
 // NewWindow returns a window retaining the most recent capacity epochs.
@@ -49,26 +53,60 @@ func NewWindow(capacity int) (*Window, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("eventlog: window capacity %d < 1", capacity)
 	}
-	return &Window{cap: capacity}, nil
+	return &Window{epochs: make([]Epoch, capacity)}, nil
 }
 
-// Push appends an epoch, evicting the oldest beyond capacity. Empty epochs
-// (no jobs) are recorded too — they carry load information.
+// slot returns the ring slot for the next epoch — evicting the oldest when
+// full — with its recycled buffers truncated, ready to refill.
+func (w *Window) slot() *Epoch {
+	var e *Epoch
+	if w.count == len(w.epochs) {
+		e = &w.epochs[w.head]
+		w.head = (w.head + 1) % len(w.epochs)
+	} else {
+		e = &w.epochs[(w.head+w.count)%len(w.epochs)]
+		w.count++
+	}
+	e.Gaps = e.Gaps[:0]
+	e.Sizes = e.Sizes[:0]
+	return e
+}
+
+// at returns the i-th held epoch, oldest first.
+func (w *Window) at(i int) *Epoch { return &w.epochs[(w.head+i)%len(w.epochs)] }
+
+// Push records an epoch, evicting the oldest beyond capacity. Empty epochs
+// (no jobs) are recorded too — they carry load information. The epoch's
+// slices are copied into ring-owned buffers; the caller's remain its own.
 func (w *Window) Push(e Epoch) {
-	w.epochs = append(w.epochs, e)
-	if len(w.epochs) > w.cap {
-		w.epochs = w.epochs[1:]
+	s := w.slot()
+	s.Gaps = append(s.Gaps, e.Gaps...)
+	s.Sizes = append(s.Sizes, e.Sizes...)
+}
+
+// PushJobs logs one epoch straight from its job slice (sorted by arrival,
+// first gap measured from epochStart) — the streaming form of
+// Push(FromJobs(jobs, epochStart)) that builds the log in recycled ring
+// buffers instead of two fresh slices, making the epoch loop allocation-free
+// at steady state.
+func (w *Window) PushJobs(jobs []queue.Job, epochStart float64) {
+	s := w.slot()
+	prev := epochStart
+	for _, j := range jobs {
+		s.Gaps = append(s.Gaps, j.Arrival-prev)
+		s.Sizes = append(s.Sizes, j.Size)
+		prev = j.Arrival
 	}
 }
 
 // Epochs reports how many epochs the window currently holds.
-func (w *Window) Epochs() int { return len(w.epochs) }
+func (w *Window) Epochs() int { return w.count }
 
 // JobCount reports the total number of logged jobs.
 func (w *Window) JobCount() int {
 	var n int
-	for _, e := range w.epochs {
-		n += len(e.Sizes)
+	for i := 0; i < w.count; i++ {
+		n += len(w.at(i).Sizes)
 	}
 	return n
 }
@@ -78,7 +116,8 @@ func (w *Window) JobCount() int {
 func (w *Window) Means() (gapMean, sizeMean float64, ok bool) {
 	var gsum, ssum float64
 	var n int
-	for _, e := range w.epochs {
+	for i := 0; i < w.count; i++ {
+		e := w.at(i)
 		for _, g := range e.Gaps {
 			gsum += g
 		}
@@ -118,7 +157,8 @@ func (w *Window) Jobs(n int, targetRho float64, rng *rand.Rand) ([]queue.Job, bo
 	}
 	// Flatten once; windows are small (a few epochs of logs).
 	var gaps, sizes []float64
-	for _, e := range w.epochs {
+	for i := 0; i < w.count; i++ {
+		e := w.at(i)
 		gaps = append(gaps, e.Gaps...)
 		sizes = append(sizes, e.Sizes...)
 	}

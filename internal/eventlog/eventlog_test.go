@@ -161,3 +161,72 @@ func TestBootstrapUtilizationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPushJobsMatchesPush: the ring-buffered streaming form must log
+// exactly what Push(FromJobs(...)) logs.
+func TestPushJobsMatchesPush(t *testing.T) {
+	jobs := []queue.Job{
+		{Arrival: 12, Size: 0.1},
+		{Arrival: 15, Size: 0.2},
+		{Arrival: 15.5, Size: 0.3},
+	}
+	a, _ := NewWindow(2)
+	b, _ := NewWindow(2)
+	a.Push(FromJobs(jobs, 10))
+	b.PushJobs(jobs, 10)
+	ag, as, aok := a.Means()
+	bg, bs, bok := b.Means()
+	if aok != bok || ag != bg || as != bs {
+		t.Fatalf("PushJobs diverges from Push: (%v %v %v) vs (%v %v %v)", bg, bs, bok, ag, as, aok)
+	}
+	if a.JobCount() != b.JobCount() {
+		t.Fatalf("job counts diverge: %d vs %d", a.JobCount(), b.JobCount())
+	}
+}
+
+// TestWindowRingEviction exercises wrap-around: after pushing far more
+// epochs than capacity, the window must hold exactly the most recent ones.
+func TestWindowRingEviction(t *testing.T) {
+	w, _ := NewWindow(3)
+	for i := 1; i <= 10; i++ {
+		w.Push(Epoch{Gaps: []float64{float64(i)}, Sizes: []float64{float64(i)}})
+	}
+	if w.Epochs() != 3 {
+		t.Fatalf("epochs = %d, want 3", w.Epochs())
+	}
+	g, s, ok := w.Means()
+	if !ok || g != 9 || s != 9 { // epochs 8, 9, 10
+		t.Fatalf("means = %v,%v,%v, want 9,9 over the last three epochs", g, s, ok)
+	}
+}
+
+// TestPushCopiesCallerSlices: the ring owns its buffers, so mutating the
+// caller's slices after Push must not corrupt the log.
+func TestPushCopiesCallerSlices(t *testing.T) {
+	w, _ := NewWindow(2)
+	gaps := []float64{1, 3}
+	sizes := []float64{0.25, 0.75}
+	w.Push(Epoch{Gaps: gaps, Sizes: sizes})
+	gaps[0], sizes[0] = 1e9, 1e9
+	if got := w.Utilization(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("utilization after caller mutation = %v, want 0.25", got)
+	}
+}
+
+// TestPushJobsZeroAllocSteadyState pins the PR's allocation fix: once the
+// ring buffers have grown to the largest epoch seen, per-epoch logging
+// allocates nothing (FromJobs allocated two slices per epoch).
+func TestPushJobsZeroAllocSteadyState(t *testing.T) {
+	w, _ := NewWindow(3)
+	jobs := make([]queue.Job, 500)
+	for i := range jobs {
+		jobs[i] = queue.Job{Arrival: float64(i), Size: 0.1}
+	}
+	for i := 0; i < 4; i++ { // warm every ring slot past capacity
+		w.PushJobs(jobs, 0)
+	}
+	avg := testing.AllocsPerRun(5, func() { w.PushJobs(jobs, 0) })
+	if avg != 0 {
+		t.Errorf("steady-state PushJobs allocates %.1f/run, want 0", avg)
+	}
+}

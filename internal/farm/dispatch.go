@@ -1,0 +1,225 @@
+package farm
+
+import (
+	"fmt"
+
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
+)
+
+// VirtualRouter is the state-dependent analogue of Preassigner: a dispatcher
+// that can route against a lightweight per-server availability shadow —
+// freeAt[i] being the time server i's accepted work completes — instead of
+// live engines. RouteVirtual must pick exactly as Pick would against engines
+// whose FreeAt equals the shadow, so the time-sliced parallel dispatch can
+// decide routing serially (cheap scalar recursion) while the full
+// energy-accounting simulation of each server runs concurrently.
+type VirtualRouter interface {
+	RouteVirtual(freeAt []float64, j queue.Job) int
+}
+
+// RouteVirtual implements VirtualRouter: the server with the least
+// outstanding work at the arrival instant, ties toward the lowest index —
+// the same decision Pick makes from engine backlogs.
+func (JSQ) RouteVirtual(freeAt []float64, j queue.Job) int {
+	best, bestWork := 0, shadowBacklog(freeAt[0], j.Arrival)
+	for i := 1; i < len(freeAt); i++ {
+		if w := shadowBacklog(freeAt[i], j.Arrival); w < bestWork {
+			best, bestWork = i, w
+		}
+	}
+	return best
+}
+
+// shadowBacklog mirrors Engine.Backlog for the freeAt shadow.
+func shadowBacklog(freeAt, t float64) float64 {
+	if freeAt <= t {
+		return 0
+	}
+	return freeAt - t
+}
+
+// DefaultSliceJobs is the synchronization granularity of the parallel
+// dispatch mode when DispatchOptions does not pick one: jobs routed per
+// slice between barriers. Larger slices amortize the barrier; the slice
+// buffer (not the stream) is the mode's memory high-water mark.
+const DefaultSliceJobs = 4096
+
+// DispatchOptions tunes DispatchSource.
+type DispatchOptions struct {
+	// Parallel enables the time-sliced parallel mode: the stream is cut
+	// into slices at dispatch-forced synchronization points, each slice is
+	// routed serially against the shadow (or preassigned), and the
+	// per-server substreams simulate concurrently between barriers. Results
+	// are bit-identical to the sequential dispatch. Requires a dispatcher
+	// implementing Preassigner or VirtualRouter; round-robin, random and
+	// JSQ all qualify.
+	Parallel bool
+	// SliceJobs is the jobs-per-slice granularity of the parallel mode
+	// (default DefaultSliceJobs). Smaller slices synchronize more often;
+	// the results do not depend on the choice.
+	SliceJobs int
+}
+
+// DispatchSource is the streaming k-way dispatch loop: it pulls chunks from
+// src (any stream.Source or queue.JobSource), routes each job through disp
+// at its arrival instant, and advances the k per-server engines in
+// virtual-time order — JSQ sees accurate queue depths — without ever
+// materializing the stream. Peak job-buffer memory is one chunk (sequential)
+// or one slice (parallel); week-long streams run in O(chunk).
+//
+// The source is consumed from its current position; sources exposing
+// Err() error surface their deferred failure. With opts.Parallel the
+// time-sliced mode simulates servers concurrently and merges
+// deterministically, bit-identical to the sequential reference.
+func DispatchSource(k int, cfg queue.Config, disp Dispatcher, src queue.JobSource, opts DispatchOptions) (Result, error) {
+	if disp == nil {
+		return Result{}, fmt.Errorf("farm: nil dispatcher")
+	}
+	if src == nil {
+		return Result{}, fmt.Errorf("farm: nil job source")
+	}
+	if opts.Parallel && k > 1 {
+		if err := cfg.Validate(); err != nil {
+			return Result{}, err
+		}
+		return dispatchSliced(k, cfg, disp, src, opts)
+	}
+	f, err := New(k, cfg, disp)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := f.ServeSource(src); err != nil {
+		return Result{}, err
+	}
+	if err := sourceErr(src); err != nil {
+		return Result{}, fmt.Errorf("farm: job source: %w", err)
+	}
+	return f.Finish(lastFree(f.engines))
+}
+
+// sourceErr reports a source's deferred mid-stream failure, if any.
+func sourceErr(src queue.JobSource) error {
+	if es, ok := src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// dispatchSliced is the time-sliced parallel driver. The stream is consumed
+// slice by slice; within a slice routing is decided serially — by Preassign
+// for state-independent dispatchers, or against the freeAt shadow advanced
+// with queue.Config.NextFreeAt for VirtualRouters — then the per-server
+// substreams advance concurrently and a barrier resynchronizes the shadow
+// from the engines before the next slice. Because the shadow recursion
+// mirrors Engine.Process bit for bit, every routing decision equals the one
+// the sequential dispatch would make, and each engine sees the same jobs in
+// the same order: the merged Result is bit-identical to the sequential
+// reference.
+func dispatchSliced(k int, cfg queue.Config, disp Dispatcher, src queue.JobSource, opts DispatchOptions) (Result, error) {
+	pre, isPre := disp.(Preassigner)
+	vr, isVR := disp.(VirtualRouter)
+	if !isPre && !isVR {
+		return Result{}, fmt.Errorf("farm: dispatcher %s supports neither preassignment nor virtual routing; run it sequentially (DispatchOptions{Parallel: false})", disp.Name())
+	}
+
+	engines := make([]*queue.Engine, k)
+	for s := range engines {
+		eng, err := queue.NewEngine(cfg, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		engines[s] = eng
+	}
+
+	sliceJobs := opts.SliceJobs
+	if sliceJobs < 1 {
+		sliceJobs = DefaultSliceJobs
+	}
+	var (
+		slice   = make([]queue.Job, 0, sliceJobs)
+		assign  = make([]int, sliceJobs)
+		backing = make([]queue.Job, sliceJobs)
+		freeAt  = make([]float64, k)
+		offsets = make([]int, k+1)
+		fill    = make([]int, k)
+		count   = make([]int, k)
+		perSrv  = make([]int, k)
+		errs    = make([]error, k)
+	)
+	cursor := stream.NewCursor(src)
+
+	for {
+		// Fill the next slice from the chunk cursor.
+		slice = slice[:0]
+		for len(slice) < sliceJobs {
+			j, ok := cursor.Peek()
+			if !ok {
+				break
+			}
+			slice = append(slice, j)
+			cursor.Advance()
+		}
+		if len(slice) == 0 {
+			break
+		}
+
+		// Route the slice serially: this is the dispatch-forced
+		// synchronization the mode's name refers to.
+		if isPre {
+			pre.Preassign(k, slice, assign[:len(slice)])
+		} else {
+			for i := range slice {
+				assign[i] = vr.RouteVirtual(freeAt, slice[i])
+				if s := assign[i]; s >= 0 && s < k {
+					freeAt[s] = cfg.NextFreeAt(freeAt[s], slice[i])
+				}
+			}
+		}
+		for s := range count {
+			count[s] = 0
+		}
+		for _, s := range assign[:len(slice)] {
+			if s < 0 || s >= k {
+				return Result{}, fmt.Errorf("farm: dispatcher %s picked server %d of %d", disp.Name(), s, k)
+			}
+			count[s]++
+			perSrv[s]++
+		}
+
+		bucketByServer(slice, assign[:len(slice)], count, offsets, fill, backing)
+
+		// Advance the servers concurrently; parallelServers' return is the
+		// slice barrier.
+		parallelServers(k, func(s int) {
+			sub := backing[offsets[s]:offsets[s+1]]
+			for i := range sub {
+				if _, err := engines[s].Process(sub[i]); err != nil {
+					errs[s] = fmt.Errorf("farm: server %d: %w", s, err)
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		// Resynchronize the shadow from the engines — they agree bit for
+		// bit with the NextFreeAt recursion, so this only re-anchors the
+		// next slice's routing on the authoritative engine arithmetic.
+		if isVR {
+			for s, eng := range engines {
+				freeAt[s] = eng.FreeAt()
+			}
+		}
+	}
+
+	if err := sourceErr(src); err != nil {
+		return Result{}, fmt.Errorf("farm: job source: %w", err)
+	}
+	// Merge through the same Farm.Finish the sequential path uses, in
+	// server order, so aggregation can never diverge between the modes.
+	f := &Farm{engines: engines, disp: disp, perSrv: perSrv}
+	return f.Finish(lastFree(engines))
+}

@@ -1,0 +1,268 @@
+package farm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sleepscale/internal/queue"
+)
+
+// dispatchers lists the three disciplines with fresh-state constructors, so
+// every equivalence case routes from the same dispatcher state.
+func dispatchers() []struct {
+	name string
+	mk   func() Dispatcher
+} {
+	return []struct {
+		name string
+		mk   func() Dispatcher
+	}{
+		{"round-robin", func() Dispatcher { return &RoundRobin{} }},
+		{"random", func() Dispatcher { return &Random{Rng: rand.New(rand.NewSource(77))} }},
+		{"jsq", func() Dispatcher { return JSQ{} }},
+	}
+}
+
+// TestDispatchSourceMatchesRun pins the streamed dispatch loop — sequential
+// and time-sliced parallel — to the materialized farm.Run reference bit for
+// bit, across all three dispatchers and three seeds. This is the
+// determinism contract of the parallel JSQ mode: slicing and concurrent
+// simulation must never change a single routing decision or metric.
+func TestDispatchSourceMatchesRun(t *testing.T) {
+	const k = 4
+	for _, seed := range []int64{1, 2, 3} {
+		jobs := expJobs(20000, 10, 5, seed)
+		for _, d := range dispatchers() {
+			want := sequentialRun(t, k, testCfg(), d.mk(), jobs)
+
+			seq, err := DispatchSource(k, testCfg(), d.mk(), &sliceSource{jobs: jobs}, DispatchOptions{})
+			if err != nil {
+				t.Fatalf("seed %d %s sequential: %v", seed, d.name, err)
+			}
+			requireResultsEqual(t, seq, want)
+
+			// Odd slice size straddles chunk boundaries on purpose.
+			par, err := DispatchSource(k, testCfg(), d.mk(), &sliceSource{jobs: jobs},
+				DispatchOptions{Parallel: true, SliceJobs: 777})
+			if err != nil {
+				t.Fatalf("seed %d %s parallel: %v", seed, d.name, err)
+			}
+			requireResultsEqual(t, par, want)
+		}
+	}
+}
+
+// TestDispatchParallelSliceSizeInvariance: the slice size tunes barrier
+// frequency only — results must be identical for any choice, including
+// slices smaller than the pull chunk.
+func TestDispatchParallelSliceSizeInvariance(t *testing.T) {
+	jobs := expJobs(12000, 10, 5, 8)
+	const k = 3
+	want, err := DispatchSource(k, testCfg(), JSQ{}, &sliceSource{jobs: jobs}, DispatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sliceJobs := range []int{0, 1, 100, 12000, 50000} {
+		got, err := DispatchSource(k, testCfg(), JSQ{}, &sliceSource{jobs: jobs},
+			DispatchOptions{Parallel: true, SliceJobs: sliceJobs})
+		if err != nil {
+			t.Fatalf("slice %d: %v", sliceJobs, err)
+		}
+		requireResultsEqual(t, got, want)
+	}
+}
+
+// TestJSQVirtualRouterMatchesPick: the freeAt-shadow routing must replicate
+// Pick against live engines decision for decision, and the shadow recursion
+// must track the engines' FreeAt exactly.
+func TestJSQVirtualRouterMatchesPick(t *testing.T) {
+	jobs := expJobs(5000, 12, 5, 13)
+	const k = 4
+	f, err := New(k, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	freeAt := make([]float64, k)
+	for i, j := range jobs {
+		virtual := (JSQ{}).RouteVirtual(freeAt, j)
+		_, picked, err := f.Process(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if virtual != picked {
+			t.Fatalf("job %d: virtual route %d, engine pick %d", i, virtual, picked)
+		}
+		freeAt[virtual] = cfg.NextFreeAt(freeAt[virtual], j)
+		if got := f.Server(virtual).FreeAt(); got != freeAt[virtual] {
+			t.Fatalf("job %d: shadow freeAt %.17g, engine %.17g", i, freeAt[virtual], got)
+		}
+	}
+}
+
+// TestDispatchParallelJSQGolden is the checked-in determinism snapshot for
+// the parallel JSQ merge: a fixed-seed stream across 5 servers must
+// reproduce these exact aggregates. Regenerate deliberately with
+// go test ./internal/farm -run ParallelJSQGolden -v and copy the logged
+// values in.
+func TestDispatchParallelJSQGolden(t *testing.T) {
+	jobs := expJobs(30000, 18, 5, 2014)
+	const k = 5
+	res, err := DispatchSource(k, testCfg(), JSQ{}, &sliceSource{jobs: jobs},
+		DispatchOptions{Parallel: true, SliceJobs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{
+		"Jobs":          float64(res.Jobs),
+		"MeanResponse":  res.MeanResponse,
+		"TotalAvgPower": res.TotalAvgPower,
+		"Energy":        res.Energy,
+	}
+	for s, sr := range res.PerServer {
+		got["Server"+string(rune('0'+s))+".Jobs"] = float64(sr.Jobs)
+		got["Server"+string(rune('0'+s))+".Energy"] = sr.Energy
+	}
+	for name, v := range got {
+		t.Logf("golden %-16s %.17g", name, v)
+	}
+	golden := map[string]float64{
+		"Jobs":           30000,
+		"MeanResponse":   0.26498774294068933,
+		"TotalAvgPower":  1010.7663743765854,
+		"Energy":         1669046.4047101764,
+		"Server0.Jobs":   7086,
+		"Server0.Energy": 368790.54688545776,
+		"Server1.Jobs":   6592,
+		"Server1.Energy": 356102.64139828162,
+		"Server2.Jobs":   6035,
+		"Server2.Energy": 338186.79709980777,
+		"Server3.Jobs":   5490,
+		"Server3.Energy": 315473.36903038726,
+		"Server4.Jobs":   4797,
+		"Server4.Energy": 290493.050296242,
+	}
+	for name, want := range golden {
+		tol := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(got[name]-want) > tol {
+			t.Errorf("%s = %.17g, want %.17g", name, got[name], want)
+		}
+	}
+}
+
+func TestDispatchSourceValidation(t *testing.T) {
+	src := func() queue.JobSource { return &sliceSource{jobs: expJobs(10, 8, 5, 1)} }
+	if _, err := DispatchSource(0, testCfg(), JSQ{}, src(), DispatchOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := DispatchSource(2, testCfg(), nil, src(), DispatchOptions{}); err == nil {
+		t.Error("nil dispatcher accepted")
+	}
+	if _, err := DispatchSource(2, testCfg(), JSQ{}, nil, DispatchOptions{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := DispatchSource(2, queue.Config{}, JSQ{}, src(), DispatchOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := DispatchSource(2, queue.Config{}, JSQ{}, src(), DispatchOptions{Parallel: true}); err == nil {
+		t.Error("invalid config accepted in parallel mode")
+	}
+}
+
+// pickOnly is a dispatcher with neither Preassign nor RouteVirtual: the
+// parallel mode must reject it rather than silently serialize.
+type pickOnly struct{}
+
+func (pickOnly) Pick(f *Farm, _ queue.Job) int { return 0 }
+func (pickOnly) Name() string                  { return "pick-only" }
+
+func TestDispatchParallelRejectsPlainDispatcher(t *testing.T) {
+	src := &sliceSource{jobs: expJobs(10, 8, 5, 1)}
+	if _, err := DispatchSource(2, testCfg(), pickOnly{}, src, DispatchOptions{Parallel: true}); err == nil {
+		t.Fatal("plain Pick dispatcher accepted in parallel mode")
+	}
+	// Sequentially it is fine.
+	if _, err := DispatchSource(2, testCfg(), pickOnly{}, &sliceSource{jobs: expJobs(10, 8, 5, 1)}, DispatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// badRouter routes out of range through the virtual path.
+type badRouter struct{ JSQ }
+
+func (badRouter) RouteVirtual(freeAt []float64, _ queue.Job) int { return len(freeAt) }
+
+func TestDispatchParallelRejectsBadRoute(t *testing.T) {
+	src := &sliceSource{jobs: expJobs(100, 8, 5, 5)}
+	if _, err := DispatchSource(3, testCfg(), badRouter{}, src, DispatchOptions{Parallel: true}); err == nil {
+		t.Fatal("out-of-range virtual route accepted")
+	}
+}
+
+func TestDispatchSourceSurfacesSourceError(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		src := &failingFarmSource{sliceSource{jobs: expJobs(10, 8, 5, 2)}}
+		if _, err := DispatchSource(2, testCfg(), JSQ{}, src, DispatchOptions{Parallel: parallel}); err == nil {
+			t.Errorf("parallel=%v: source error not surfaced", parallel)
+		}
+	}
+}
+
+// TestFarmResetReuse: a Reset farm re-serving the same stream must
+// reproduce the first run exactly, with no state leaking across runs.
+func TestFarmResetReuse(t *testing.T) {
+	jobs := expJobs(10000, 10, 5, 17)
+	f, err := New(3, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		t.Helper()
+		if err := f.Reset(testCfg()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ServeSource(&sliceSource{jobs: jobs}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Finish(f.Server(0).FreeAt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	again := run()
+	if first.Jobs != again.Jobs || first.MeanResponse != again.MeanResponse ||
+		first.Energy != again.Energy || first.TotalAvgPower != again.TotalAvgPower {
+		t.Fatalf("reset farm diverged:\nfirst %+v\nagain %+v", first, again)
+	}
+}
+
+// TestServeSourceZeroAllocSteadyState pins the streamed dispatch loop's
+// allocation contract at the package level (the root-level benchmark gates
+// it in CI): after warm-up, Reset + ServeSource allocates nothing.
+func TestServeSourceZeroAllocSteadyState(t *testing.T) {
+	jobs := expJobs(5000, 10, 5, 23)
+	f, err := New(4, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &sliceSource{jobs: jobs}
+	if _, err := f.ServeSource(src); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	avg := testing.AllocsPerRun(3, func() {
+		if err := f.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		src.pos = 0
+		if _, err := f.ServeSource(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Reset+ServeSource allocates %.1f/run, want 0", avg)
+	}
+}

@@ -1,0 +1,54 @@
+// Package farm extends SleepScale to the multi-server setting the paper
+// lists as future work (§7): a cluster of identical servers, each running
+// its own power policy, with jobs spread across them by a dispatcher. It
+// also enables the scale-out study of Gandhi & Harchol-Balter [6] — how the
+// number of servers sharing a fixed aggregate load changes the value of
+// dynamic power management — which the related-work section builds on.
+//
+// # Dispatchers
+//
+// A Dispatcher routes each arriving job to one of k servers; RoundRobin,
+// Random and JSQ (join the shortest queue) are provided. Dispatchers may
+// additionally implement one of two capability interfaces that unlock
+// parallel simulation:
+//
+//   - Preassigner (round-robin, random): routing is independent of server
+//     state, so the whole assignment can be computed up front and the
+//     per-server substreams simulated concurrently.
+//   - VirtualRouter (JSQ): routing depends only on each server's
+//     work-completion time, so decisions can be made against a lightweight
+//     freeAt shadow advanced by queue.Config.NextFreeAt — no live engines
+//     needed at routing time.
+//
+// # Drivers
+//
+// Three drivers cover the materialized/streamed × preassigned/dispatched
+// matrix:
+//
+//   - Run dispatches a fully materialized, sorted job stream (parallel when
+//     the dispatcher is a Preassigner, sequential otherwise).
+//   - RunSources runs one server per source — routing decided by
+//     construction — with servers simulating in parallel.
+//   - DispatchSource is the streaming k-way dispatch loop: jobs are pulled
+//     from any queue.JobSource in bounded chunks and routed through the
+//     dispatcher at their arrival instants, advancing the k engines in
+//     virtual-time order so JSQ sees accurate queue depths without the
+//     stream ever being materialized.
+//
+// # Time-sliced parallel dispatch and its determinism contract
+//
+// DispatchSource's parallel mode (DispatchOptions.Parallel) removes the
+// serial bottleneck of state-dependent dispatch: the stream is cut into
+// slices at dispatch-forced synchronization points; each slice is routed
+// serially — Preassign for state-independent dispatchers, the freeAt shadow
+// recursion for VirtualRouters — and the per-server substreams then advance
+// concurrently, with a barrier resynchronizing the shadow from the engines
+// before the next slice. The contract is bit-identical determinism: because
+// queue.Config.NextFreeAt mirrors Engine.Process's availability arithmetic
+// operation for operation, every routing decision equals the one the
+// sequential dispatch would make, each engine serves the same jobs in the
+// same order, and the merge (server-ordered, through the same Farm.Finish)
+// reproduces the sequential Result exactly — equivalence tests and a golden
+// snapshot pin this across dispatchers and seeds. The slice size tunes only
+// barrier frequency, never results.
+package farm

@@ -1,9 +1,3 @@
-// Package farm extends SleepScale to the multi-server setting the paper
-// lists as future work (§7): a cluster of identical servers, each running
-// its own power policy, with jobs spread across them by a dispatcher. It
-// also enables the scale-out study of Gandhi & Harchol-Balter [6] — how the
-// number of servers sharing a fixed aggregate load changes the value of
-// dynamic power management — which the related-work section builds on.
 package farm
 
 import (
@@ -11,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sleepscale/internal/queue"
 	"sleepscale/internal/stream"
@@ -96,6 +91,9 @@ type Farm struct {
 	engines []*queue.Engine
 	disp    Dispatcher
 	perSrv  []int
+	// chunk is the farm-owned pull buffer of ServeSource, allocated on
+	// first use so repeated Reset+ServeSource cycles are allocation-free.
+	chunk []queue.Job
 }
 
 // New builds a farm of k servers, each starting idle at time 0 under cfg,
@@ -120,6 +118,49 @@ func New(k int, cfg queue.Config, disp Dispatcher) (*Farm, error) {
 
 // Size reports the number of servers.
 func (f *Farm) Size() int { return len(f.engines) }
+
+// Reset rewinds every server to start idle at time 0 under cfg, exactly as a
+// fresh New would, reusing all engine buffers, and zeroes the job counters —
+// so one farm can serve many streamed runs without allocating. Dispatcher
+// state (a round-robin cursor, a random source) is not touched: reseed or
+// rebuild the dispatcher for reproducible replays; JSQ is stateless.
+func (f *Farm) Reset(cfg queue.Config) error {
+	for _, eng := range f.engines {
+		if err := eng.Reset(cfg, 0); err != nil {
+			return err
+		}
+	}
+	for i := range f.perSrv {
+		f.perSrv[i] = 0
+	}
+	return nil
+}
+
+// ServeSource dispatches every job src delivers — from its current position,
+// in chunk-sized pulls — through the farm's dispatcher, returning the number
+// served. This is the sequential streaming dispatch loop: engines advance in
+// virtual-time (arrival) order, so state-dependent dispatchers like JSQ see
+// accurate queue depths, and peak job-buffer memory is one farm-owned chunk
+// however long the stream. Deferred source errors are the caller's to check
+// (DispatchSource does).
+func (f *Farm) ServeSource(src queue.JobSource) (int, error) {
+	if f.chunk == nil {
+		f.chunk = make([]queue.Job, stream.DefaultChunk)
+	}
+	served := 0
+	for {
+		n, ok := src.Next(f.chunk)
+		for i := 0; i < n; i++ {
+			if _, _, err := f.Process(f.chunk[i]); err != nil {
+				return served + i, fmt.Errorf("farm: job %d: %w", served+i, err)
+			}
+		}
+		served += n
+		if !ok {
+			return served, nil
+		}
+	}
+}
 
 // Server exposes server i's engine (for per-server policy switches).
 func (f *Farm) Server(i int) *queue.Engine { return f.engines[i] }
@@ -251,6 +292,52 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
+// bucketByServer fills backing with jobs grouped into contiguous per-server
+// substreams — a counting sort on assign that preserves arrival order within
+// each server, shared by the materialized preassigned path and the
+// time-sliced dispatch driver. counts must already tally assign; offsets
+// (length k+1) and fill are scratch, overwritten. On return,
+// backing[offsets[s]:offsets[s+1]] is server s's substream.
+func bucketByServer(jobs []queue.Job, assign, counts, offsets, fill []int, backing []queue.Job) {
+	k := len(counts)
+	offsets[0] = 0
+	for s := 0; s < k; s++ {
+		offsets[s+1] = offsets[s] + counts[s]
+	}
+	copy(fill, offsets[:k])
+	for i, s := range assign {
+		backing[fill[s]] = jobs[i]
+		fill[s]++
+	}
+}
+
+// parallelServers runs fn(s) for every server index in [0, k) across
+// min(GOMAXPROCS, k) workers and returns once all have completed — the
+// shared fan-out of the parallel simulation paths. fn records its own
+// failures (per-server error slots are race-free).
+func parallelServers(k int, fn func(s int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= k {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // runPreassigned is Run's parallel path: route every job up front, simulate
 // each server's substream concurrently, then aggregate in server order so the
 // merge is deterministic and bit-identical to the sequential dispatch.
@@ -275,16 +362,8 @@ func (sc *runScratch) runPreassigned(k int, cfg queue.Config, disp Dispatcher, p
 	}
 	sc.backing = sc.backing[:len(jobs)]
 	sc.offsets = resizeInts(sc.offsets, k+1)
-	sc.offsets[0] = 0
-	for s := 0; s < k; s++ {
-		sc.offsets[s+1] = sc.offsets[s] + sc.perSrv[s]
-	}
 	sc.fill = resizeInts(sc.fill, k)
-	copy(sc.fill, sc.offsets[:k])
-	for i, s := range sc.assign {
-		sc.backing[sc.fill[s]] = jobs[i]
-		sc.fill[s]++
-	}
+	bucketByServer(jobs, sc.assign, sc.perSrv, sc.offsets, sc.fill, sc.backing)
 
 	engines := make([]*queue.Engine, k)
 	sc.errs = sc.errs[:0]
@@ -292,42 +371,21 @@ func (sc *runScratch) runPreassigned(k int, cfg queue.Config, disp Dispatcher, p
 		sc.errs = append(sc.errs, nil)
 	}
 	errs := sc.errs
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				s := next
-				next++
-				mu.Unlock()
-				if s >= k {
-					return
-				}
-				eng, err := queue.NewEngine(cfg, 0)
-				if err != nil {
-					errs[s] = err
-					continue
-				}
-				engines[s] = eng
-				sub := sc.backing[sc.offsets[s]:sc.offsets[s+1]]
-				for i := range sub {
-					if _, err := eng.Process(sub[i]); err != nil {
-						errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, i, err)
-						break
-					}
-				}
+	parallelServers(k, func(s int) {
+		eng, err := queue.NewEngine(cfg, 0)
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		engines[s] = eng
+		sub := sc.backing[sc.offsets[s]:sc.offsets[s+1]]
+		for i := range sub {
+			if _, err := eng.Process(sub[i]); err != nil {
+				errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, i, err)
+				return
 			}
-		}()
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err
@@ -407,10 +465,8 @@ func RunSources(cfg queue.Config, srcs []queue.JobSource) (Result, error) {
 				}
 				perSrv[s] = served
 				if errs[s] == nil {
-					if es, ok := src.(interface{ Err() error }); ok {
-						if err := es.Err(); err != nil {
-							errs[s] = fmt.Errorf("farm: server %d source: %w", s, err)
-						}
+					if err := sourceErr(src); err != nil {
+						errs[s] = fmt.Errorf("farm: server %d source: %w", s, err)
 					}
 				}
 			}

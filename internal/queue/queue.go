@@ -116,6 +116,45 @@ func (c *Config) speed() float64 {
 // configuration.
 func (c *Config) ServiceTime(size float64) float64 { return size / c.speed() }
 
+// occupiedPhase reports the index of the phase occupied at idle offset off
+// (seconds since the idle schedule's anchor), or -1 when the server has not
+// yet entered the first phase.
+func (c *Config) occupiedPhase(off float64) int {
+	idx := -1
+	for i, ph := range c.Phases {
+		if ph.EnterAfter <= off {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// NextFreeAt advances the server-availability recursion of Engine.Process for
+// one job, with none of the energy or metrics accounting: given a server
+// whose accepted work completes at freeAt — and whose idle schedule is
+// anchored there, which holds whenever the engine has only processed jobs
+// since its last reset (no SetConfigAt) — it returns the completion time
+// after additionally serving j. The arithmetic mirrors Process operation for
+// operation, so state-dependent dispatchers (farm JSQ) can route against a
+// lightweight freeAt shadow and pick bit-identically to routing against live
+// engines.
+func (c *Config) NextFreeAt(freeAt float64, j Job) float64 {
+	svc := c.ServiceTime(j.Size)
+	var start float64
+	if j.Arrival > freeAt {
+		w := 0.0
+		if k := c.occupiedPhase(j.Arrival - freeAt); k >= 0 {
+			w = c.Phases[k].WakeLatency
+		}
+		start = j.Arrival + w
+	} else {
+		start = freeAt
+	}
+	return start + svc
+}
+
 // Result summarizes one simulation run.
 type Result struct {
 	// Jobs is the number of completed jobs.
@@ -275,20 +314,6 @@ func (e *Engine) flushResidency() {
 	}
 }
 
-// occupiedPhase reports the index of the phase occupied at idle offset off,
-// or -1 when the server has not yet entered the first phase.
-func (e *Engine) occupiedPhase(off float64) int {
-	idx := -1
-	for i, ph := range e.cfg.Phases {
-		if ph.EnterAfter <= off {
-			idx = i
-		} else {
-			break
-		}
-	}
-	return idx
-}
-
 // Process serves one job and reports its response time. Jobs must be fed in
 // non-decreasing arrival order.
 func (e *Engine) Process(j Job) (response float64, err error) {
@@ -308,7 +333,7 @@ func (e *Engine) Process(j Job) (response float64, err error) {
 		e.billIdle(e.billed, j.Arrival)
 		e.billed = j.Arrival
 		w := 0.0
-		if k := e.occupiedPhase(j.Arrival - e.anchor); k >= 0 {
+		if k := e.cfg.occupiedPhase(j.Arrival - e.anchor); k >= 0 {
 			w = e.cfg.Phases[k].WakeLatency
 		}
 		if w > 0 {

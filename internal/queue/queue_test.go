@@ -585,3 +585,58 @@ func TestSimulateSourceSurfacesSourceError(t *testing.T) {
 		t.Fatal("source error not surfaced")
 	}
 }
+
+// TestNextFreeAtMatchesEngine pins the dispatch shadow recursion to the
+// engine bit for bit: over a random multi-phase stream, Config.NextFreeAt
+// applied to the previous FreeAt must land exactly on the engine's FreeAt
+// after every Process — the property the farm package's parallel JSQ mode
+// rests on.
+func TestNextFreeAtMatchesEngine(t *testing.T) {
+	cfg := Config{
+		Frequency:    0.7,
+		FreqExponent: 1,
+		ActivePower:  200,
+		IdlePower:    140,
+		Phases: []SleepPhase{
+			{Name: "shallow", Power: 80, WakeLatency: 1e-3, EnterAfter: 0},
+			{Name: "deep", Power: 15, WakeLatency: 5, EnterAfter: 2},
+		},
+	}
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	tnow, shadow := 0.0, 0.0
+	for i := 0; i < 5000; i++ {
+		tnow += rng.ExpFloat64() * 0.8
+		j := Job{Arrival: tnow, Size: rng.ExpFloat64() * 0.3}
+		shadow = cfg.NextFreeAt(shadow, j)
+		if _, err := eng.Process(j); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.FreeAt(); got != shadow {
+			t.Fatalf("job %d: shadow freeAt %.17g, engine %.17g", i, shadow, got)
+		}
+	}
+}
+
+// TestNextFreeAtPhaseless covers the no-sleep configuration: the recursion
+// must still match (wake latency is zero, idle entry never happens).
+func TestNextFreeAtPhaseless(t *testing.T) {
+	cfg := Config{Frequency: 1, FreqExponent: 1, ActivePower: 100, IdlePower: 50}
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := 0.0
+	for i, j := range []Job{{Arrival: 1, Size: 2}, {Arrival: 1.5, Size: 0.25}, {Arrival: 9, Size: 1}} {
+		shadow = cfg.NextFreeAt(shadow, j)
+		if _, err := eng.Process(j); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.FreeAt(); got != shadow {
+			t.Fatalf("job %d: shadow freeAt %.17g, engine %.17g", i, shadow, got)
+		}
+	}
+}

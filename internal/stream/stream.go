@@ -23,6 +23,45 @@ type Source interface {
 	Reset(seed int64)
 }
 
+// Cursor adapts a queue.JobSource to one-job-at-a-time consumption with
+// lookahead, hiding the chunk-refill state machine every streaming driver
+// otherwise hand-rolls (including its subtle corners: empty chunks from a
+// still-live source are retried, and a final chunk delivered alongside
+// ok=false is still drained). Peek exposes the next job without consuming
+// it; Advance consumes it. The cursor owns its one-chunk buffer — the
+// driver's job-memory high-water mark.
+type Cursor struct {
+	src       queue.JobSource
+	buf       []queue.Job
+	pos, n    int
+	exhausted bool
+}
+
+// NewCursor returns a cursor over src, consumed from its current position.
+func NewCursor(src queue.JobSource) *Cursor {
+	return &Cursor{src: src, buf: make([]queue.Job, DefaultChunk)}
+}
+
+// Peek returns the next job without consuming it; ok=false means the
+// source is exhausted.
+func (c *Cursor) Peek() (j queue.Job, ok bool) {
+	for c.pos == c.n {
+		if c.exhausted {
+			return queue.Job{}, false
+		}
+		n, more := c.src.Next(c.buf)
+		c.pos, c.n = 0, n
+		if !more {
+			c.exhausted = true
+		}
+	}
+	return c.buf[c.pos], true
+}
+
+// Advance consumes the job the last Peek exposed. It must follow a
+// successful Peek.
+func (c *Cursor) Advance() { c.pos++ }
+
 // Err reports the deferred error of a source that ended early, for sources
 // that expose one (Err() error); nil otherwise.
 func Err(src Source) error {

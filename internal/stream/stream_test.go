@@ -451,3 +451,79 @@ func TestTraceSourceSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state drain allocates %g allocs/op, want 0", allocs)
 	}
 }
+
+// stutterSource exercises the Cursor's corner cases: it returns an empty
+// chunk while still live, then delivers its final jobs alongside ok=false.
+type stutterSource struct {
+	jobs  []queue.Job
+	calls int
+}
+
+func (s *stutterSource) Next(buf []queue.Job) (int, bool) {
+	s.calls++
+	if s.calls == 1 {
+		return 0, true // empty chunk, more to come: must be retried
+	}
+	n := copy(buf, s.jobs)
+	s.jobs = s.jobs[n:]
+	return n, false // final chunk delivered with ok=false: must be drained
+}
+
+func (s *stutterSource) Reset(int64) {}
+
+func TestCursorCornerCases(t *testing.T) {
+	jobs := []queue.Job{{Arrival: 1, Size: 0.1}, {Arrival: 2, Size: 0.2}}
+	cur := stream.NewCursor(&stutterSource{jobs: jobs})
+	for i, want := range jobs {
+		// Peek is idempotent until Advance.
+		j1, ok1 := cur.Peek()
+		j2, ok2 := cur.Peek()
+		if !ok1 || !ok2 || j1 != j2 {
+			t.Fatalf("job %d: peek not idempotent: %v/%v %v/%v", i, j1, ok1, j2, ok2)
+		}
+		if j1 != want {
+			t.Fatalf("job %d = %v, want %v", i, j1, want)
+		}
+		cur.Advance()
+	}
+	if _, ok := cur.Peek(); ok {
+		t.Fatal("cursor did not report exhaustion")
+	}
+	if _, ok := cur.Peek(); ok {
+		t.Fatal("exhaustion not sticky")
+	}
+}
+
+// TestCursorMatchesCollect: draining through the cursor must yield exactly
+// what the chunked Collect reference sees.
+func TestCursorMatchesCollect(t *testing.T) {
+	mk := func() stream.Source {
+		src, err := stream.NewStationary(fittedDNS(t), 50, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	want, err := stream.Collect(mk(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := stream.NewCursor(mk())
+	var got []queue.Job
+	for {
+		j, ok := cur.Peek()
+		if !ok {
+			break
+		}
+		got = append(got, j)
+		cur.Advance()
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor drained %d jobs, Collect %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("job %d diverges: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

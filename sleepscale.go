@@ -429,6 +429,12 @@ type (
 	// Preassigner marks dispatchers whose routing is independent of server
 	// state; RunFarm simulates their servers in parallel.
 	Preassigner = farm.Preassigner
+	// VirtualRouter marks state-dependent dispatchers (JSQ) that can route
+	// against a lightweight per-server availability shadow, unlocking the
+	// time-sliced parallel mode of RunFarmSource.
+	VirtualRouter = farm.VirtualRouter
+	// FarmDispatchOptions tunes RunFarmSource's streaming dispatch loop.
+	FarmDispatchOptions = farm.DispatchOptions
 	// RoundRobin, RandomDispatch and JSQ are the provided dispatchers.
 	RoundRobin     = farm.RoundRobin
 	RandomDispatch = farm.Random
@@ -450,6 +456,27 @@ func RunFarm(k int, cfg SimConfig, disp Dispatcher, jobs []Job) (FarmResult, err
 // chunk buffers.
 func RunFarmSources(cfg SimConfig, srcs []JobSource) (FarmResult, error) {
 	return farm.RunSources(cfg, srcs)
+}
+
+// RunFarmSource is the streaming k-way dispatch loop: jobs pulled from one
+// source in bounded chunks are routed through disp at their arrival
+// instants — JSQ sees accurate queue depths — without the stream ever being
+// materialized. opts.Parallel enables the time-sliced parallel mode
+// (bit-identical to the sequential dispatch) for dispatchers implementing
+// Preassigner or VirtualRouter.
+func RunFarmSource(k int, cfg SimConfig, disp Dispatcher, src JobSource, opts FarmDispatchOptions) (FarmResult, error) {
+	return farm.DispatchSource(k, cfg, disp, src, opts)
+}
+
+// FarmRunReport aggregates a trace-driven epoch run over a farm.
+type FarmRunReport = core.FarmRunReport
+
+// RunFarmEpochs executes the §6 evaluation loop over a streamed farm: one
+// strategy decision per epoch applied fleet-wide, jobs routed through the
+// dispatcher at their arrival instants, farm-wide delay statistics feeding
+// the over-provisioning guard. With k = 1 it matches RunSource bit for bit.
+func RunFarmEpochs(cfg RunnerConfig, servers int, disp Dispatcher, src StreamSource) (FarmRunReport, error) {
+	return core.RunFarmSource(cfg, servers, disp, src)
 }
 
 // Multi-core extension (paper §7 future work): one chip, k cores, a shared

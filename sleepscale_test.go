@@ -234,3 +234,84 @@ func TestFacadeStrategies(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFacadeStreamedFarmDispatch exercises the streaming k-way dispatch
+// facade end to end: RunFarmSource must match RunFarm on the same stream
+// (sequentially and through the time-sliced parallel mode), a reusable
+// Farm must serve rewound sources via Reset+ServeSource, and RunFarmEpochs
+// must run the epoch loop over a dispatched farm.
+func TestFacadeStreamedFarmDispatch(t *testing.T) {
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	qcfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]sleepscale.Job, 5000)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / 8
+		jobs[i] = sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / 5}
+	}
+	want, err := sleepscale.RunFarm(3, qcfg, sleepscale.JSQ{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []sleepscale.FarmDispatchOptions{{}, {Parallel: true, SliceJobs: 512}} {
+		got, err := sleepscale.RunFarmSource(3, qcfg, sleepscale.JSQ{}, sleepscale.SliceSource(jobs), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse || got.Energy != want.Energy {
+			t.Errorf("parallel=%v: streamed dispatch diverges from RunFarm: %+v vs %+v",
+				opts.Parallel, got, want)
+		}
+	}
+
+	// Reusable farm: Reset + ServeSource over a rewound source.
+	f, err := sleepscale.NewFarm(3, qcfg, sleepscale.JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		if err := f.Reset(qcfg); err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.ServeSource(sleepscale.SliceSource(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(jobs) {
+			t.Fatalf("run %d served %d of %d jobs", run, n, len(jobs))
+		}
+	}
+
+	// Epoch loop over a streamed farm.
+	stats, err := sleepscale.NewIdealizedStats(sleepscale.DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sleepscale.FileServerTrace(1, 1)
+	cfg := sleepscale.RunnerConfig{
+		Stats:        stats,
+		FreqExponent: 1,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   120,
+		Predictor:    sleepscale.NewNaivePredictor(),
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		Seed:         1,
+	}
+	src, err := sleepscale.NewTraceSource(stats, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sleepscale.RunFarmEpochs(cfg, 2, &sleepscale.RoundRobin{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 || rep.Servers != 2 || rep.Dispatcher != "round-robin" {
+		t.Errorf("farm epoch report: jobs=%d servers=%d dispatcher=%q",
+			rep.Jobs, rep.Servers, rep.Dispatcher)
+	}
+}
