@@ -364,8 +364,15 @@ func BenchmarkFarmDispatchSteadyState(b *testing.B) {
 }
 
 // BenchmarkFarmDispatchParallelJSQ measures the time-sliced parallel JSQ
-// mode end to end — routing against the freeAt shadow, concurrent
-// per-server simulation, deterministic merge — over a 16-server farm.
+// mode in steady state — routing against the freeAt shadow, concurrent
+// per-server simulation on the persistent worker pool, deterministic merge —
+// over a 16-server farm: one op resets the farm and re-serves a rewound
+// stationary stream through the farm-owned sliced scratch. With workers
+// parked between slices and every buffer (slice, routing table, substream
+// backing, shadow, cursor, engines) reused, allocs/op must stay at 0 — CI
+// gates the budget via BENCH_farm.json (the committed baseline was 191
+// allocs / 1.96 MB per op when each call spawned its own goroutines and
+// scratch).
 func BenchmarkFarmDispatchParallelJSQ(b *testing.B) {
 	stats := dispatchStats(b)
 	horizon := stats.Inter.Mean() * 40000
@@ -378,16 +385,63 @@ func BenchmarkFarmDispatchParallelJSQ(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	f, err := sleepscale.NewFarm(16, cfg, sleepscale.JSQ{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sleepscale.FarmDispatchOptions{Parallel: true}
+	if _, err := f.ServeSourceSliced(src, opts); err != nil { // warm scratch + pool
+		b.Fatal(err)
+	}
+	f.FinishSummary(f.LastFree()) // warm the percentile scratch too
+	var watts float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src.Reset(1)
-		res, err := sleepscale.RunFarmSource(16, cfg, sleepscale.JSQ{}, src,
-			sleepscale.FarmDispatchOptions{Parallel: true})
-		if err != nil {
+		if err := f.Reset(cfg); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.TotalAvgPower, "watts")
+		src.Reset(1)
+		if _, err := f.ServeSourceSliced(src, opts); err != nil {
+			b.Fatal(err)
+		}
+		watts = f.FinishSummary(f.LastFree()).TotalAvgPower
+	}
+	b.ReportMetric(watts, "watts")
+}
+
+// BenchmarkSelectParallel measures a steady-state §5.1.1 policy-manager
+// decision on the persistent worker pool: every (state, frequency) candidate
+// scored over the same stream, with the worker set parked between
+// selections and each executor reusing a pooled evaluator. The remaining
+// allocs/op are the selection's own outputs (the candidate grid and the
+// evaluation/error slots) — CI gates a floor on them via BENCH_selection.json.
+func BenchmarkSelectParallel(b *testing.B) {
+	spec := sleepscale.DNS()
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	mgr.Space.FreqStep = 0.02 // ~35 frequencies × 5 states
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := stats.Jobs(2000, rand.New(rand.NewSource(1)))
+	if _, _, err := mgr.Select(jobs, 0.3); err != nil { // warm pool + evaluators
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mgr.Select(jobs, 0.3); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@
 //
 //	go run ./cmd/benchsnap [-bench regex] [-benchtime 10x] [-count 3] \
 //	    [-out BENCH_selection.json] [-budget 0] [-budget-bench regex] \
+//	    [-floor 'regex=allocs' ...] \
 //	    [-baseline BENCH_selection.json] [-max-ns-regress 0.25]
 //
 // -count repeats every benchmark and keeps the per-benchmark minimum — the
@@ -23,7 +24,10 @@
 //
 // The tool exits non-zero when any benchmark matching -budget-bench exceeds
 // -budget allocs/op, which is how CI catches allocation regressions on the
-// hot path.
+// hot path. -floor (repeatable) attaches an individual allocs/op ceiling to
+// benchmarks matching its regex — e.g. -floor 'SelectParallel$=19' — for
+// paths whose API-mandated outputs keep them off the zero-alloc budget but
+// whose floor must still never regress past a hard bound.
 //
 // With -baseline, the fresh run is additionally gated against a committed
 // snapshot: any benchmark whose ns/op regresses by more than -max-ns-regress
@@ -44,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -79,8 +84,10 @@ type Snapshot struct {
 }
 
 func main() {
+	var floors floorFlag
+	flag.Var(&floors, "floor", "repeatable allocs/op ceiling for specific benchmarks, as regex=allocs (e.g. 'SelectParallel$=19')")
 	var (
-		bench        = flag.String("bench", "PolicyEvaluation$|PolicySelection$|PolicySelectionSerial$|EvaluatorSteadyState$|EngineThroughput$|FarmScaleOut|MultiCoreSimulate$", "benchmark regex passed to go test")
+		bench        = flag.String("bench", "PolicyEvaluation$|PolicySelection$|PolicySelectionSerial$|SelectParallel$|EvaluatorSteadyState$|EngineThroughput$|FarmScaleOut|MultiCoreSimulate$", "benchmark regex passed to go test")
 		benchtime    = flag.String("benchtime", "5x", "benchtime passed to go test")
 		out          = flag.String("out", "BENCH_selection.json", "snapshot output path")
 		budget       = flag.Float64("budget", 0, "max allocs/op allowed on budgeted benchmarks")
@@ -166,6 +173,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if violations := checkFloors(benches, floors.specs); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchsnap: floor exceeded: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	for _, spec := range floors.specs {
+		fmt.Printf("benchsnap: floor %s ≤ %g allocs/op ok\n", spec.expr, spec.max)
+	}
+
 	if base != nil {
 		sameEnv := base.GoMaxProcs == 0 || base.GoMaxProcs == runtime.GOMAXPROCS(0)
 		if !sameEnv {
@@ -186,6 +203,71 @@ func main() {
 		fmt.Printf("benchsnap: no regressions against %s (ns/op tolerance %+.0f%%)\n",
 			*baseline, *maxNsRegress*100)
 	}
+}
+
+// floorSpec is one parsed -floor entry: an allocs/op ceiling for the
+// benchmarks its regex matches.
+type floorSpec struct {
+	expr string
+	re   *regexp.Regexp
+	max  float64
+}
+
+// floorFlag collects repeatable -floor values of the form regex=allocs.
+type floorFlag struct{ specs []floorSpec }
+
+func (f *floorFlag) String() string {
+	var parts []string
+	for _, s := range f.specs {
+		parts = append(parts, fmt.Sprintf("%s=%g", s.expr, s.max))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one regex=allocs spec; the split is on the last '=' so regexes
+// containing one still parse.
+func (f *floorFlag) Set(v string) error {
+	i := strings.LastIndex(v, "=")
+	if i <= 0 {
+		return fmt.Errorf("floor %q: want regex=allocs", v)
+	}
+	expr, num := v[:i], v[i+1:]
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return fmt.Errorf("floor %q: %v", v, err)
+	}
+	max, err := strconv.ParseFloat(num, 64)
+	if err != nil || max < 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+		return fmt.Errorf("floor %q: bad allocs/op bound %q", v, num)
+	}
+	f.specs = append(f.specs, floorSpec{expr: expr, re: re, max: max})
+	return nil
+}
+
+// checkFloors returns one violation message per benchmark exceeding a -floor
+// ceiling that matches it. A floor matching no benchmark is a violation too:
+// a silently renamed benchmark must not disarm its gate.
+func checkFloors(benches []Benchmark, specs []floorSpec) []string {
+	var violations []string
+	for _, spec := range specs {
+		matched := false
+		for _, b := range benches {
+			if !spec.re.MatchString(b.Name) {
+				continue
+			}
+			matched = true
+			if b.AllocsPerOp > spec.max {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %g allocs/op over floor %g (-floor %s)",
+					b.Name, b.AllocsPerOp, spec.max, spec.expr))
+			}
+		}
+		if !matched {
+			violations = append(violations, fmt.Sprintf(
+				"floor %s=%g matched no benchmark in this run", spec.expr, spec.max))
+		}
+	}
+	return violations
 }
 
 // mergeMin collapses repeated -count runs of the same benchmark into one

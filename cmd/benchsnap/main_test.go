@@ -154,3 +154,53 @@ func TestMergeMin(t *testing.T) {
 		t.Errorf("A minimum = %g ns/op, %g allocs/op; want 100, 3", merged[0].NsPerOp, merged[0].AllocsPerOp)
 	}
 }
+
+// TestFloorFlagParsing: -floor specs parse as regex=allocs, splitting on the
+// last '=' so regexes containing one still work, and reject malformed input.
+func TestFloorFlagParsing(t *testing.T) {
+	var f floorFlag
+	for _, good := range []string{"SelectParallel$=19", "Farm.*JSQ$=0", "a=b$=3.5"} {
+		if err := f.Set(good); err != nil {
+			t.Errorf("Set(%q): %v", good, err)
+		}
+	}
+	if len(f.specs) != 3 || f.specs[2].max != 3.5 || f.specs[2].expr != "a=b$" {
+		t.Errorf("parsed specs = %+v", f.specs)
+	}
+	if f.String() == "" {
+		t.Error("String() empty after Set")
+	}
+	for _, bad := range []string{"", "noequals", "=5", "re=", "re=x", "re=-1", "re=NaN", "re=+Inf", "(=2"} {
+		var g floorFlag
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCheckFloors: each floor gates exactly the benchmarks its regex
+// matches, and a floor matching nothing is itself a violation.
+func TestCheckFloors(t *testing.T) {
+	benches := []Benchmark{bm("SelectParallel", 100, 13), bm("FarmDispatchParallelJSQ", 100, 0)}
+	specs := func(t *testing.T, exprs ...string) []floorSpec {
+		t.Helper()
+		var f floorFlag
+		for _, e := range exprs {
+			if err := f.Set(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.specs
+	}
+	if v := checkFloors(benches, specs(t, "SelectParallel$=19", "ParallelJSQ$=19")); len(v) != 0 {
+		t.Errorf("within-floor run flagged: %v", v)
+	}
+	v := checkFloors(benches, specs(t, "SelectParallel$=12"))
+	if len(v) != 1 || !strings.Contains(v[0], "SelectParallel") {
+		t.Errorf("over-floor run not flagged: %v", v)
+	}
+	v = checkFloors(benches, specs(t, "Renamed$=19"))
+	if len(v) != 1 || !strings.Contains(v[0], "matched no benchmark") {
+		t.Errorf("unmatched floor not flagged: %v", v)
+	}
+}

@@ -6,13 +6,15 @@
 // Usage:
 //
 //	farmsim -mode farm -sizes 1,2,4,8 -dispatch jsq -lambda 4 -mu 5
-//	farmsim -mode farm -stream -parallel -sizes 4,16 -dispatch jsq
+//	farmsim -mode farm -stream -parallel -sizes 4,16 -dispatch pd2
 //	farmsim -mode chip -sizes 1,2,4 -lambda 14 -mu 5
 //
 // With -stream the farm mode never materializes the job stream: jobs are
 // pulled from a stationary source in bounded chunks through the streaming
-// dispatch loop (JSQ included), and -parallel adds the time-sliced parallel
-// simulation — bit-identical to the sequential dispatch.
+// dispatch loop (the state-dependent dispatchers included), and -parallel
+// adds the time-sliced parallel simulation on the persistent worker pool —
+// bit-identical to the sequential dispatch. Dispatchers: jsq, rr, random,
+// pd<d> (power-of-d choices) and lwl (least work left, wake-aware).
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 	var (
 		mode      = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
 		sizesArg  = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
-		dispatch  = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr or random")
+		dispatch  = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr, random, pd<d> (power-of-d choices, e.g. pd2) or lwl (least work left)")
 		lambda    = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
 		mu        = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
 		jobs      = flag.Int("jobs", 50000, "jobs to simulate")
@@ -64,12 +66,12 @@ func main() {
 	for _, k := range sizes {
 		switch *mode {
 		case "farm":
-			disp, err := buildDispatcher(*dispatch, *seed)
+			pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+			cfg, err := pol.Config(sleepscale.Xeon(), 1)
 			if err != nil {
 				log.Fatal(err)
 			}
-			pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
-			cfg, err := pol.Config(sleepscale.Xeon(), 1)
+			disp, err := buildDispatcher(*dispatch, *seed, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -149,7 +151,10 @@ func buildStream(lambda, mu float64, jobs int, seed int64) (sleepscale.StreamSou
 		sleepscale.Stats{Inter: inter, Size: size}, float64(jobs)/lambda, seed)
 }
 
-func buildDispatcher(name string, seed int64) (sleepscale.Dispatcher, error) {
+// buildDispatcher resolves a -dispatch name. "pd<d>" (pd2, pd3, …) is the
+// power-of-d-choices family; "lwl" is least-work-left, which prices wake-up
+// latency from the farm's operating configuration cfg.
+func buildDispatcher(name string, seed int64, cfg sleepscale.SimConfig) (sleepscale.Dispatcher, error) {
 	switch name {
 	case "jsq":
 		return sleepscale.JSQ{}, nil
@@ -157,6 +162,15 @@ func buildDispatcher(name string, seed int64) (sleepscale.Dispatcher, error) {
 		return &sleepscale.RoundRobin{}, nil
 	case "random":
 		return &sleepscale.RandomDispatch{Rng: rand.New(rand.NewSource(seed + 1))}, nil
+	case "lwl":
+		return &sleepscale.LeastWorkLeft{Cfg: cfg}, nil
+	}
+	if d, ok := strings.CutPrefix(name, "pd"); ok {
+		n, err := strconv.Atoi(d)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad power-of-d dispatcher %q (want pd2, pd3, …)", name)
+		}
+		return &sleepscale.PowerOfD{D: n, Rng: rand.New(rand.NewSource(seed + 1))}, nil
 	}
 	return nil, fmt.Errorf("unknown dispatcher %q", name)
 }

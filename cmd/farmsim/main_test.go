@@ -45,12 +45,26 @@ func TestBuildStream(t *testing.T) {
 }
 
 func TestBuildDispatcher(t *testing.T) {
-	for _, name := range []string{"jsq", "rr", "random"} {
-		if _, err := buildDispatcher(name, 1); err != nil {
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"jsq", "rr", "random", "pd2", "pd3", "lwl"} {
+		if _, err := buildDispatcher(name, 1, cfg); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := buildDispatcher("nope", 1); err == nil {
-		t.Error("unknown dispatcher accepted")
+	d, err := buildDispatcher("pd4", 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd, ok := d.(*sleepscale.PowerOfD); !ok || pd.D != 4 {
+		t.Errorf("pd4 built %#v", d)
+	}
+	for _, bad := range []string{"nope", "pd", "pd0", "pd-1", "pdx"} {
+		if _, err := buildDispatcher(bad, 1, cfg); err == nil {
+			t.Errorf("dispatcher %q accepted", bad)
+		}
 	}
 }

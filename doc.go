@@ -59,10 +59,19 @@
 //     returns a SimSummary — plain scalars, safe to keep across further
 //     calls. Results that alias evaluator storage (Responses) are only
 //     valid until the next Evaluate.
-//   - Manager.Select gives each worker goroutine one pooled Evaluator and
+//   - Every parallel driver — Manager.Select, RunFarm, RunFarmSources and
+//     the sliced mode of RunFarmSource — executes on one process-wide
+//     persistent worker pool (internal/par): workers start once, park
+//     between submissions, pull work from an atomic ticket counter and
+//     resynchronize through a reusable barrier, so steady-state fan-out
+//     spawns no goroutines. Manager.Parallelism bounds the executors a
+//     selection may use; results are identical for every bound.
+//   - Manager.Select gives each pool executor one pooled Evaluator and
 //     one sleep-phase scratch buffer, so scoring a candidate costs zero
 //     allocations once the pool is warm. Manager.Evaluate remains the thin
-//     one-shot wrapper.
+//     one-shot wrapper, and SimulateSummary is its standalone analogue: a
+//     pooled one-shot Simulate returning the scalar SimSummary with the
+//     warm path's allocation profile.
 //   - RunFarm simulates servers in parallel whenever the dispatcher routes
 //     independently of server state (it implements Preassigner — round-robin
 //     and random do, JSQ does not), merging per-server results in server
@@ -109,31 +118,41 @@
 // RunFarmSource closes the gap between the two: one streamed source,
 // k servers, a real dispatcher. Jobs are pulled in bounded chunks and
 // routed at their arrival instants with the per-server engines advancing in
-// virtual-time order, so the state-dependent JSQ dispatcher sees accurate
-// queue depths without the stream ever being materialized. Dispatchers
-// advertise how they may be parallelized:
+// virtual-time order, so state-dependent dispatchers see accurate queue
+// depths without the stream ever being materialized. Besides RoundRobin,
+// RandomDispatch and JSQ, the package ships PowerOfD (d random choices,
+// join the least backlogged of the sample) and LeastWorkLeft (earliest
+// completion, wake-up latency included — the wake-aware refinement of JSQ).
+// Dispatchers advertise how they may be parallelized:
 //
 //   - Preassigner (round-robin, random): routing is state-independent, so
 //     assignments preassign and servers simulate concurrently.
-//   - VirtualRouter (JSQ): routing depends only on each server's
-//     work-completion time, which the driver tracks as a scalar shadow
-//     advanced by SimConfig.NextFreeAt — an exact mirror of the engine's
-//     availability arithmetic.
+//   - VirtualRouter (JSQ, PowerOfD, LeastWorkLeft): routing depends only on
+//     each server's work-completion time, which the driver tracks as a
+//     scalar shadow advanced by SimConfig.NextFreeAt — an exact mirror of
+//     the engine's availability arithmetic.
 //
 // FarmDispatchOptions.Parallel enables the time-sliced parallel mode: the
 // stream is cut into slices at dispatch-forced synchronization points, each
-// slice routes serially and simulates concurrently, and the merge is
+// slice routes serially and simulates concurrently on the persistent worker
+// pool (FarmDispatchOptions.Workers bounds the executors), and the merge is
 // bit-identical to the sequential dispatch — the determinism contract
-// equivalence tests and a golden snapshot pin down. RunFarmEpochs layers
-// the §6 epoch loop on top: one strategy decision per epoch applied
-// fleet-wide, farm-wide delay statistics feeding the over-provisioning
-// guard (with k = 1 it matches RunSource bit for bit).
+// equivalence tests and a golden snapshot pin down across dispatchers,
+// seeds and pool sizes. Steady-state callers hold a Farm and drive
+// Reset + ServeSourceSliced + FinishSummary, whose farm-owned scratch makes
+// the whole loop allocation-free once warm; RunFarmEpochs layers the §6
+// epoch loop on top: one strategy decision per epoch applied fleet-wide,
+// farm-wide delay statistics feeding the over-provisioning guard (with
+// k = 1 it matches RunSource bit for bit).
 //
 // CI gates this path as well — BenchmarkFarmDispatchSteadyState (the
-// Reset+ServeSource loop) must hold 0 allocs/op in BENCH_farm.json — and
-// every bench snapshot doubles as a regression baseline: cmd/benchsnap
-// -baseline fails the build when a benchmark regresses more than 25% ns/op
-// (or allocates beyond its baseline) against the committed snapshot.
+// Reset+ServeSource loop) and BenchmarkFarmDispatchParallelJSQ (the pooled
+// sliced loop, formerly 191 allocs/op when it spawned workers per slice)
+// must both hold 0 allocs/op in BENCH_farm.json, BenchmarkSelectParallel
+// carries a hard allocs/op floor in BENCH_selection.json — and every bench
+// snapshot doubles as a regression baseline: cmd/benchsnap -baseline fails
+// the build when a benchmark regresses more than 25% ns/op (or allocates
+// beyond its baseline) against the committed snapshot.
 //
 // See examples/ for runnable programs (examples/week-long drives a 7-day
 // trace through the streaming loop; examples/streamed-farm dispatches a

@@ -9,11 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"sleepscale/internal/analytic"
+	"sleepscale/internal/par"
 	"sleepscale/internal/policy"
 	"sleepscale/internal/power"
 	"sleepscale/internal/queue"
@@ -36,7 +34,11 @@ type Manager struct {
 	Space policy.Space
 	// QoS is the constraint policies must satisfy.
 	QoS policy.QoS
-	// Parallelism bounds concurrent policy evaluations; 0 means GOMAXPROCS.
+	// Parallelism bounds the persistent worker-pool executors a selection
+	// may use; 0 (or anything above the pool size) uses the whole
+	// process-wide pool — GOMAXPROCS executors — and 1 scores candidates
+	// serially on the calling goroutine. The selected policy is identical
+	// for every setting.
 	Parallelism int
 }
 
@@ -110,34 +112,42 @@ func (m *Manager) Select(jobs []queue.Job, rho float64) (policy.Evaluation, []po
 	evals := make([]policy.Evaluation, len(pols))
 	errs := make([]error, len(pols))
 
+	// Candidates are scored on the persistent worker pool: each pool
+	// executor lazily acquires one pooled evaluator and one phase scratch
+	// buffer (executor slots are sequential, so the per-slot state needs no
+	// locking), and candidate evaluation allocates nothing in steady state.
+	// Parallelism bounds the executors; every bound — including 1, the
+	// inline serial loop — scores candidates into per-index slots, so the
+	// selection is bit-identical regardless of pool size or interleaving.
+	pool := par.Default()
 	workers := m.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > pool.Size() {
+		workers = pool.Size()
 	}
 	if workers > len(pols) {
 		workers = len(pols)
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns one pooled evaluator and one phase scratch
-			// buffer: candidate evaluation allocates nothing in steady state.
-			ev := queue.GetEvaluator(jobs, queue.Options{})
-			defer ev.Release()
-			var phases []queue.SleepPhase
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(pols) {
-					return
-				}
-				evals[i], phases, errs[i] = m.evaluateInto(ev, pols[i], phases)
-			}
-		}()
+	type workerState struct {
+		ev     *queue.Evaluator
+		phases []queue.SleepPhase
 	}
-	wg.Wait()
+	states := make([]workerState, workers)
+	// Deferred so the evaluators return to their pool even when a candidate
+	// evaluation panics (pool.Run re-raises it on this goroutine).
+	defer func() {
+		for _, st := range states {
+			if st.ev != nil {
+				st.ev.Release()
+			}
+		}
+	}()
+	pool.Run(len(pols), workers, func(w, i int) {
+		st := &states[w]
+		if st.ev == nil {
+			st.ev = queue.GetEvaluator(jobs, queue.Options{})
+		}
+		evals[i], st.phases, errs[i] = m.evaluateInto(st.ev, pols[i], st.phases)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return policy.Evaluation{}, nil, err

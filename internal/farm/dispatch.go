@@ -2,7 +2,9 @@ package farm
 
 import (
 	"fmt"
+	"math/rand"
 
+	"sleepscale/internal/par"
 	"sleepscale/internal/queue"
 	"sleepscale/internal/stream"
 )
@@ -39,6 +41,99 @@ func shadowBacklog(freeAt, t float64) float64 {
 	return freeAt - t
 }
 
+// PowerOfD is the power-of-d-choices discipline: at each arrival it samples
+// D servers uniformly at random (with replacement) and joins the
+// least-backlogged of the sample, ties toward the lowest sampled index — the
+// classic load-balancing compromise between random dispatch (d = 1) and full
+// JSQ (d = k), scanning d servers instead of the whole fleet. D must be ≥ 1
+// and Rng non-nil. Pick and RouteVirtual consume exactly D draws per job in
+// the same order, so the sequential and time-sliced parallel dispatch modes
+// route identically from equal Rng states.
+type PowerOfD struct {
+	// D is the sample size (2 is the textbook choice).
+	D int
+	// Rng drives the sampling; seed it for reproducible runs.
+	Rng *rand.Rand
+}
+
+// Pick implements Dispatcher.
+func (p *PowerOfD) Pick(f *Farm, j queue.Job) int {
+	best, bestWork := -1, 0.0
+	for c := 0; c < p.D; c++ {
+		i := p.Rng.Intn(len(f.engines))
+		w := f.engines[i].Backlog(j.Arrival)
+		if best < 0 || w < bestWork || (w == bestWork && i < best) {
+			best, bestWork = i, w
+		}
+	}
+	return best
+}
+
+// RouteVirtual implements VirtualRouter with the same draws and the same
+// comparator as Pick, against the freeAt shadow.
+func (p *PowerOfD) RouteVirtual(freeAt []float64, j queue.Job) int {
+	best, bestWork := -1, 0.0
+	for c := 0; c < p.D; c++ {
+		i := p.Rng.Intn(len(freeAt))
+		w := shadowBacklog(freeAt[i], j.Arrival)
+		if best < 0 || w < bestWork || (w == bestWork && i < best) {
+			best, bestWork = i, w
+		}
+	}
+	return best
+}
+
+// Name implements Dispatcher.
+func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.D) }
+
+// LeastWorkLeft routes to the server that would complete the arriving job
+// earliest: the wake-aware refinement of JSQ. Where JSQ compares outstanding
+// backlog alone, LeastWorkLeft additionally charges the wake-up latency a
+// sleeping server must pay before it can serve, so an idle-but-asleep deep
+// server competes against a nearly-free busy one on the work actually left
+// before the job finishes. Ties break toward the lowest index.
+//
+// Cfg must be the farm's operating configuration: the virtual-routing path
+// has no engines to consult, so it prices wake-ups from Cfg, while Pick uses
+// each engine's live configuration — the two agree (and the parallel mode is
+// bit-identical) exactly when Cfg matches the engines'. After a mid-run
+// SetConfigAt during an idle period the first wake may be mispriced (the
+// idle anchor moved); routing stays valid, just heuristic.
+type LeastWorkLeft struct {
+	// Cfg prices service and wake-up latency on the virtual-routing path.
+	Cfg queue.Config
+}
+
+// Pick implements Dispatcher: the earliest completion of j across servers,
+// computed by the same availability recursion the engines run.
+func (l *LeastWorkLeft) Pick(f *Farm, j queue.Job) int {
+	best, bestDone := 0, 0.0
+	for i, eng := range f.engines {
+		cfg := eng.Config()
+		done := cfg.NextFreeAt(eng.FreeAt(), j)
+		if i == 0 || done < bestDone {
+			best, bestDone = i, done
+		}
+	}
+	return best
+}
+
+// RouteVirtual implements VirtualRouter: the same completion-time comparison
+// against the freeAt shadow, priced by Cfg.
+func (l *LeastWorkLeft) RouteVirtual(freeAt []float64, j queue.Job) int {
+	best, bestDone := 0, 0.0
+	for i := range freeAt {
+		done := l.Cfg.NextFreeAt(freeAt[i], j)
+		if i == 0 || done < bestDone {
+			best, bestDone = i, done
+		}
+	}
+	return best
+}
+
+// Name implements Dispatcher.
+func (l *LeastWorkLeft) Name() string { return "least-work-left" }
+
 // DefaultSliceJobs is the synchronization granularity of the parallel
 // dispatch mode when DispatchOptions does not pick one: jobs routed per
 // slice between barriers. Larger slices amortize the barrier; the slice
@@ -52,13 +147,18 @@ type DispatchOptions struct {
 	// routed serially against the shadow (or preassigned), and the
 	// per-server substreams simulate concurrently between barriers. Results
 	// are bit-identical to the sequential dispatch. Requires a dispatcher
-	// implementing Preassigner or VirtualRouter; round-robin, random and
-	// JSQ all qualify.
+	// implementing Preassigner or VirtualRouter; round-robin, random, JSQ,
+	// power-of-d and least-work-left all qualify.
 	Parallel bool
 	// SliceJobs is the jobs-per-slice granularity of the parallel mode
 	// (default DefaultSliceJobs). Smaller slices synchronize more often;
 	// the results do not depend on the choice.
 	SliceJobs int
+	// Workers bounds the persistent pool executors the parallel mode may
+	// use per slice; 0 uses the whole process-wide pool (GOMAXPROCS
+	// executors). Results do not depend on the choice — 1 degenerates to
+	// the serial reference on the submitting goroutine.
+	Workers int
 }
 
 // DispatchSource is the streaming k-way dispatch loop: it pulls chunks from
@@ -70,8 +170,11 @@ type DispatchOptions struct {
 //
 // The source is consumed from its current position; sources exposing
 // Err() error surface their deferred failure. With opts.Parallel the
-// time-sliced mode simulates servers concurrently and merges
-// deterministically, bit-identical to the sequential reference.
+// time-sliced mode simulates servers concurrently on the persistent worker
+// pool and merges deterministically, bit-identical to the sequential
+// reference. Engines are fresh per call, so the returned Result never
+// aliases reused storage; steady-state callers should hold a Farm and drive
+// Reset + ServeSourceSliced + FinishSummary instead.
 func DispatchSource(k int, cfg queue.Config, disp Dispatcher, src queue.JobSource, opts DispatchOptions) (Result, error) {
 	if disp == nil {
 		return Result{}, fmt.Errorf("farm: nil dispatcher")
@@ -79,17 +182,15 @@ func DispatchSource(k int, cfg queue.Config, disp Dispatcher, src queue.JobSourc
 	if src == nil {
 		return Result{}, fmt.Errorf("farm: nil job source")
 	}
-	if opts.Parallel && k > 1 {
-		if err := cfg.Validate(); err != nil {
-			return Result{}, err
-		}
-		return dispatchSliced(k, cfg, disp, src, opts)
-	}
 	f, err := New(k, cfg, disp)
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := f.ServeSource(src); err != nil {
+	if opts.Parallel && k > 1 {
+		if _, err := f.ServeSourceSliced(src, opts); err != nil {
+			return Result{}, err
+		}
+	} else if _, err := f.ServeSource(src); err != nil {
 		return Result{}, err
 	}
 	if err := sourceErr(src); err != nil {
@@ -106,120 +207,182 @@ func sourceErr(src queue.JobSource) error {
 	return nil
 }
 
-// dispatchSliced is the time-sliced parallel driver. The stream is consumed
-// slice by slice; within a slice routing is decided serially — by Preassign
-// for state-independent dispatchers, or against the freeAt shadow advanced
-// with queue.Config.NextFreeAt for VirtualRouters — then the per-server
-// substreams advance concurrently and a barrier resynchronizes the shadow
-// from the engines before the next slice. Because the shadow recursion
-// mirrors Engine.Process bit for bit, every routing decision equals the one
-// the sequential dispatch would make, and each engine sees the same jobs in
-// the same order: the merged Result is bit-identical to the sequential
-// reference.
-func dispatchSliced(k int, cfg queue.Config, disp Dispatcher, src queue.JobSource, opts DispatchOptions) (Result, error) {
-	pre, isPre := disp.(Preassigner)
-	vr, isVR := disp.(VirtualRouter)
-	if !isPre && !isVR {
-		return Result{}, fmt.Errorf("farm: dispatcher %s supports neither preassignment nor virtual routing; run it sequentially (DispatchOptions{Parallel: false})", disp.Name())
-	}
+// slicedState is the farm-owned reusable scratch of the time-sliced parallel
+// dispatch: the slice buffer, routing table, bucketed-substream backing
+// array, freeAt shadow, per-server counters and merge offsets, the chunk
+// cursor, and the stored worker closure the pool executes. It is allocated
+// on the farm's first ServeSourceSliced and reused across slices and across
+// calls, which is what takes the parallel mode's steady state to zero
+// allocations — the sliced counterpart of the sequential loop's farm-owned
+// chunk.
+type slicedState struct {
+	f       *Farm
+	cursor  *stream.Cursor
+	slice   []queue.Job
+	assign  []int
+	backing []queue.Job
+	freeAt  []float64
+	offsets []int
+	fill    []int
+	count   []int
+	// done[s] is how many of server s's substream jobs the current slice
+	// actually simulated — equal to count[s] on success, fewer when the
+	// engine failed mid-substream — so perSrv stays consistent with engine
+	// state even on error returns.
+	done []int
+	errs []error
+	// body advances one server's substream for the current slice; stored so
+	// per-slice pool submissions allocate no closure.
+	body func(worker, s int)
+}
 
-	engines := make([]*queue.Engine, k)
-	for s := range engines {
-		eng, err := queue.NewEngine(cfg, 0)
-		if err != nil {
-			return Result{}, err
+// sliced returns the farm's sliced-dispatch scratch, allocating on first use
+// and growing the per-slice buffers when sliceJobs exceeds their capacity.
+func (f *Farm) sliced(sliceJobs int) *slicedState {
+	k := len(f.engines)
+	sl := f.sl
+	if sl == nil {
+		sl = &slicedState{
+			f:       f,
+			freeAt:  make([]float64, k),
+			offsets: make([]int, k+1),
+			fill:    make([]int, k),
+			count:   make([]int, k),
+			done:    make([]int, k),
+			errs:    make([]error, k),
 		}
-		engines[s] = eng
+		sl.body = func(_, s int) {
+			sub := sl.backing[sl.offsets[s]:sl.offsets[s+1]]
+			eng := sl.f.engines[s]
+			for i := range sub {
+				if _, err := eng.Process(sub[i]); err != nil {
+					sl.errs[s] = fmt.Errorf("farm: server %d: %w", s, err)
+					sl.done[s] = i
+					return
+				}
+			}
+			sl.done[s] = len(sub)
+		}
+		f.sl = sl
 	}
+	if cap(sl.slice) < sliceJobs {
+		sl.slice = make([]queue.Job, 0, sliceJobs)
+		sl.assign = make([]int, sliceJobs)
+		sl.backing = make([]queue.Job, sliceJobs)
+	}
+	return sl
+}
 
+// ServeSourceSliced is the time-sliced parallel analogue of ServeSource: it
+// dispatches every job src delivers through the farm's dispatcher and
+// simulates the per-server substreams concurrently on the persistent worker
+// pool, returning the number served. The stream is consumed slice by slice;
+// within a slice routing is decided serially — by Preassign for
+// state-independent dispatchers, or against the freeAt shadow advanced with
+// queue.Config.NextFreeAt for VirtualRouters — then the servers advance in
+// parallel and the pool's reusable barrier resynchronizes the shadow from
+// the engines before the next slice. Because the shadow recursion mirrors
+// Engine.Process bit for bit, every routing decision equals the one the
+// sequential ServeSource would make, and each engine sees the same jobs in
+// the same order: results are bit-identical to the sequential dispatch for
+// every slice size and pool size.
+//
+// All slicing scratch is farm-owned and reused, so after the first call a
+// Reset + ServeSourceSliced cycle allocates nothing. Deferred source errors
+// are the caller's to check (DispatchSource does).
+func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int, error) {
+	k := len(f.engines)
+	pre, isPre := f.disp.(Preassigner)
+	vr, isVR := f.disp.(VirtualRouter)
+	if !isPre && !isVR {
+		return 0, fmt.Errorf("farm: dispatcher %s supports neither preassignment nor virtual routing; run it sequentially (DispatchOptions{Parallel: false})", f.disp.Name())
+	}
 	sliceJobs := opts.SliceJobs
 	if sliceJobs < 1 {
 		sliceJobs = DefaultSliceJobs
 	}
-	var (
-		slice   = make([]queue.Job, 0, sliceJobs)
-		assign  = make([]int, sliceJobs)
-		backing = make([]queue.Job, sliceJobs)
-		freeAt  = make([]float64, k)
-		offsets = make([]int, k+1)
-		fill    = make([]int, k)
-		count   = make([]int, k)
-		perSrv  = make([]int, k)
-		errs    = make([]error, k)
-	)
-	cursor := stream.NewCursor(src)
+	sl := f.sliced(sliceJobs)
+	if sl.cursor == nil {
+		sl.cursor = stream.NewCursor(src)
+	} else {
+		sl.cursor.Reset(src)
+	}
+	// Anchor the shadow on the engines' current availability, so a warm farm
+	// can continue a stream mid-flight.
+	for s, eng := range f.engines {
+		sl.freeAt[s] = eng.FreeAt()
+		sl.errs[s] = nil
+	}
+	pool := par.Default()
+	// The shadow recursion prices service and wake-ups from the engines'
+	// (shared) configuration; ServeSourceSliced never switches it mid-run.
+	cfg := f.engines[0].Config()
 
+	served := 0
 	for {
 		// Fill the next slice from the chunk cursor.
-		slice = slice[:0]
+		slice := sl.slice[:0]
 		for len(slice) < sliceJobs {
-			j, ok := cursor.Peek()
+			j, ok := sl.cursor.Peek()
 			if !ok {
 				break
 			}
 			slice = append(slice, j)
-			cursor.Advance()
+			sl.cursor.Advance()
 		}
+		sl.slice = slice
 		if len(slice) == 0 {
-			break
+			return served, nil
 		}
 
 		// Route the slice serially: this is the dispatch-forced
 		// synchronization the mode's name refers to.
+		assign := sl.assign[:len(slice)]
 		if isPre {
-			pre.Preassign(k, slice, assign[:len(slice)])
+			pre.Preassign(k, slice, assign)
 		} else {
 			for i := range slice {
-				assign[i] = vr.RouteVirtual(freeAt, slice[i])
+				assign[i] = vr.RouteVirtual(sl.freeAt, slice[i])
 				if s := assign[i]; s >= 0 && s < k {
-					freeAt[s] = cfg.NextFreeAt(freeAt[s], slice[i])
+					sl.freeAt[s] = cfg.NextFreeAt(sl.freeAt[s], slice[i])
 				}
 			}
 		}
-		for s := range count {
-			count[s] = 0
+		for s := range sl.count {
+			sl.count[s] = 0
 		}
-		for _, s := range assign[:len(slice)] {
+		for _, s := range assign {
 			if s < 0 || s >= k {
-				return Result{}, fmt.Errorf("farm: dispatcher %s picked server %d of %d", disp.Name(), s, k)
+				return served, fmt.Errorf("farm: dispatcher %s picked server %d of %d", f.disp.Name(), s, k)
 			}
-			count[s]++
-			perSrv[s]++
+			sl.count[s]++
 		}
 
-		bucketByServer(slice, assign[:len(slice)], count, offsets, fill, backing)
+		bucketByServer(slice, assign, sl.count, sl.offsets, sl.fill, sl.backing)
 
-		// Advance the servers concurrently; parallelServers' return is the
-		// slice barrier.
-		parallelServers(k, func(s int) {
-			sub := backing[offsets[s]:offsets[s+1]]
-			for i := range sub {
-				if _, err := engines[s].Process(sub[i]); err != nil {
-					errs[s] = fmt.Errorf("farm: server %d: %w", s, err)
-					return
-				}
-			}
-		})
-		for _, err := range errs {
+		// Advance the servers concurrently; the pool's reusable barrier is
+		// the slice barrier. perSrv accounts only jobs actually simulated
+		// (done, not count), so a mid-substream failure leaves the farm's
+		// counters consistent with its engines.
+		pool.Run(k, opts.Workers, sl.body)
+		simulated := 0
+		for s := range sl.count {
+			f.perSrv[s] += sl.done[s]
+			simulated += sl.done[s]
+		}
+		served += simulated
+		for _, err := range sl.errs {
 			if err != nil {
-				return Result{}, err
+				return served, err
 			}
 		}
 		// Resynchronize the shadow from the engines — they agree bit for
 		// bit with the NextFreeAt recursion, so this only re-anchors the
 		// next slice's routing on the authoritative engine arithmetic.
 		if isVR {
-			for s, eng := range engines {
-				freeAt[s] = eng.FreeAt()
+			for s, eng := range f.engines {
+				sl.freeAt[s] = eng.FreeAt()
 			}
 		}
 	}
-
-	if err := sourceErr(src); err != nil {
-		return Result{}, fmt.Errorf("farm: job source: %w", err)
-	}
-	// Merge through the same Farm.Finish the sequential path uses, in
-	// server order, so aggregation can never diverge between the modes.
-	f := &Farm{engines: engines, disp: disp, perSrv: perSrv}
-	return f.Finish(lastFree(engines))
 }

@@ -8,8 +8,8 @@ import (
 	"sleepscale/internal/queue"
 )
 
-// dispatchers lists the three disciplines with fresh-state constructors, so
-// every equivalence case routes from the same dispatcher state.
+// dispatchers lists every discipline with fresh-state constructors, so each
+// equivalence case routes from the same dispatcher state.
 func dispatchers() []struct {
 	name string
 	mk   func() Dispatcher
@@ -21,14 +21,19 @@ func dispatchers() []struct {
 		{"round-robin", func() Dispatcher { return &RoundRobin{} }},
 		{"random", func() Dispatcher { return &Random{Rng: rand.New(rand.NewSource(77))} }},
 		{"jsq", func() Dispatcher { return JSQ{} }},
+		{"pd2", func() Dispatcher { return &PowerOfD{D: 2, Rng: rand.New(rand.NewSource(55))} }},
+		{"pd3", func() Dispatcher { return &PowerOfD{D: 3, Rng: rand.New(rand.NewSource(56))} }},
+		{"lwl", func() Dispatcher { return &LeastWorkLeft{Cfg: testCfg()} }},
 	}
 }
 
 // TestDispatchSourceMatchesRun pins the streamed dispatch loop — sequential
 // and time-sliced parallel — to the materialized farm.Run reference bit for
-// bit, across all three dispatchers and three seeds. This is the
-// determinism contract of the parallel JSQ mode: slicing and concurrent
-// simulation must never change a single routing decision or metric.
+// bit, across every dispatcher (power-of-d and least-work-left included),
+// three seeds, and pool sizes 1, 2 and GOMAXPROCS (via DispatchOptions.
+// Workers). This is the determinism contract of the pooled parallel mode:
+// slicing, the persistent worker pool and its interleaving must never change
+// a single routing decision or metric.
 func TestDispatchSourceMatchesRun(t *testing.T) {
 	const k = 4
 	for _, seed := range []int64{1, 2, 3} {
@@ -42,13 +47,16 @@ func TestDispatchSourceMatchesRun(t *testing.T) {
 			}
 			requireResultsEqual(t, seq, want)
 
-			// Odd slice size straddles chunk boundaries on purpose.
-			par, err := DispatchSource(k, testCfg(), d.mk(), &sliceSource{jobs: jobs},
-				DispatchOptions{Parallel: true, SliceJobs: 777})
-			if err != nil {
-				t.Fatalf("seed %d %s parallel: %v", seed, d.name, err)
+			// 0 = the whole process-wide pool (GOMAXPROCS executors).
+			for _, workers := range []int{1, 2, 0} {
+				// Odd slice size straddles chunk boundaries on purpose.
+				par, err := DispatchSource(k, testCfg(), d.mk(), &sliceSource{jobs: jobs},
+					DispatchOptions{Parallel: true, SliceJobs: 777, Workers: workers})
+				if err != nil {
+					t.Fatalf("seed %d %s parallel workers=%d: %v", seed, d.name, workers, err)
+				}
+				requireResultsEqual(t, par, want)
 			}
-			requireResultsEqual(t, par, want)
 		}
 	}
 }
@@ -206,6 +214,200 @@ func TestDispatchSourceSurfacesSourceError(t *testing.T) {
 		if _, err := DispatchSource(2, testCfg(), JSQ{}, src, DispatchOptions{Parallel: parallel}); err == nil {
 			t.Errorf("parallel=%v: source error not surfaced", parallel)
 		}
+	}
+}
+
+// TestServeSourceSlicedWarmReuse: a persistent farm driving Reset +
+// ServeSourceSliced over a rewound stream — the steady-state pattern the
+// pooled parallel benchmark measures — must reproduce the one-shot
+// DispatchSource result exactly, run after run.
+func TestServeSourceSlicedWarmReuse(t *testing.T) {
+	jobs := expJobs(20000, 12, 5, 41)
+	const k = 4
+	want, err := DispatchSource(k, testCfg(), JSQ{}, &sliceSource{jobs: jobs},
+		DispatchOptions{Parallel: true, SliceJobs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(k, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		if err := f.Reset(testCfg()); err != nil {
+			t.Fatal(err)
+		}
+		served, err := f.ServeSourceSliced(&sliceSource{jobs: jobs},
+			DispatchOptions{Parallel: true, SliceJobs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served != len(jobs) {
+			t.Fatalf("run %d served %d jobs, want %d", run, served, len(jobs))
+		}
+		sum := f.FinishSummary(f.LastFree())
+		if sum.Jobs != want.Jobs || sum.MeanResponse != want.MeanResponse ||
+			sum.TotalAvgPower != want.TotalAvgPower || sum.Energy != want.Energy {
+			t.Fatalf("run %d summary diverged from one-shot dispatch:\n got %+v\nwant Jobs=%d Mean=%.17g Power=%.17g Energy=%.17g",
+				run, sum, want.Jobs, want.MeanResponse, want.TotalAvgPower, want.Energy)
+		}
+	}
+}
+
+// TestServeSourceSlicedZeroAllocSteadyState pins the pooled parallel mode's
+// allocation contract: once the farm's sliced scratch and the worker pool
+// are warm, Reset + ServeSourceSliced + FinishSummary allocates nothing.
+// Skipped under -race: the instrumented scheduler makes pool-side
+// allocation counts meaningless (the non-race CI bench gate enforces the
+// same contract via BENCH_farm.json).
+func TestServeSourceSlicedZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	jobs := expJobs(8000, 12, 5, 43)
+	f, err := New(4, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &sliceSource{jobs: jobs}
+	opts := DispatchOptions{Parallel: true, SliceJobs: 1000}
+	if _, err := f.ServeSourceSliced(src, opts); err != nil { // warm scratch + pool
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	avg := testing.AllocsPerRun(3, func() {
+		if err := f.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		src.pos = 0
+		if _, err := f.ServeSourceSliced(src, opts); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.FinishSummary(f.LastFree())
+	})
+	if avg != 0 {
+		t.Errorf("steady-state sliced dispatch allocates %.1f/run, want 0", avg)
+	}
+}
+
+// TestServeSourceSlicedPartialFailureConsistency: when an engine fails mid
+// substream (a poisoned job), the farm's per-server counters must still
+// agree with what each engine actually processed — a retained Farm stays
+// internally consistent after an error return, like the sequential path.
+func TestServeSourceSlicedPartialFailureConsistency(t *testing.T) {
+	jobs := expJobs(3000, 10, 5, 71)
+	jobs[1500].Size = -1 // poison one job mid-stream
+	const k = 3
+	f, err := New(k, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := f.ServeSourceSliced(&sliceSource{jobs: jobs},
+		DispatchOptions{Parallel: true, SliceJobs: 500})
+	if err == nil {
+		t.Fatal("poisoned stream accepted")
+	}
+	total := 0
+	for s := 0; s < k; s++ {
+		if got, want := f.perSrv[s], f.Server(s).Snapshot().Jobs; got != want {
+			t.Errorf("server %d: perSrv %d != engine jobs %d after failure", s, got, want)
+		}
+		total += f.perSrv[s]
+	}
+	if served != total {
+		t.Errorf("served %d != per-server total %d", served, total)
+	}
+}
+
+// TestFinishSummaryMatchesFinish: the scalar fleet aggregate must equal the
+// corresponding fields of the full Finish result bit for bit.
+func TestFinishSummaryMatchesFinish(t *testing.T) {
+	jobs := expJobs(10000, 10, 5, 47)
+	f, err := New(3, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ServeSource(&sliceSource{jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	at := f.LastFree()
+	sum := f.FinishSummary(at)
+	res, err := f.Finish(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != res.Jobs || sum.MeanResponse != res.MeanResponse ||
+		sum.TotalAvgPower != res.TotalAvgPower || sum.Energy != res.Energy {
+		t.Fatalf("FinishSummary %+v diverges from Finish (Jobs=%d Mean=%.17g Power=%.17g Energy=%.17g)",
+			sum, res.Jobs, res.MeanResponse, res.TotalAvgPower, res.Energy)
+	}
+}
+
+// TestPowerOfDProperties: pd1 is random dispatch with PowerOfD's comparator,
+// pdK with a huge sample approximates JSQ's routing (ties may differ from
+// index order under sampling, so compare response quality, not decisions),
+// and dispatcher names identify the sample size.
+func TestPowerOfDProperties(t *testing.T) {
+	jobs := expJobs(30000, 12, 5, 59)
+	const k = 4
+	pd1, err := Run(k, testCfg(), &PowerOfD{D: 1, Rng: rand.New(rand.NewSource(7))}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd2, err := Run(k, testCfg(), &PowerOfD{D: 2, Rng: rand.New(rand.NewSource(7))}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsq, err := Run(k, testCfg(), JSQ{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-choices literature's claim, at this load a comfortable margin:
+	// d=2 beats random (d=1), and full JSQ beats d=2.
+	if pd2.MeanResponse >= pd1.MeanResponse {
+		t.Errorf("pd2 response %v not below pd1 (random) %v", pd2.MeanResponse, pd1.MeanResponse)
+	}
+	if jsq.MeanResponse > pd2.MeanResponse {
+		t.Errorf("jsq response %v above pd2 %v", jsq.MeanResponse, pd2.MeanResponse)
+	}
+	if (&PowerOfD{D: 2}).Name() != "pd2" || (&PowerOfD{D: 3}).Name() != "pd3" {
+		t.Error("PowerOfD name")
+	}
+	if (&LeastWorkLeft{}).Name() != "least-work-left" {
+		t.Error("LeastWorkLeft name")
+	}
+}
+
+// TestLeastWorkLeftPricesWakeups: with one server mid-job and the others
+// deep asleep behind a long wake latency, least-work-left routes a new
+// arrival to the nearly-free busy server — the decision JSQ (backlog only)
+// gets wrong — and its virtual routing mirrors Pick.
+func TestLeastWorkLeftPricesWakeups(t *testing.T) {
+	cfg := testCfg()
+	cfg.Phases[0].WakeLatency = 5 // sleeping servers pay 5 s to wake
+	lwl := &LeastWorkLeft{Cfg: cfg}
+	f, err := New(3, cfg, lwl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server 0 takes a 1 s job at t=1: one idle second of sleep, a 5 s
+	// wake, service from t=6, free at t=7.
+	if _, srv, err := f.Process(queue.Job{Arrival: 1, Size: 1}); err != nil || srv != 0 {
+		t.Fatalf("first job: srv=%d err=%v", srv, err)
+	}
+	// At t=6.9 server 0 is still busy (free at 7) but finishing within
+	// 0.1 s; servers 1 and 2 are asleep and would pay 5 s of wake. JSQ
+	// would route to an idle server (backlog 0); LWL must keep it on 0.
+	j := queue.Job{Arrival: 6.9, Size: 1}
+	if got := (JSQ{}).Pick(f, j); got == 0 {
+		t.Fatalf("JSQ picked the busy server, the scenario is not discriminating")
+	}
+	if got := lwl.Pick(f, j); got != 0 {
+		t.Errorf("LWL picked server %d, want the nearly-free busy server 0", got)
+	}
+	freeAt := []float64{f.Server(0).FreeAt(), 0, 0}
+	if got := lwl.RouteVirtual(freeAt, j); got != 0 {
+		t.Errorf("LWL virtual route %d, want 0", got)
 	}
 }
 

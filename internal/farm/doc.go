@@ -8,17 +8,19 @@
 // # Dispatchers
 //
 // A Dispatcher routes each arriving job to one of k servers; RoundRobin,
-// Random and JSQ (join the shortest queue) are provided. Dispatchers may
-// additionally implement one of two capability interfaces that unlock
-// parallel simulation:
+// Random, JSQ (join the shortest queue, by outstanding work), PowerOfD
+// (d random choices, join the least backlogged of the sample) and
+// LeastWorkLeft (earliest completion, wake-up latency included) are
+// provided. Dispatchers may additionally implement one of two capability
+// interfaces that unlock parallel simulation:
 //
 //   - Preassigner (round-robin, random): routing is independent of server
 //     state, so the whole assignment can be computed up front and the
 //     per-server substreams simulated concurrently.
-//   - VirtualRouter (JSQ): routing depends only on each server's
-//     work-completion time, so decisions can be made against a lightweight
-//     freeAt shadow advanced by queue.Config.NextFreeAt — no live engines
-//     needed at routing time.
+//   - VirtualRouter (JSQ, PowerOfD, LeastWorkLeft): routing depends only on
+//     each server's work-completion time, so decisions can be made against
+//     a lightweight freeAt shadow advanced by queue.Config.NextFreeAt — no
+//     live engines needed at routing time.
 //
 // # Drivers
 //
@@ -49,6 +51,30 @@
 // sequential dispatch would make, each engine serves the same jobs in the
 // same order, and the merge (server-ordered, through the same Farm.Finish)
 // reproduces the sequential Result exactly — equivalence tests and a golden
-// snapshot pin this across dispatchers and seeds. The slice size tunes only
-// barrier frequency, never results.
+// snapshot pin this across dispatchers, seeds and pool sizes. The slice
+// size tunes only barrier frequency, never results.
+//
+// # Persistent worker pool and steady-state reuse
+//
+// Every parallel path in the package — Run's preassigned fan-out,
+// RunSources' per-server workers, and each slice of the parallel dispatch —
+// executes on the process-wide persistent pool of internal/par: workers are
+// started once and parked between submissions, work is handed out as index
+// shards from an atomic ticket counter, and the pool's reusable barrier
+// replaces the per-call (previously per-slice) sync.WaitGroup churn.
+// DispatchOptions.Workers bounds the executors a dispatch may use; results
+// are identical for every bound.
+//
+// The sliced driver's scratch — slice buffer, routing table, bucketed
+// substream backing, freeAt shadow, counters and chunk cursor — is owned by
+// the Farm (slicedState) and reused across slices and calls, so the
+// steady-state loop
+//
+//	f.Reset(cfg); src.Reset(seed); f.ServeSourceSliced(src, opts); f.FinishSummary(f.LastFree())
+//
+// allocates nothing once warm, matching the sequential ServeSource's
+// zero-allocation contract (both CI-gated via BENCH_farm.json). One-shot
+// DispatchSource calls still build fresh engines so their Results never
+// alias reused storage; FinishSummary is the scalar aggregate for callers
+// on the reuse path.
 package farm

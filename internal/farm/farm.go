@@ -3,10 +3,9 @@ package farm
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
+	"sleepscale/internal/par"
 	"sleepscale/internal/queue"
 	"sleepscale/internal/stream"
 )
@@ -94,6 +93,9 @@ type Farm struct {
 	// chunk is the farm-owned pull buffer of ServeSource, allocated on
 	// first use so repeated Reset+ServeSource cycles are allocation-free.
 	chunk []queue.Job
+	// sl is the reusable scratch of ServeSourceSliced, allocated on first
+	// use so repeated sliced parallel runs are allocation-free too.
+	sl *slicedState
 }
 
 // New builds a farm of k servers, each starting idle at time 0 under cfg,
@@ -222,6 +224,46 @@ func (f *Farm) Finish(at float64) (Result, error) {
 	return out, nil
 }
 
+// Summary is the scalar aggregate of a farm run: the fleet-wide quantities of
+// Result without the per-server results, residency maps or response samples —
+// producing one allocates nothing and never aliases farm storage, so it is
+// what the steady-state reuse loops (Reset + serve + FinishSummary) report.
+type Summary struct {
+	// Jobs is the total served across servers.
+	Jobs int
+	// MeanResponse is the job-weighted mean response across servers.
+	MeanResponse float64
+	// TotalAvgPower is the sum of per-server average powers, in watts.
+	TotalAvgPower float64
+	// Energy is total joules.
+	Energy float64
+}
+
+// FinishSummary closes every server at time at and returns the scalar
+// fleet aggregate. Unlike Finish it materializes no residency maps and
+// exposes no samples, so the farm can be Reset and reused without
+// invalidating the return value — the farm-level analogue of
+// queue.Engine.FinishSummary.
+func (f *Farm) FinishSummary(at float64) Summary {
+	var out Summary
+	var respSum float64
+	for _, eng := range f.engines {
+		sum := eng.FinishSummary(at)
+		out.Jobs += sum.Jobs
+		respSum += sum.MeanResponse * float64(sum.Jobs)
+		out.TotalAvgPower += sum.AvgPower
+		out.Energy += sum.Energy
+	}
+	if out.Jobs > 0 {
+		out.MeanResponse = respSum / float64(out.Jobs)
+	}
+	return out
+}
+
+// LastFree reports the latest work-completion time across the farm's servers
+// — the natural Finish instant of a drained stream.
+func (f *Farm) LastFree() float64 { return lastFree(f.engines) }
+
 // Run is a convenience: dispatch a whole sorted job stream and finish at the
 // last departure across servers. When the dispatcher routes independently of
 // server state (it implements Preassigner), the per-server substreams are
@@ -311,33 +353,6 @@ func bucketByServer(jobs []queue.Job, assign, counts, offsets, fill []int, backi
 	}
 }
 
-// parallelServers runs fn(s) for every server index in [0, k) across
-// min(GOMAXPROCS, k) workers and returns once all have completed — the
-// shared fan-out of the parallel simulation paths. fn records its own
-// failures (per-server error slots are race-free).
-func parallelServers(k int, fn func(s int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
-	}
-	var next atomic.Int32
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= k {
-					return
-				}
-				fn(s)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // runPreassigned is Run's parallel path: route every job up front, simulate
 // each server's substream concurrently, then aggregate in server order so the
 // merge is deterministic and bit-identical to the sequential dispatch.
@@ -371,7 +386,7 @@ func (sc *runScratch) runPreassigned(k int, cfg queue.Config, disp Dispatcher, p
 		sc.errs = append(sc.errs, nil)
 	}
 	errs := sc.errs
-	parallelServers(k, func(s int) {
+	par.Default().Run(k, 0, func(_, s int) {
 		eng, err := queue.NewEngine(cfg, 0)
 		if err != nil {
 			errs[s] = err
@@ -422,57 +437,45 @@ func RunSources(cfg queue.Config, srcs []queue.JobSource) (Result, error) {
 	engines := make([]*queue.Engine, k)
 	perSrv := make([]int, k)
 	errs := make([]error, k)
-	workers := runtime.GOMAXPROCS(0)
+	// One pull buffer per pool executor (calls sharing a worker id are
+	// sequential, so per-worker slices need no locking), carved from one
+	// backing array.
+	pool := par.Default()
+	workers := pool.Size()
 	if workers > k {
 		workers = k
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var buf [stream.DefaultChunk]queue.Job
-			for {
-				mu.Lock()
-				s := next
-				next++
-				mu.Unlock()
-				if s >= k {
-					return
-				}
-				eng, err := queue.NewEngine(cfg, 0)
-				if err != nil {
-					errs[s] = err
-					continue
-				}
-				engines[s] = eng
-				src := srcs[s]
-				served := 0
-				for errs[s] == nil {
-					n, ok := src.Next(buf[:])
-					for i := 0; i < n; i++ {
-						if _, err := eng.Process(buf[i]); err != nil {
-							errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, served+i, err)
-							break
-						}
-					}
-					served += n
-					if !ok {
-						break
-					}
-				}
-				perSrv[s] = served
-				if errs[s] == nil {
-					if err := sourceErr(src); err != nil {
-						errs[s] = fmt.Errorf("farm: server %d source: %w", s, err)
-					}
+	bufs := make([]queue.Job, workers*stream.DefaultChunk)
+	pool.Run(k, 0, func(w, s int) {
+		buf := bufs[w*stream.DefaultChunk : (w+1)*stream.DefaultChunk]
+		eng, err := queue.NewEngine(cfg, 0)
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		engines[s] = eng
+		src := srcs[s]
+		served := 0
+		for errs[s] == nil {
+			n, ok := src.Next(buf)
+			for i := 0; i < n; i++ {
+				if _, err := eng.Process(buf[i]); err != nil {
+					errs[s] = fmt.Errorf("farm: server %d job %d: %w", s, served+i, err)
+					break
 				}
 			}
-		}()
-	}
-	wg.Wait()
+			served += n
+			if !ok {
+				break
+			}
+		}
+		perSrv[s] = served
+		if errs[s] == nil {
+			if err := sourceErr(src); err != nil {
+				errs[s] = fmt.Errorf("farm: server %d source: %w", s, err)
+			}
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err

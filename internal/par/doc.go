@@ -1,0 +1,45 @@
+// Package par is the simulator's persistent worker-pool runtime: a sharded,
+// zero-spawn fan-out primitive shared by every parallel hot path (policy
+// selection, farm runs, per-source farms, time-sliced streaming dispatch).
+//
+// SleepScale's premise is that the policy search loop is cheap enough to run
+// at runtime every epoch (paper §5–6), so the simulator's parallel drivers
+// must not pay per-invocation setup. Before this package each of them spawned
+// a fresh goroutine set — and the time-sliced dispatcher spawned one per
+// slice. A Pool starts its workers once (sized to GOMAXPROCS by default,
+// overridable), parks them on per-worker wake channels, hands out work as
+// index shards from an atomic ticket counter, and resynchronizes through a
+// reusable completion barrier: steady-state fan-out costs no goroutine
+// creation and no allocation.
+//
+// # Pool contract
+//
+//   - Run(n, maxWorkers, fn) calls fn(worker, i) exactly once per i in
+//     [0, n), across at most min(Size, maxWorkers, n) executors. Executor 0
+//     is the submitting goroutine itself — a pool of size 1 is a plain
+//     inline loop with no handoff.
+//   - Calls sharing a worker value are sequential on one goroutine, so
+//     per-executor scratch (a pooled evaluator, a chunk buffer) indexed by
+//     worker needs no locking. Worker ids are per-Run: two Runs may map the
+//     same id to different goroutines.
+//   - Run returns only when every index has completed. A panic in fn is
+//     caught on the worker (which survives for the next run), recorded
+//     first-wins, aborts the run's remaining shards, and is re-raised on
+//     the submitter as *TaskPanic.
+//   - Submissions are serialized: a Run issued while the pool is busy — a
+//     concurrent caller or fn itself nesting — runs inline serially instead
+//     of queueing, so the pool can never deadlock on itself.
+//
+// # Determinism rules
+//
+// The pool promises nothing about which worker executes which index or in
+// what order indices complete. Callers on the simulator's bit-identical
+// paths therefore follow one discipline: tasks write only to per-index (or
+// per-worker) slots, never to shared accumulators, and all merging happens
+// on the submitter in index order after Run returns. Under that discipline
+// the result is bit-identical for every pool size — including 1, which is
+// the serial reference the equivalence tests pin against — and regardless of
+// worker interleaving. This is exactly the contract the farm's deterministic
+// server-order merge and the policy manager's per-candidate evaluation slots
+// were already built around; the pool makes it explicit.
+package par

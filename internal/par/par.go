@@ -1,0 +1,230 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent set of worker goroutines executing indexed task sets.
+// Workers are started lazily on the first parallel Run and then parked on
+// per-worker wake channels between submissions, so steady-state use spawns
+// no goroutines and allocates nothing: a Run costs one channel send per
+// woken worker, an atomic ticket per index, and one send/receive on the
+// reusable completion barrier.
+//
+// The zero Pool is not usable; construct with New or use the process-wide
+// Default.
+type Pool struct {
+	size int
+
+	// mu serializes submissions. A Run that cannot take it immediately
+	// (a concurrent or nested Run holds the pool) degrades to the inline
+	// serial loop — bit-identical by the determinism contract — instead of
+	// queueing or deadlocking.
+	mu    sync.Mutex
+	start sync.Once
+
+	// wake[w] parks background worker w (1 ≤ w < size); done is the
+	// reusable completion barrier the last finishing worker signals.
+	wake []chan struct{}
+	done chan struct{}
+
+	// Per-run state, written by the submitter before the wakes (the channel
+	// send publishes it to the woken workers) and read back after the
+	// barrier.
+	n       int
+	fn      func(worker, i int)
+	next    atomic.Int64
+	pending atomic.Int32
+
+	panicMu    sync.Mutex
+	panicVal   any
+	panicStack []byte
+}
+
+// New returns a pool of size executors; size < 1 picks runtime.GOMAXPROCS(0).
+// One executor is the submitting goroutine itself, so a pool of size n parks
+// n-1 background workers. Pools are intended to live for the process (Default
+// does); short-lived pools should be Closed to release their workers.
+func New(size int) *Pool {
+	if size < 1 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size, done: make(chan struct{}, 1)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide pool, sized to runtime.GOMAXPROCS(0) at
+// first use. All the simulator's parallel drivers share it, so the whole
+// process runs one persistent worker set however many selections, farm runs
+// and dispatch slices execute.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// Size reports the pool's executor count (background workers plus the
+// submitter).
+func (p *Pool) Size() int { return p.size }
+
+// TaskPanic is the value Run re-panics with on the submitting goroutine when
+// a task function panicked on a worker: the original value plus the worker's
+// stack. Only the first panic of a run is kept; the run's remaining shards
+// are abandoned.
+type TaskPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+func (t *TaskPanic) Error() string {
+	return fmt.Sprintf("par: task panicked: %v\n%s", t.Value, t.Stack)
+}
+
+// Run executes fn(worker, i) exactly once for every i in [0, n), distributing
+// indices across at most min(Size, maxWorkers, n) executors (maxWorkers ≤ 0
+// means no extra bound). Indices are handed out as shards from an atomic
+// ticket counter, so distribution is dynamic; worker identifies the executor,
+// 0 ≤ worker < the executor bound, and all calls sharing a worker value are
+// sequential on one goroutine — per-executor scratch indexed by worker needs
+// no locking. Run returns once every index has completed (the reusable
+// barrier), and re-panics on the submitter — as a *TaskPanic — if any task
+// panicked.
+//
+// Determinism contract: Run promises nothing about which worker executes
+// which index, so callers must make results independent of the interleaving —
+// write only to per-index (or per-worker) slots and merge in index order
+// afterwards. Under that discipline every pool size, including 1, produces
+// bit-identical results; the single-executor case runs inline on the
+// submitter with no handoff at all, as do concurrent and nested Runs on a
+// busy pool.
+func (p *Pool) Run(n, maxWorkers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.size
+	if workers > n {
+		workers = n
+	}
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers <= 1 || !p.mu.TryLock() {
+		runSerial(n, fn)
+		return
+	}
+	defer p.mu.Unlock()
+	p.start.Do(p.startWorkers)
+
+	p.n, p.fn = n, fn
+	p.next.Store(0)
+	p.pending.Store(int32(workers - 1))
+	for w := 1; w < workers; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.drain(0)
+	<-p.done
+	p.fn = nil // do not pin the closure between runs
+
+	p.panicMu.Lock()
+	val, stack := p.panicVal, p.panicStack
+	p.panicVal, p.panicStack = nil, nil
+	p.panicMu.Unlock()
+	if val != nil {
+		panic(&TaskPanic{Value: val, Stack: stack})
+	}
+}
+
+// runSerial is the inline fallback (single executor, busy or nested pool):
+// the plain serial loop, with panics wrapped as *TaskPanic so the panic
+// contract is uniform across pool sizes and submission states.
+func runSerial(n int, fn func(worker, i int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if tp, ok := r.(*TaskPanic); ok { // nested Run already wrapped it
+				panic(tp)
+			}
+			panic(&TaskPanic{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		fn(0, i)
+	}
+}
+
+// startWorkers launches the size-1 background workers, each parked on its
+// wake channel.
+func (p *Pool) startWorkers() {
+	p.wake = make([]chan struct{}, p.size)
+	for w := 1; w < p.size; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		go p.worker(w, p.wake[w])
+	}
+}
+
+// worker is one background executor: woken per run, it drains tickets, checks
+// in at the barrier (the last one signals the submitter) and parks again. It
+// owns its wake channel reference, so Close (which drops the pool's slice)
+// cannot race a worker still starting up.
+func (p *Pool) worker(w int, wake <-chan struct{}) {
+	for range wake {
+		p.drain(w)
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// drain pulls index tickets until the run is exhausted. A panicking task is
+// recovered so the worker survives for the next run: the first panic is
+// recorded for the submitter to re-raise, and the counter is fast-forwarded
+// so every executor stops handing out the abandoned run's remaining work.
+func (p *Pool) drain(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, stack := r, []byte(nil)
+			if tp, ok := r.(*TaskPanic); ok { // a nested inline Run wrapped it
+				val, stack = tp.Value, tp.Stack
+			}
+			if stack == nil {
+				stack = debug.Stack()
+			}
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = val
+				p.panicStack = stack
+			}
+			p.panicMu.Unlock()
+			p.next.Store(int64(p.n))
+		}
+	}()
+	n := int64(p.n)
+	for {
+		t := p.next.Add(1) - 1
+		if t >= n {
+			return
+		}
+		p.fn(w, int(t))
+	}
+}
+
+// Close releases the pool's background workers. The pool must be idle and
+// must not be used afterwards; Close exists so tests and short-lived tools
+// can avoid accumulating parked goroutines. Closing a pool whose workers
+// never started is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := 1; w < len(p.wake); w++ {
+		close(p.wake[w])
+	}
+	p.wake = nil
+}

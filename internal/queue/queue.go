@@ -533,6 +533,20 @@ func Simulate(jobs []Job, cfg Config, opts Options) (Result, error) {
 	return eng.Finish(eng.freeAt)
 }
 
+// SimulateSummary is the pooled one-shot variant of Simulate: the same
+// Algorithm 1 run over the same stream, but the engine — and with it the
+// response sample, the sorted percentile scratch and the residency tally —
+// is drawn from the evaluator pool and returned to it, and the result is the
+// scalar Summary, which never aliases pooled storage. Cold-path callers that
+// need only aggregates (no residency map, no raw sample) therefore simulate
+// with the warm path's allocation profile: zero steady-state allocations
+// once the pool is warm. The scalar fields are bit-identical to Simulate's.
+func SimulateSummary(jobs []Job, cfg Config, opts Options) (Summary, error) {
+	ev := GetEvaluator(jobs, opts)
+	defer ev.Release()
+	return ev.Evaluate(cfg)
+}
+
 // JobSource is the minimal pull interface the streaming drivers consume: it
 // fills buf with the next jobs in non-decreasing arrival order, returning
 // the count and whether more may follow (the stream package's Source

@@ -62,6 +62,15 @@ func (c *Cursor) Peek() (j queue.Job, ok bool) {
 // successful Peek.
 func (c *Cursor) Advance() { c.pos++ }
 
+// Reset rebinds the cursor to src (consumed from its current position),
+// discarding any buffered lookahead but keeping the chunk buffer — so a
+// long-lived driver can cursor over many streams without allocating.
+func (c *Cursor) Reset(src queue.JobSource) {
+	c.src = src
+	c.pos, c.n = 0, 0
+	c.exhausted = false
+}
+
 // Err reports the deferred error of a source that ended early, for sources
 // that expose one (Err() error); nil otherwise.
 func Err(src Source) error {

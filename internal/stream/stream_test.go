@@ -494,6 +494,50 @@ func TestCursorCornerCases(t *testing.T) {
 	}
 }
 
+// TestCursorReset: a Reset cursor over a rewound (or fresh) source must
+// replay the stream exactly, dropping any buffered lookahead from the
+// previous binding — long-lived drivers cursor over many streams this way
+// without reallocating.
+func TestCursorReset(t *testing.T) {
+	a := []queue.Job{{Arrival: 1, Size: 0.1}, {Arrival: 2, Size: 0.2}, {Arrival: 3, Size: 0.3}}
+	b := []queue.Job{{Arrival: 9, Size: 0.9}}
+	cur := stream.NewCursor(stream.Slice(a))
+	// Consume one job, leaving lookahead buffered.
+	if j, ok := cur.Peek(); !ok || j != a[0] {
+		t.Fatalf("first peek = %v %v", j, ok)
+	}
+	cur.Advance()
+	// Rebind to a different source: the stale lookahead must vanish.
+	cur.Reset(stream.Slice(b))
+	j, ok := cur.Peek()
+	if !ok || j != b[0] {
+		t.Fatalf("after Reset peek = %v %v, want %v", j, ok, b[0])
+	}
+	cur.Advance()
+	if _, ok := cur.Peek(); ok {
+		t.Fatal("rebound cursor not exhausted")
+	}
+	// Reset clears sticky exhaustion too.
+	cur.Reset(stream.Slice(a))
+	var got []queue.Job
+	for {
+		j, ok := cur.Peek()
+		if !ok {
+			break
+		}
+		got = append(got, j)
+		cur.Advance()
+	}
+	if len(got) != len(a) {
+		t.Fatalf("replay yielded %d jobs, want %d", len(got), len(a))
+	}
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("replay job %d = %v, want %v", i, got[i], a[i])
+		}
+	}
+}
+
 // TestCursorMatchesCollect: draining through the cursor must yield exactly
 // what the chunked Collect reference sees.
 func TestCursorMatchesCollect(t *testing.T) {

@@ -97,6 +97,16 @@ func Simulate(jobs []Job, cfg SimConfig, opts SimOptions) (SimResult, error) {
 	return queue.Simulate(jobs, cfg, opts)
 }
 
+// SimulateSummary is the pooled one-shot variant of Simulate: the engine and
+// its buffers (response sample, sorted percentile scratch) are drawn from
+// the evaluator pool, and the scalar SimSummary — bit-identical to
+// Simulate's aggregates, never aliasing pooled storage — is returned. Cold
+// one-shot calls that need no residency map or raw sample run with zero
+// steady-state allocations.
+func SimulateSummary(jobs []Job, cfg SimConfig, opts SimOptions) (SimSummary, error) {
+	return queue.SimulateSummary(jobs, cfg, opts)
+}
+
 // NewEngine returns a resumable simulator starting idle at time start.
 func NewEngine(cfg SimConfig, start float64) (*Engine, error) {
 	return queue.NewEngine(cfg, start)
@@ -433,12 +443,23 @@ type (
 	// against a lightweight per-server availability shadow, unlocking the
 	// time-sliced parallel mode of RunFarmSource.
 	VirtualRouter = farm.VirtualRouter
-	// FarmDispatchOptions tunes RunFarmSource's streaming dispatch loop.
+	// FarmDispatchOptions tunes RunFarmSource's streaming dispatch loop,
+	// including the persistent worker-pool bound of the parallel mode
+	// (Workers; 0 uses the whole GOMAXPROCS-sized pool).
 	FarmDispatchOptions = farm.DispatchOptions
-	// RoundRobin, RandomDispatch and JSQ are the provided dispatchers.
+	// FarmSummary is the scalar fleet aggregate of a farm run — what
+	// Farm.FinishSummary returns on the steady-state reuse path.
+	FarmSummary = farm.Summary
+	// RoundRobin, RandomDispatch, JSQ, PowerOfD and LeastWorkLeft are the
+	// provided dispatchers. PowerOfD samples D servers and joins the least
+	// backlogged; LeastWorkLeft routes to the earliest completion,
+	// wake-up latency included. Both are VirtualRouters, so they ride the
+	// time-sliced parallel mode bit-identically to sequential dispatch.
 	RoundRobin     = farm.RoundRobin
 	RandomDispatch = farm.Random
 	JSQ            = farm.JSQ
+	PowerOfD       = farm.PowerOfD
+	LeastWorkLeft  = farm.LeastWorkLeft
 )
 
 // NewFarm builds a farm of k servers starting idle under cfg.
