@@ -410,6 +410,106 @@ func BenchmarkFarmDispatchParallelJSQ(b *testing.B) {
 	b.ReportMetric(watts, "watts")
 }
 
+// farm10k builds a 10,000-server farm and a rewindable stationary source
+// sized so every server sees work, for the fleet-scale dispatch benchmarks.
+func farm10k(b *testing.B, disp sleepscale.Dispatcher) (*sleepscale.Farm, interface {
+	sleepscale.JobSource
+	Reset(seed int64)
+}, sleepscale.SimConfig) {
+	b.Helper()
+	stats := dispatchStats(b)
+	// ~40k jobs: enough that the index's busy/idle machinery is exercised,
+	// small enough that one op stays interactive.
+	horizon := stats.Inter.Mean() * 40000
+	src, err := sleepscale.NewStationarySource(stats, horizon, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := sleepscale.NewFarm(10000, cfg, disp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, src, cfg
+}
+
+// BenchmarkFarmDispatch10k measures fleet-scale streamed dispatch: one op
+// resets a 10,000-server farm and re-serves a rewound stationary stream
+// through the time-sliced parallel mode, with JSQ and LeastWorkLeft routed
+// through the O(log k) index. Steady-state allocs/op must stay at 0 — CI
+// gates the budget via BENCH_farm.json. Before the index, routing alone was
+// a Θ(k) scan per job (~10^8 float compares per op at this scale).
+func BenchmarkFarmDispatch10k(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		disp func() sleepscale.Dispatcher
+	}{
+		{"jsq", func() sleepscale.Dispatcher { return sleepscale.JSQ{} }},
+		{"lwl", func() sleepscale.Dispatcher { return &sleepscale.LeastWorkLeft{} }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f, src, cfg := farm10k(b, tc.disp())
+			opts := sleepscale.FarmDispatchOptions{Parallel: true}
+			if _, err := f.ServeSourceSliced(src, opts); err != nil { // warm scratch + index + pool
+				b.Fatal(err)
+			}
+			f.FinishSummary(f.LastFree())
+			var watts float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Reset(cfg); err != nil {
+					b.Fatal(err)
+				}
+				src.Reset(1)
+				if _, err := f.ServeSourceSliced(src, opts); err != nil {
+					b.Fatal(err)
+				}
+				watts = f.FinishSummary(f.LastFree()).TotalAvgPower
+			}
+			b.ReportMetric(watts, "watts")
+		})
+	}
+}
+
+// BenchmarkFarmRoute10k is the indexed-vs-linear routing A/B at k = 10,000:
+// the same farm, stream and dispatcher, with the O(log k) routing index on
+// (default) and off (LinearRouting). The two variants produce bit-identical
+// results — the equivalence suite asserts it — so the ns/op ratio is pure
+// routing cost. The indexed path must stay well ahead of linear here (the
+// acceptance bar is ≥5×); compare the two sub-benchmark timings.
+func BenchmarkFarmRoute10k(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts sleepscale.FarmDispatchOptions
+	}{
+		{"indexed", sleepscale.FarmDispatchOptions{Parallel: true}},
+		{"linear", sleepscale.FarmDispatchOptions{Parallel: true, LinearRouting: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f, src, cfg := farm10k(b, sleepscale.JSQ{})
+			if _, err := f.ServeSourceSliced(src, tc.opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Reset(cfg); err != nil {
+					b.Fatal(err)
+				}
+				src.Reset(1)
+				if _, err := f.ServeSourceSliced(src, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSelectParallel measures a steady-state §5.1.1 policy-manager
 // decision on the persistent worker pool: every (state, frequency) candidate
 // scored over the same stream, with the worker set parked between

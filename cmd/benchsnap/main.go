@@ -37,11 +37,19 @@
 // new to the fresh run are noted but never fail — they have no baseline yet.
 // The baseline is read before -out is written, so the two flags may name the
 // same file: CI compares against the committed snapshot, then refreshes it
-// as the uploaded artifact. When the baseline was recorded under a
-// different GOMAXPROCS (a different machine class), the environment-bound
-// comparisons — ns/op and the parallel benchmarks' goroutine-scaling
-// allocs — are downgraded to notes; regenerate and commit the baselines
-// from the CI runner class to arm the full gate there.
+// as the uploaded artifact.
+//
+// Wall-clock timings and the parallel benchmarks' goroutine-scaling allocs
+// depend on GOMAXPROCS, so a snapshot records the processor count it was
+// measured under. To keep baselines comparable across runner shapes, the
+// benchmark child process is pinned: -gomaxprocs sets its GOMAXPROCS
+// explicitly, and the default (0, auto) pins it to the baseline's recorded
+// count when -baseline is given — the fresh run then matches the baseline's
+// machine class by construction and the full ns/op gate stays armed on any
+// runner. Only when there is no baseline (or it predates the gomaxprocs
+// field) does the child inherit the current processor count; a baseline
+// from a genuinely unpinnable environment is still compared, with the
+// environment-bound checks downgraded to notes.
 package main
 
 import (
@@ -95,6 +103,7 @@ func main() {
 		baseline     = flag.String("baseline", "", "committed snapshot to gate regressions against; empty disables the gate")
 		maxNsRegress = flag.Float64("max-ns-regress", 0.25, "max fractional ns/op regression vs -baseline before failing")
 		count        = flag.Int("count", 1, "benchmark repetitions (go test -count); per-benchmark minimum is kept, the noise-robust estimator")
+		gomaxprocs   = flag.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark child process; 0 pins it to the baseline's recorded count (falling back to the current count without one)")
 	)
 	flag.Parse()
 
@@ -110,16 +119,34 @@ func main() {
 		base = loaded
 	}
 
+	// Pin the benchmark child's processor count so timings stay comparable
+	// to the baseline regardless of the runner shape benchsnap happens to
+	// be invoked on.
+	procs := *gomaxprocs
+	if procs <= 0 {
+		if base != nil && base.GoMaxProcs > 0 {
+			procs = base.GoMaxProcs
+		} else {
+			procs = runtime.GOMAXPROCS(0)
+		}
+	}
+	if base != nil && base.GoMaxProcs > 0 && procs == base.GoMaxProcs {
+		fmt.Printf("benchsnap: benchmarks pinned to GOMAXPROCS=%d (baseline machine class)\n", procs)
+	} else {
+		fmt.Printf("benchsnap: benchmarks run at GOMAXPROCS=%d\n", procs)
+	}
+
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
 		"-count", strconv.Itoa(*count), ".")
+	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", procs))
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: go test: %v\n%s", err, raw)
 		os.Exit(1)
 	}
-	benches, err := parseBench(string(raw))
+	benches, err := parseBench(string(raw), procs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		os.Exit(1)
@@ -134,7 +161,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: procs,
 		BenchTime:  *benchtime,
 		Benchmarks: benches,
 	}
@@ -184,10 +211,14 @@ func main() {
 	}
 
 	if base != nil {
-		sameEnv := base.GoMaxProcs == 0 || base.GoMaxProcs == runtime.GOMAXPROCS(0)
+		// With the child pinned to the baseline's recorded count (the
+		// default), sameEnv holds by construction and the full ns/op gate is
+		// armed; it only drops when -gomaxprocs forces a different count or
+		// the baseline predates the gomaxprocs field.
+		sameEnv := base.GoMaxProcs == 0 || base.GoMaxProcs == procs
 		if !sameEnv {
-			fmt.Printf("benchsnap: baseline %s was recorded at GOMAXPROCS=%d (now %d): timing and goroutine-alloc comparisons downgraded to notes\n",
-				*baseline, base.GoMaxProcs, runtime.GOMAXPROCS(0))
+			fmt.Printf("benchsnap: baseline %s was recorded at GOMAXPROCS=%d (run at %d): timing and goroutine-alloc comparisons downgraded to notes\n",
+				*baseline, base.GoMaxProcs, procs)
 		}
 		regressions, notes := compareBaseline(base.Benchmarks, benches, *maxNsRegress, sameEnv)
 		for _, n := range notes {
@@ -381,8 +412,17 @@ func compareBaseline(base, fresh []Benchmark, nsTolerance float64, sameEnv bool)
 //
 //	BenchmarkName-8   10   123456 ns/op   42 watts   100 B/op   3 allocs/op
 //
-// tolerating any number of custom unit pairs.
-func parseBench(out string) ([]Benchmark, error) {
+// tolerating any number of custom unit pairs. procs is the GOMAXPROCS the
+// benchmark child ran under — the testing package appends it as a -N name
+// suffix (omitted at 1), which is stripped so snapshot names stay stable
+// across machine classes. Trimming the known suffix exactly (rather than
+// any trailing -digits) keeps benchmark names that legitimately end in a
+// dash-number intact.
+func parseBench(out string, procs int) ([]Benchmark, error) {
+	suffix := ""
+	if procs != 1 {
+		suffix = fmt.Sprintf("-%d", procs)
+	}
 	var benches []Benchmark
 	for _, line := range strings.Split(out, "\n") {
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -396,8 +436,12 @@ func parseBench(out string) ([]Benchmark, error) {
 		if err != nil {
 			continue
 		}
+		name := fields[0]
+		if suffix != "" {
+			name = strings.TrimSuffix(name, suffix)
+		}
 		b := Benchmark{
-			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Name:       name,
 			Iterations: iters,
 		}
 		for i := 2; i+1 < len(fields); i += 2 {

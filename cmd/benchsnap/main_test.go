@@ -14,7 +14,7 @@ BenchmarkEvaluatorSteadyState-8   	      10	   123456 ns/op	      42 watts	     
 BenchmarkEngineThroughput-8       	       5	   999999 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
-	benches, err := parseBench(out)
+	benches, err := parseBench(out, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,11 +22,38 @@ PASS
 		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
 	}
 	b := benches[0]
+	if b.Name != "BenchmarkEvaluatorSteadyState" {
+		t.Errorf("GOMAXPROCS suffix not trimmed: %q", b.Name)
+	}
 	if b.NsPerOp != 123456 || b.BytesPerOp != 100 || b.AllocsPerOp != 3 || b.Iterations != 10 {
 		t.Errorf("parsed %+v", b)
 	}
 	if b.Metrics["watts"] != 42 {
 		t.Errorf("custom metric lost: %+v", b.Metrics)
+	}
+}
+
+// TestParseBenchSuffixByProcs: the -N name suffix is trimmed using the
+// child's actual GOMAXPROCS, not the parent's — a snapshot taken under a
+// pinned count must produce the same stable names on any machine — and at
+// GOMAXPROCS=1 (no suffix emitted) nothing is trimmed, even from names
+// that happen to end in a dash-number.
+func TestParseBenchSuffixByProcs(t *testing.T) {
+	out := "BenchmarkFarmRoute10k/indexed-4   	      10	   100 ns/op\n" +
+		"BenchmarkOddName-4                	      10	   100 ns/op\n"
+	benches, err := parseBench(out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches[0].Name != "BenchmarkFarmRoute10k/indexed" || benches[1].Name != "BenchmarkOddName" {
+		t.Errorf("pinned-suffix trim wrong: %q, %q", benches[0].Name, benches[1].Name)
+	}
+	benches, err = parseBench(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches[1].Name != "BenchmarkOddName-4" {
+		t.Errorf("GOMAXPROCS=1 run must not trim: %q", benches[1].Name)
 	}
 }
 

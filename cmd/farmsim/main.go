@@ -13,8 +13,11 @@
 // pulled from a stationary source in bounded chunks through the streaming
 // dispatch loop (the state-dependent dispatchers included), and -parallel
 // adds the time-sliced parallel simulation on the persistent worker pool —
-// bit-identical to the sequential dispatch. Dispatchers: jsq, rr, random,
-// pd<d> (power-of-d choices) and lwl (least work left, wake-aware).
+// bit-identical to the sequential dispatch. In that mode jsq and lwl route
+// through an O(log k) index over the availability shadow; -linear falls
+// back to the Θ(k) linear scan (identical results — the flag exists for
+// A/B timing at large k). Dispatchers: jsq, rr, random, pd<d> (power-of-d
+// choices) and lwl (least work left, wake-aware).
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		streaming = flag.Bool("stream", false, "farm mode: pull jobs from a streaming source (O(chunk) memory) instead of materializing")
 		parallel  = flag.Bool("parallel", false, "with -stream: time-sliced parallel simulation (bit-identical results)")
+		linear    = flag.Bool("linear", false, "with -stream -parallel: route via the linear shadow scan instead of the O(log k) index (bit-identical; for A/B timing)")
 	)
 	flag.Parse()
 
@@ -82,7 +86,7 @@ func main() {
 					log.Fatal(err)
 				}
 				res, err = sleepscale.RunFarmSource(k, cfg, disp, src,
-					sleepscale.FarmDispatchOptions{Parallel: *parallel})
+					sleepscale.FarmDispatchOptions{Parallel: *parallel, LinearRouting: *linear})
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -62,10 +62,13 @@
 //   - Every parallel driver — Manager.Select, RunFarm, RunFarmSources and
 //     the sliced mode of RunFarmSource — executes on one process-wide
 //     persistent worker pool (internal/par): workers start once, park
-//     between submissions, pull work from an atomic ticket counter and
-//     resynchronize through a reusable barrier, so steady-state fan-out
-//     spawns no goroutines. Manager.Parallelism bounds the executors a
-//     selection may use; results are identical for every bound.
+//     between submissions, pull work from an atomic ticket counter (or own
+//     a fixed index shard with work stealing, keeping each engine on the
+//     same cache-hot worker) and resynchronize through a reusable barrier,
+//     so steady-state fan-out spawns no goroutines; concurrent submissions
+//     share the worker set through a run queue instead of degrading to
+//     inline-serial. Manager.Parallelism bounds the executors a selection
+//     may use; results are identical for every bound.
 //   - Manager.Select gives each pool executor one pooled Evaluator and
 //     one sleep-phase scratch buffer, so scoring a candidate costs zero
 //     allocations once the pool is warm. Manager.Evaluate remains the thin
@@ -130,7 +133,18 @@
 //   - VirtualRouter (JSQ, PowerOfD, LeastWorkLeft): routing depends only on
 //     each server's work-completion time, which the driver tracks as a
 //     scalar shadow advanced by SimConfig.NextFreeAt — an exact mirror of
-//     the engine's availability arithmetic.
+//     the engine's availability arithmetic. LeastWorkLeft is additionally
+//     an AnchoredRouter: its shadow carries each server's idle anchor, so
+//     sleep-state wake pricing stays exact across mid-run config switches
+//     taken during an idle period.
+//
+// At fleet scale the driver routes JSQ and LeastWorkLeft through an
+// O(log k) index over the shadow (a tournament tree, plus per-phase idle
+// bitsets and a wake-crossing heap for LeastWorkLeft), making a
+// 10,000-server farm dispatchable at interactive speed; the index is
+// bit-identical to the linear scan — an equivalence suite pins every
+// decision up to k = 10,000 — and FarmDispatchOptions.LinearRouting turns
+// it off for A/B timing.
 //
 // FarmDispatchOptions.Parallel enables the time-sliced parallel mode: the
 // stream is cut into slices at dispatch-forced synchronization points, each
@@ -146,13 +160,17 @@
 // k = 1 it matches RunSource bit for bit).
 //
 // CI gates this path as well — BenchmarkFarmDispatchSteadyState (the
-// Reset+ServeSource loop) and BenchmarkFarmDispatchParallelJSQ (the pooled
+// Reset+ServeSource loop), BenchmarkFarmDispatchParallelJSQ (the pooled
 // sliced loop, formerly 191 allocs/op when it spawned workers per slice)
-// must both hold 0 allocs/op in BENCH_farm.json, BenchmarkSelectParallel
-// carries a hard allocs/op floor in BENCH_selection.json — and every bench
-// snapshot doubles as a regression baseline: cmd/benchsnap -baseline fails
-// the build when a benchmark regresses more than 25% ns/op (or allocates
-// beyond its baseline) against the committed snapshot.
+// and BenchmarkFarmDispatch10k (the 10,000-server indexed dispatch, JSQ
+// and LeastWorkLeft) must all hold 0 allocs/op in BENCH_farm.json,
+// BenchmarkSelectParallel carries a hard allocs/op floor in
+// BENCH_selection.json — and every bench snapshot doubles as a regression
+// baseline: cmd/benchsnap -baseline fails the build when a benchmark
+// regresses more than 25% ns/op (or allocates beyond its baseline) against
+// the committed snapshot, with the benchmark child pinned to the
+// baseline's recorded GOMAXPROCS so the timing gate stays armed on every
+// runner shape.
 //
 // See examples/ for runnable programs (examples/week-long drives a 7-day
 // trace through the streaming loop; examples/streamed-farm dispatches a

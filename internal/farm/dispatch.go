@@ -20,6 +20,18 @@ type VirtualRouter interface {
 	RouteVirtual(freeAt []float64, j queue.Job) int
 }
 
+// AnchoredRouter is the optional refinement of VirtualRouter for dispatchers
+// whose pricing depends on each server's idle-schedule anchor, not just its
+// freeAt: anchor[i] is the start of server i's current idle schedule
+// (queue.Engine.IdleAnchor). The anchors differ from freeAt only for servers
+// that have been reconfigured (SetConfigAt) while idle and not served since;
+// carrying them keeps the sliced parallel dispatch bit-identical to the
+// sequential Pick path even across such switches. The sliced driver uses
+// RouteVirtualAnchored when available and falls back to RouteVirtual.
+type AnchoredRouter interface {
+	RouteVirtualAnchored(freeAt, anchor []float64, j queue.Job) int
+}
+
 // RouteVirtual implements VirtualRouter: the server with the least
 // outstanding work at the arrival instant, ties toward the lowest index —
 // the same decision Pick makes from engine backlogs.
@@ -96,21 +108,23 @@ func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.D) }
 // Cfg must be the farm's operating configuration: the virtual-routing path
 // has no engines to consult, so it prices wake-ups from Cfg, while Pick uses
 // each engine's live configuration — the two agree (and the parallel mode is
-// bit-identical) exactly when Cfg matches the engines'. After a mid-run
-// SetConfigAt during an idle period the first wake may be mispriced (the
-// idle anchor moved); routing stays valid, just heuristic.
+// bit-identical) exactly when Cfg matches the engines'. Idle pricing follows
+// each server's actual idle anchor: Pick reads it from the engine, and the
+// sliced driver carries an anchor shadow alongside freeAt, so the first wake
+// after a mid-run SetConfigAt during an idle period is priced exactly (the
+// anchor the switch moved is honored, not assumed equal to freeAt).
 type LeastWorkLeft struct {
 	// Cfg prices service and wake-up latency on the virtual-routing path.
 	Cfg queue.Config
 }
 
 // Pick implements Dispatcher: the earliest completion of j across servers,
-// computed by the same availability recursion the engines run.
+// computed by the same availability recursion the engines run, against each
+// engine's live configuration and idle anchor.
 func (l *LeastWorkLeft) Pick(f *Farm, j queue.Job) int {
 	best, bestDone := 0, 0.0
 	for i, eng := range f.engines {
-		cfg := eng.Config()
-		done := cfg.NextFreeAt(eng.FreeAt(), j)
+		done := eng.NextFreeAt(j)
 		if i == 0 || done < bestDone {
 			best, bestDone = i, done
 		}
@@ -119,11 +133,27 @@ func (l *LeastWorkLeft) Pick(f *Farm, j queue.Job) int {
 }
 
 // RouteVirtual implements VirtualRouter: the same completion-time comparison
-// against the freeAt shadow, priced by Cfg.
+// against the freeAt shadow, priced by Cfg with idle schedules anchored at
+// freeAt — exact whenever every server has processed a job since its last
+// anchor move (the steady state of a dispatch run).
 func (l *LeastWorkLeft) RouteVirtual(freeAt []float64, j queue.Job) int {
 	best, bestDone := 0, 0.0
 	for i := range freeAt {
 		done := l.Cfg.NextFreeAt(freeAt[i], j)
+		if i == 0 || done < bestDone {
+			best, bestDone = i, done
+		}
+	}
+	return best
+}
+
+// RouteVirtualAnchored is RouteVirtual against a shadow that also carries
+// idle anchors, matching Pick bit for bit even when SetConfigAt moved an
+// anchor away from its server's freeAt. The sliced driver prefers it.
+func (l *LeastWorkLeft) RouteVirtualAnchored(freeAt, anchor []float64, j queue.Job) int {
+	best, bestDone := 0, 0.0
+	for i := range freeAt {
+		done := l.Cfg.NextFreeAtAnchored(freeAt[i], anchor[i], j)
 		if i == 0 || done < bestDone {
 			best, bestDone = i, done
 		}
@@ -159,6 +189,11 @@ type DispatchOptions struct {
 	// executors). Results do not depend on the choice — 1 degenerates to
 	// the serial reference on the submitting goroutine.
 	Workers int
+	// LinearRouting opts out of the O(log k) routing index and routes every
+	// job by the dispatcher's O(k) linear scan. Routing decisions are
+	// bit-identical either way (the equivalence suite pins it); the flag
+	// exists for A/B comparison and as an escape hatch.
+	LinearRouting bool
 }
 
 // DispatchSource is the streaming k-way dispatch loop: it pulls chunks from
@@ -222,9 +257,14 @@ type slicedState struct {
 	assign  []int
 	backing []queue.Job
 	freeAt  []float64
+	anchor  []float64
 	offsets []int
 	fill    []int
 	count   []int
+	// idx is the dispatcher's O(log k) routing index over the freeAt/anchor
+	// shadow, built on first use (the farm's dispatcher never changes) and
+	// rebuilt per call; nil when the dispatcher has none.
+	idx routeIndex
 	// done[s] is how many of server s's substream jobs the current slice
 	// actually simulated — equal to count[s] on success, fewer when the
 	// engine failed mid-substream — so perSrv stays consistent with engine
@@ -245,6 +285,7 @@ func (f *Farm) sliced(sliceJobs int) *slicedState {
 		sl = &slicedState{
 			f:       f,
 			freeAt:  make([]float64, k),
+			anchor:  make([]float64, k),
 			offsets: make([]int, k+1),
 			fill:    make([]int, k),
 			count:   make([]int, k),
@@ -307,16 +348,29 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 	} else {
 		sl.cursor.Reset(src)
 	}
-	// Anchor the shadow on the engines' current availability, so a warm farm
-	// can continue a stream mid-flight.
+	// Anchor the shadow on the engines' current availability and idle
+	// anchors, so a warm farm can continue a stream mid-flight — including
+	// one reconfigured while idle, whose anchor moved away from freeAt.
 	for s, eng := range f.engines {
 		sl.freeAt[s] = eng.FreeAt()
+		sl.anchor[s] = eng.IdleAnchor()
 		sl.errs[s] = nil
 	}
 	pool := par.Default()
 	// The shadow recursion prices service and wake-ups from the engines'
 	// (shared) configuration; ServeSourceSliced never switches it mid-run.
 	cfg := f.engines[0].Config()
+	ar, isAnchored := f.disp.(AnchoredRouter)
+	var ridx routeIndex
+	if isVR && !isPre && !opts.LinearRouting {
+		if sl.idx == nil {
+			sl.idx = newRouteIndexFor(f.disp, sl.freeAt, sl.anchor)
+		}
+		if sl.idx != nil {
+			sl.idx.reset(cfg)
+			ridx = sl.idx
+		}
+	}
 
 	served := 0
 	for {
@@ -338,13 +392,24 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 		// Route the slice serially: this is the dispatch-forced
 		// synchronization the mode's name refers to.
 		assign := sl.assign[:len(slice)]
-		if isPre {
+		switch {
+		case isPre:
 			pre.Preassign(k, slice, assign)
-		} else {
+		case ridx != nil:
+			// O(log k) per job; the index commits the shadow advance itself.
 			for i := range slice {
-				assign[i] = vr.RouteVirtual(sl.freeAt, slice[i])
+				assign[i] = ridx.route(slice[i])
+			}
+		default:
+			for i := range slice {
+				if isAnchored {
+					assign[i] = ar.RouteVirtualAnchored(sl.freeAt, sl.anchor, slice[i])
+				} else {
+					assign[i] = vr.RouteVirtual(sl.freeAt, slice[i])
+				}
 				if s := assign[i]; s >= 0 && s < k {
-					sl.freeAt[s] = cfg.NextFreeAt(sl.freeAt[s], slice[i])
+					nf := cfg.NextFreeAtAnchored(sl.freeAt[s], sl.anchor[s], slice[i])
+					sl.freeAt[s], sl.anchor[s] = nf, nf
 				}
 			}
 		}
@@ -361,10 +426,12 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 		bucketByServer(slice, assign, sl.count, sl.offsets, sl.fill, sl.backing)
 
 		// Advance the servers concurrently; the pool's reusable barrier is
-		// the slice barrier. perSrv accounts only jobs actually simulated
-		// (done, not count), so a mid-substream failure leaves the farm's
-		// counters consistent with its engines.
-		pool.Run(k, opts.Workers, sl.body)
+		// the slice barrier. RunSharded pins each executor slot to the same
+		// contiguous server range every slice, so workers keep their engines
+		// hot across barriers instead of re-sharding them. perSrv accounts
+		// only jobs actually simulated (done, not count), so a mid-substream
+		// failure leaves the farm's counters consistent with its engines.
+		pool.RunSharded(k, opts.Workers, sl.body)
 		simulated := 0
 		for s := range sl.count {
 			f.perSrv[s] += sl.done[s]
@@ -377,11 +444,22 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 			}
 		}
 		// Resynchronize the shadow from the engines — they agree bit for
-		// bit with the NextFreeAt recursion, so this only re-anchors the
-		// next slice's routing on the authoritative engine arithmetic.
+		// bit with the NextFreeAtAnchored recursion, so this only re-anchors
+		// the next slice's routing on the authoritative engine arithmetic.
+		// The routing index only rebuilds if a mismatch actually appeared
+		// (it never should; the check is the safety net that keeps a
+		// hypothetical divergence from compounding across slices).
 		if isVR {
+			dirty := false
 			for s, eng := range f.engines {
-				sl.freeAt[s] = eng.FreeAt()
+				fa, an := eng.FreeAt(), eng.IdleAnchor()
+				if sl.freeAt[s] != fa || sl.anchor[s] != an {
+					sl.freeAt[s], sl.anchor[s] = fa, an
+					dirty = true
+				}
+			}
+			if dirty && ridx != nil {
+				ridx.reset(cfg)
 			}
 		}
 	}

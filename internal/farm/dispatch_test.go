@@ -378,6 +378,55 @@ func TestPowerOfDProperties(t *testing.T) {
 	}
 }
 
+// TestLeastWorkLeftPricesFirstWakeAfterIdleSwitch is the regression test for
+// the mispriced idle anchor: a SetConfigAt during an idle period restarts the
+// sleep-entry clock at the switch instant while freeAt stays at the last
+// departure. Pricing the first wake from freeAt instead of the moved anchor
+// charges a wake latency the engine will never pay — and here that made Pick
+// route to the busier server.
+func TestLeastWorkLeftPricesFirstWakeAfterIdleSwitch(t *testing.T) {
+	cfg := testCfg()
+	cfg.Phases[0].EnterAfter = 3 // sleep entered 3 s after the queue empties
+	cfg.Phases[0].WakeLatency = 5
+	lwl := &LeastWorkLeft{Cfg: cfg}
+	f, err := New(2, cfg, lwl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server 0 departs at 10 and idles; server 1 is busy until 16.
+	if _, err := f.Server(0).Process(queue.Job{Arrival: 0, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Server(1).Process(queue.Job{Arrival: 0, Size: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// The switch lands at t = 12, mid-idle on server 0: its sleep-entry clock
+	// restarts there, so at t = 13 it is still in the pre-sleep window
+	// (offset 1 < 3) and wakes for free.
+	if err := f.Server(0).SetConfigAt(12, cfg); err != nil {
+		t.Fatal(err)
+	}
+	j := queue.Job{Arrival: 13, Size: 1}
+	// True completions: server 0 starts at 13 with no wake → done 14;
+	// server 1 finishes its backlog at 16 → done 17. The old freeAt-anchored
+	// pricing charged server 0 the 5 s wake (offset 13−10 = 3 ≥ 3) → 19, and
+	// picked server 1.
+	if done := f.Server(0).NextFreeAt(j); done != 14 {
+		t.Fatalf("server 0 priced at %g, want 14 (no wake inside the restarted pre-sleep window)", done)
+	}
+	if got := lwl.Pick(f, j); got != 0 {
+		t.Fatalf("Pick routed to server %d, want 0: the first wake after the idle switch is mispriced", got)
+	}
+	// The engine confirms the pricing: serving on server 0 departs at 14.
+	resp, err := f.Server(0).Process(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 1 {
+		t.Fatalf("response %g, want 1 (start at arrival, no wake)", resp)
+	}
+}
+
 // TestLeastWorkLeftPricesWakeups: with one server mid-job and the others
 // deep asleep behind a long wake latency, least-work-left routes a new
 // arrival to the nearly-free busy server — the decision JSQ (backlog only)

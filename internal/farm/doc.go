@@ -20,7 +20,10 @@
 //   - VirtualRouter (JSQ, PowerOfD, LeastWorkLeft): routing depends only on
 //     each server's work-completion time, so decisions can be made against
 //     a lightweight freeAt shadow advanced by queue.Config.NextFreeAt — no
-//     live engines needed at routing time.
+//     live engines needed at routing time. LeastWorkLeft is additionally an
+//     AnchoredRouter: its shadow carries each server's idle anchor so
+//     wake-up pricing stays exact even after a mid-run SetConfigAt taken
+//     during an idle period (queue.Config.NextFreeAtAnchored).
 //
 // # Drivers
 //
@@ -54,14 +57,34 @@
 // snapshot pin this across dispatchers, seeds and pool sizes. The slice
 // size tunes only barrier frequency, never results.
 //
+// # Fleet-scale routing index
+//
+// At fleet scale the routing half of the sliced loop dominates: a linear
+// shadow scan is Θ(k) per job, ~10^8 float compares per re-served stream at
+// k = 10,000. The sliced driver therefore routes JSQ and LeastWorkLeft
+// through an O(log k) index over the shadow (index.go): JSQ uses a
+// tournament tree over (freeAt, index) with a leftmost-at-most descent for
+// the all-idle case; LeastWorkLeft adds per-phase idle bitsets and a
+// crossing heap so sleep-state wake pricing stays exact while only O(log k)
+// state updates per decision are paid. The index is an implementation
+// detail with a hard bit-identity contract — every decision equals the
+// linear scan's, tie-breaks included — pinned by an equivalence suite up to
+// k = 10,000 and benchmarked (indexed vs linear) in BenchmarkFarmRoute10k;
+// DispatchOptions.LinearRouting disables it for A/B comparison. PowerOfD
+// inspects only its d sampled servers and stays on the plain shadow.
+//
 // # Persistent worker pool and steady-state reuse
 //
 // Every parallel path in the package — Run's preassigned fan-out,
 // RunSources' per-server workers, and each slice of the parallel dispatch —
 // executes on the process-wide persistent pool of internal/par: workers are
-// started once and parked between submissions, work is handed out as index
-// shards from an atomic ticket counter, and the pool's reusable barrier
-// replaces the per-call (previously per-slice) sync.WaitGroup churn.
+// started once and parked between submissions, and the pool's reusable
+// barrier replaces the per-call (previously per-slice) sync.WaitGroup
+// churn. The sliced driver uses par.Pool.RunSharded, giving each executor a
+// fixed contiguous server shard: the same worker touches the same engines
+// slice after slice (cache-hot engines), with work stealing leveling
+// imbalance and the pool's run queue keeping concurrent submissions
+// parallel instead of degrading them to inline-serial.
 // DispatchOptions.Workers bounds the executors a dispatch may use; results
 // are identical for every bound.
 //

@@ -26,9 +26,30 @@
 //     caught on the worker (which survives for the next run), recorded
 //     first-wins, aborts the run's remaining shards, and is re-raised on
 //     the submitter as *TaskPanic.
-//   - Submissions are serialized: a Run issued while the pool is busy — a
-//     concurrent caller or fn itself nesting — runs inline serially instead
-//     of queueing, so the pool can never deadlock on itself.
+//   - Submissions share the workers: a Run issued while the pool is busy — a
+//     concurrent caller or fn itself nesting — enqueues a run descriptor
+//     that idle workers claim in submission order. The submitter always
+//     participates in its own run, so nested submissions make progress even
+//     when every worker is occupied; the pool can never deadlock on itself,
+//     and a busy pool no longer silently degrades parallel call sites to the
+//     inline loop. The only inline executions left are the structural
+//     single-executor bounds (pool size 1, maxWorkers 1, n = 1), counted in
+//     Stats.Inline so callers can assert their parallel paths actually
+//     pooled.
+//
+// # Shard ownership and stealing
+//
+// RunSharded is Run with a static partition instead of the dynamic ticket
+// counter: the index range is cut into one contiguous shard per executor
+// slot — slot w owns [w·n/W, (w+1)·n/W) — and each executor drains its own
+// shard front to back before stealing from the fullest remaining one. The
+// partition depends only on (n, executor bound), so repeated same-shape calls
+// hand every slot the same indices each time: a caller pinning state to
+// indices — the farm pins queue engines to servers — keeps each executor's
+// working set hot across barriers instead of re-sharding it every call, while
+// stealing still absorbs imbalanced shards (Stats.Steals observes it). The
+// executor bound, worker-id semantics, panic contract and determinism rules
+// are exactly Run's.
 //
 // # Determinism rules
 //

@@ -141,11 +141,22 @@ func (c *Config) occupiedPhase(off float64) int {
 // lightweight freeAt shadow and pick bit-identically to routing against live
 // engines.
 func (c *Config) NextFreeAt(freeAt float64, j Job) float64 {
+	return c.NextFreeAtAnchored(freeAt, freeAt, j)
+}
+
+// NextFreeAtAnchored is NextFreeAt for a server whose idle schedule is
+// anchored at anchor rather than at freeAt — the general form of the
+// availability recursion, matching Engine.Process even after a SetConfigAt
+// during an idle period moved the anchor. anchor must equal freeAt whenever
+// the server has processed a job since the last anchor move (Process re-sets
+// both to the departure time); NextFreeAt is the anchor == freeAt special
+// case.
+func (c *Config) NextFreeAtAnchored(freeAt, anchor float64, j Job) float64 {
 	svc := c.ServiceTime(j.Size)
 	var start float64
 	if j.Arrival > freeAt {
 		w := 0.0
-		if k := c.occupiedPhase(j.Arrival - freeAt); k >= 0 {
+		if k := c.occupiedPhase(j.Arrival - anchor); k >= 0 {
 			w = c.Phases[k].WakeLatency
 		}
 		start = j.Arrival + w
@@ -392,6 +403,21 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // FreeAt reports the time at which all accepted work completes.
 func (e *Engine) FreeAt() float64 { return e.freeAt }
+
+// IdleAnchor reports the start of the engine's current idle schedule: the
+// last departure time, or the instant of the last idle-period SetConfigAt if
+// that came later. State-dependent dispatchers price wake-ups from it.
+func (e *Engine) IdleAnchor() float64 { return e.anchor }
+
+// NextFreeAt reports the time at which the engine's work would complete if it
+// additionally served j, without serving it — the same availability recursion
+// Process runs, priced against the engine's live configuration and its actual
+// idle anchor. Unlike Config.NextFreeAt on FreeAt alone, this stays exact
+// after a mid-run SetConfigAt during an idle period (the anchor moved while
+// freeAt did not).
+func (e *Engine) NextFreeAt(j Job) float64 {
+	return e.cfg.NextFreeAtAnchored(e.freeAt, e.anchor, j)
+}
 
 // Backlog reports the seconds of accepted-but-unfinished work as of time t.
 func (e *Engine) Backlog(t float64) float64 {

@@ -443,9 +443,14 @@ type (
 	// against a lightweight per-server availability shadow, unlocking the
 	// time-sliced parallel mode of RunFarmSource.
 	VirtualRouter = farm.VirtualRouter
+	// AnchoredRouter marks VirtualRouters (LeastWorkLeft) whose shadow
+	// routing also tracks per-server idle anchors, so wake-up pricing stays
+	// exact across mid-run config switches taken during an idle period.
+	AnchoredRouter = farm.AnchoredRouter
 	// FarmDispatchOptions tunes RunFarmSource's streaming dispatch loop,
 	// including the persistent worker-pool bound of the parallel mode
-	// (Workers; 0 uses the whole GOMAXPROCS-sized pool).
+	// (Workers; 0 uses the whole GOMAXPROCS-sized pool) and the
+	// LinearRouting escape hatch that disables the O(log k) routing index.
 	FarmDispatchOptions = farm.DispatchOptions
 	// FarmSummary is the scalar fleet aggregate of a farm run — what
 	// Farm.FinishSummary returns on the steady-state reuse path.
@@ -454,7 +459,8 @@ type (
 	// provided dispatchers. PowerOfD samples D servers and joins the least
 	// backlogged; LeastWorkLeft routes to the earliest completion,
 	// wake-up latency included. Both are VirtualRouters, so they ride the
-	// time-sliced parallel mode bit-identically to sequential dispatch.
+	// time-sliced parallel mode bit-identically to sequential dispatch —
+	// JSQ and LeastWorkLeft through an O(log k) routing index there.
 	RoundRobin     = farm.RoundRobin
 	RandomDispatch = farm.Random
 	JSQ            = farm.JSQ
