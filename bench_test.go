@@ -12,11 +12,14 @@ package sleepscale_test
 //	go test -bench=. -benchmem ./...
 
 import (
+	"bytes"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"sleepscale"
 	"sleepscale/internal/experiments"
+	"sleepscale/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -300,6 +303,156 @@ func BenchmarkStreamSourceSteadyState(b *testing.B) {
 		jobs = drain()
 	}
 	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// ---------------------------------------------------------------------------
+// Columnar trace & event store benchmarks.
+
+// weekColFile writes the 7-day trace fixture as a column file and opens it
+// (memory-mapped on unix).
+func weekColFile(b *testing.B) (*sleepscale.Trace, *sleepscale.ColReader) {
+	b.Helper()
+	tr := weekTrace(b)
+	path := filepath.Join(b.TempDir(), "week.col")
+	if err := sleepscale.WriteColTrace(tr, path); err != nil {
+		b.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	return tr, r
+}
+
+// BenchmarkColReplaySteadyState measures the columnar trace source: one op
+// resets and fully re-drains the 7-day trace-driven source, slots streaming
+// out of the mapped column file. allocs/op must stay at 0 — CI gates the
+// budget via BENCH_colstore.json, same contract as the materialized-trace
+// source in BenchmarkStreamSourceSteadyState.
+func BenchmarkColReplaySteadyState(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, r := weekColFile(b)
+	src, err := sleepscale.NewColTraceSource(r, stats, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]sleepscale.Job, 256)
+	var jobs int
+	drain := func() int {
+		src.Reset(1)
+		n := 0
+		for {
+			k, ok := src.Next(buf)
+			n += k
+			if !ok {
+				return n
+			}
+		}
+	}
+	drain() // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs = drain()
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkColJobsReplaySteadyState measures recorded-stream replay: one op
+// rewinds and re-drains a week's worth of recorded jobs (~244k) straight
+// from the mapped column file — no generator, no parsing. allocs/op must
+// stay at 0 (gated via BENCH_colstore.json).
+func BenchmarkColJobsReplaySteadyState(b *testing.B) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := weekTrace(b)
+	live, err := sleepscale.NewTraceSource(stats, tr, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "jobs.col")
+	if _, err := sleepscale.RecordJobsCol(live, path); err != nil {
+		b.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	src, err := sleepscale.NewColJobsSource(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]sleepscale.Job, 256)
+	var jobs int
+	drain := func() int {
+		src.Reset(1)
+		n := 0
+		for {
+			k, ok := src.Next(buf)
+			n += k
+			if !ok {
+				return n
+			}
+		}
+	}
+	drain() // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs = drain()
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkColVsCSVReplay is the format A/B at the ingest layer: load the
+// same 7-day trace from buffered CSV and from the column file. The two
+// produce bit-identical traces (the equivalence tests pin it), so the ns/op
+// ratio is pure format cost; the columnar side must hold a ≥3× lead — CI
+// gates its absolute ns/op via BENCH_colstore.json.
+func BenchmarkColVsCSVReplay(b *testing.B) {
+	tr := weekTrace(b)
+	var csvBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+	colPath := filepath.Join(b.TempDir(), "week.col")
+	if err := sleepscale.WriteColTrace(tr, colPath); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("csv", func(b *testing.B) {
+		data := csvBuf.Bytes()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := trace.ReadCSV(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				b.Fatalf("read %d slots", got.Len())
+			}
+		}
+	})
+	b.Run("col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := sleepscale.ReadColTrace(colPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				b.Fatalf("read %d slots", got.Len())
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -102,6 +102,7 @@ func main() {
 		budgetBench  = flag.String("budget-bench", "EvaluatorSteadyState|EngineThroughput", "regex of benchmarks the allocs/op budget applies to")
 		baseline     = flag.String("baseline", "", "committed snapshot to gate regressions against; empty disables the gate")
 		maxNsRegress = flag.Float64("max-ns-regress", 0.25, "max fractional ns/op regression vs -baseline before failing")
+		gateBench    = flag.String("gate-bench", "", "regex of benchmarks the baseline ns/op gate applies to; empty gates all (allocs/op comparisons always apply)")
 		count        = flag.Int("count", 1, "benchmark repetitions (go test -count); per-benchmark minimum is kept, the noise-robust estimator")
 		gomaxprocs   = flag.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark child process; 0 pins it to the baseline's recorded count (falling back to the current count without one)")
 	)
@@ -220,7 +221,15 @@ func main() {
 			fmt.Printf("benchsnap: baseline %s was recorded at GOMAXPROCS=%d (run at %d): timing and goroutine-alloc comparisons downgraded to notes\n",
 				*baseline, base.GoMaxProcs, procs)
 		}
-		regressions, notes := compareBaseline(base.Benchmarks, benches, *maxNsRegress, sameEnv)
+		var nsGate *regexp.Regexp
+		if *gateBench != "" {
+			nsGate, err = regexp.Compile(*gateBench)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: bad -gate-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		regressions, notes := compareBaseline(base.Benchmarks, benches, *maxNsRegress, sameEnv, nsGate)
 		for _, n := range notes {
 			fmt.Printf("benchsnap: %s\n", n)
 		}
@@ -361,7 +370,12 @@ func readSnapshot(path string) (*Snapshot, error) {
 // ns/op and nonzero-alloc comparisons are downgraded to notes — comparing
 // them across environments would fail builds with no code change. The
 // zero-alloc contracts and the missing-benchmark check stay enforced.
-func compareBaseline(base, fresh []Benchmark, nsTolerance float64, sameEnv bool) (regressions, notes []string) {
+//
+// A non-nil nsGate restricts the ns/op comparison to benchmarks it matches
+// (-gate-bench): reference legs of an A/B pair whose own wall clock is too
+// noisy to gate stay in the trajectory without arming a timing failure.
+// Allocs/op comparisons and the missing-benchmark check ignore the gate.
+func compareBaseline(base, fresh []Benchmark, nsTolerance float64, sameEnv bool, nsGate *regexp.Regexp) (regressions, notes []string) {
 	freshByName := make(map[string]Benchmark, len(fresh))
 	for _, b := range fresh {
 		freshByName[b.Name] = b
@@ -383,8 +397,13 @@ func compareBaseline(base, fresh []Benchmark, nsTolerance float64, sameEnv bool)
 			continue
 		}
 		if limit := old.NsPerOp * (1 + nsTolerance); now.NsPerOp > limit {
-			flag(sameEnv, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%+.0f%%)",
-				old.Name, now.NsPerOp, old.NsPerOp, nsTolerance*100))
+			msg := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%+.0f%%)",
+				old.Name, now.NsPerOp, old.NsPerOp, nsTolerance*100)
+			if nsGate != nil && !nsGate.MatchString(old.Name) {
+				notes = append(notes, msg+" (outside -gate-bench, not enforced)")
+			} else {
+				flag(sameEnv, msg)
+			}
 		}
 		allocLimit := old.AllocsPerOp
 		if allocLimit > 0 {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -64,7 +65,7 @@ func bm(name string, ns, allocs float64) Benchmark {
 func TestCompareBaselinePasses(t *testing.T) {
 	base := []Benchmark{bm("A", 100, 0), bm("B", 1000, 5)}
 	fresh := []Benchmark{bm("A", 120, 0), bm("B", 900, 5), bm("C", 50, 1)}
-	regressions, notes := compareBaseline(base, fresh, 0.25, true)
+	regressions, notes := compareBaseline(base, fresh, 0.25, true, nil)
 	if len(regressions) != 0 {
 		t.Fatalf("unexpected regressions: %v", regressions)
 	}
@@ -76,10 +77,10 @@ func TestCompareBaselinePasses(t *testing.T) {
 func TestCompareBaselineNsRegression(t *testing.T) {
 	base := []Benchmark{bm("A", 100, 0)}
 	// 25% tolerance: 126 ns/op over a 100 ns/op baseline fails, 125 passes.
-	if r, _ := compareBaseline(base, []Benchmark{bm("A", 125, 0)}, 0.25, true); len(r) != 0 {
+	if r, _ := compareBaseline(base, []Benchmark{bm("A", 125, 0)}, 0.25, true, nil); len(r) != 0 {
 		t.Errorf("at-tolerance run flagged: %v", r)
 	}
-	r, _ := compareBaseline(base, []Benchmark{bm("A", 126, 0)}, 0.25, true)
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 126, 0)}, 0.25, true, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "ns/op") {
 		t.Errorf("over-tolerance run not flagged: %v", r)
 	}
@@ -88,22 +89,22 @@ func TestCompareBaselineNsRegression(t *testing.T) {
 func TestCompareBaselineAllocRegression(t *testing.T) {
 	// A zero-alloc baseline is an exact contract: a single alloc fails.
 	base := []Benchmark{bm("A", 100, 0)}
-	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 1)}, 0.25, true)
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 1)}, 0.25, true, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
 		t.Errorf("alloc regression not flagged: %v", r)
 	}
 	// Improvements are fine.
 	base = []Benchmark{bm("B", 100, 7)}
-	if r, _ := compareBaseline(base, []Benchmark{bm("B", 100, 2)}, 0.25, true); len(r) != 0 {
+	if r, _ := compareBaseline(base, []Benchmark{bm("B", 100, 2)}, 0.25, true, nil); len(r) != 0 {
 		t.Errorf("alloc improvement flagged: %v", r)
 	}
 	// Nonzero baselines absorb goroutine-recycling jitter (≤ max(2, 2%))
 	// but not real growth.
 	base = []Benchmark{bm("C", 100, 300)}
-	if r, _ := compareBaseline(base, []Benchmark{bm("C", 100, 305)}, 0.25, true); len(r) != 0 {
+	if r, _ := compareBaseline(base, []Benchmark{bm("C", 100, 305)}, 0.25, true, nil); len(r) != 0 {
 		t.Errorf("jitter within grace flagged: %v", r)
 	}
-	r, _ = compareBaseline(base, []Benchmark{bm("C", 100, 330)}, 0.25, true)
+	r, _ = compareBaseline(base, []Benchmark{bm("C", 100, 330)}, 0.25, true, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
 		t.Errorf("real alloc growth not flagged: %v", r)
 	}
@@ -111,7 +112,7 @@ func TestCompareBaselineAllocRegression(t *testing.T) {
 
 func TestCompareBaselineMissingBenchmark(t *testing.T) {
 	base := []Benchmark{bm("A", 100, 0), bm("Gone", 100, 0)}
-	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 0)}, 0.25, true)
+	r, _ := compareBaseline(base, []Benchmark{bm("A", 100, 0)}, 0.25, true, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "Gone") {
 		t.Errorf("missing benchmark not flagged: %v", r)
 	}
@@ -151,7 +152,7 @@ func TestReadSnapshotRoundTrip(t *testing.T) {
 func TestCompareBaselineCrossEnvironment(t *testing.T) {
 	base := []Benchmark{bm("Fast", 100, 0), bm("Par", 100, 181), bm("Gone", 1, 0)}
 	fresh := []Benchmark{bm("Fast", 500, 0), bm("Par", 500, 400)}
-	r, notes := compareBaseline(base, fresh, 0.25, false)
+	r, notes := compareBaseline(base, fresh, 0.25, false, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "Gone") {
 		t.Errorf("cross-env: only the missing benchmark should fail, got %v", r)
 	}
@@ -159,7 +160,7 @@ func TestCompareBaselineCrossEnvironment(t *testing.T) {
 		t.Errorf("cross-env: ns/op and alloc drifts should be notes, got %v", notes)
 	}
 	// A zero-alloc contract broken cross-env still fails.
-	r, _ = compareBaseline([]Benchmark{bm("Zero", 100, 0)}, []Benchmark{bm("Zero", 100, 3)}, 0.25, false)
+	r, _ = compareBaseline([]Benchmark{bm("Zero", 100, 0)}, []Benchmark{bm("Zero", 100, 3)}, 0.25, false, nil)
 	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
 		t.Errorf("cross-env zero-alloc regression not flagged: %v", r)
 	}
@@ -229,5 +230,38 @@ func TestCheckFloors(t *testing.T) {
 	v = checkFloors(benches, specs(t, "Renamed$=19"))
 	if len(v) != 1 || !strings.Contains(v[0], "matched no benchmark") {
 		t.Errorf("unmatched floor not flagged: %v", v)
+	}
+}
+
+// TestCompareBaselineNsGate: -gate-bench restricts the timing gate to the
+// benchmarks it matches — an ungated benchmark's ns/op drift becomes a note
+// — while allocs/op comparisons and the missing-benchmark check still apply
+// to everything.
+func TestCompareBaselineNsGate(t *testing.T) {
+	gate := regexp.MustCompile(`Col`)
+	base := []Benchmark{bm("ColReplay", 100, 0), bm("CSVRef", 100, 5)}
+	fresh := []Benchmark{bm("ColReplay", 100, 0), bm("CSVRef", 500, 5)}
+	r, notes := compareBaseline(base, fresh, 0.25, true, gate)
+	if len(r) != 0 {
+		t.Errorf("ungated ns/op drift should not fail, got %v", r)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "CSVRef") && strings.Contains(n, "outside -gate-bench") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ungated drift should be a note, got %v", notes)
+	}
+	// A gated benchmark's drift still fails.
+	r, _ = compareBaseline(base, []Benchmark{bm("ColReplay", 500, 0), bm("CSVRef", 100, 5)}, 0.25, true, gate)
+	if len(r) != 1 || !strings.Contains(r[0], "ColReplay") {
+		t.Errorf("gated ns/op drift not flagged: %v", r)
+	}
+	// Allocs ignore the gate entirely.
+	r, _ = compareBaseline(base, []Benchmark{bm("ColReplay", 100, 0), bm("CSVRef", 100, 50)}, 0.25, true, gate)
+	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
+		t.Errorf("ungated alloc growth not flagged: %v", r)
 	}
 }

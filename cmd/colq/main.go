@@ -1,0 +1,210 @@
+// Command colq aggregates sleepscale column files (utilization traces,
+// recorded job streams, epoch and event logs) without materializing them:
+// blocks whose min/max footers cannot satisfy the filters are skipped
+// unread, and on a memory-mapped file the scanned blocks are read in place.
+//
+// Usage:
+//
+//	colq -f run.col -describe
+//	colq -f epochs.col -op mean -col energy -group-by epoch
+//	colq -f epochs.col -op p95 -col p95_delay -where 'epoch>=10,epoch<=20'
+//	colq -f events.col -op sum -col size -where 'epoch=7' -stats
+//
+// -where takes a comma-separated conjunction of closed-interval predicates
+// (col=value, col>=value, col<=value); combine >= and <= on one column for a
+// range. Operators: count, sum, mean, min, max, p50, p95, p99.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"sleepscale/internal/colstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("colq: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("colq", flag.ContinueOnError)
+	var (
+		path     = fs.String("f", "", "column file to query")
+		describe = fs.Bool("describe", false, "print the file's schema and block layout, then exit")
+		op       = fs.String("op", "mean", "aggregation: count, sum, mean, min, max, p50, p95, p99")
+		col      = fs.String("col", "", "column to aggregate")
+		groupBy  = fs.String("group-by", "", "column whose values partition the rows")
+		where    = fs.String("where", "", "comma-separated predicates: col=v, col>=v, col<=v")
+		stats    = fs.Bool("stats", false, "also print blocks scanned/skipped")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("no input file (-f)")
+	}
+	r, err := colstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	if *describe {
+		return printDescribe(out, *path, r)
+	}
+	if *col == "" {
+		return fmt.Errorf("no column to aggregate (-col); try -describe")
+	}
+	agg, err := colstore.ParseAgg(*op)
+	if err != nil {
+		return err
+	}
+	filters, err := parseWhere(*where)
+	if err != nil {
+		return err
+	}
+	res, err := colstore.Query{Col: *col, Op: agg, GroupBy: *groupBy, Filters: filters}.Run(r)
+	if err != nil {
+		return err
+	}
+
+	dict := r.Schema().Dict
+	if *groupBy == "" {
+		if len(res.Groups) == 0 {
+			fmt.Fprintf(out, "%s(%s) = NaN (0 rows)\n", agg, *col)
+		} else {
+			fmt.Fprintf(out, "%s(%s) = %g (%d rows)\n", agg, *col, res.Groups[0].Value, res.Rows)
+		}
+	} else {
+		fmt.Fprintf(out, "%-16s %16s %8s\n", *groupBy, fmt.Sprintf("%s(%s)", agg, *col), "rows")
+		for _, g := range res.Groups {
+			fmt.Fprintf(out, "%-16s %16g %8d\n", groupKey(*groupBy, g.Key, dict), g.Value, g.Count)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(out, "blocks: %d scanned, %d skipped by footer\n", res.BlocksScanned, res.BlocksSkipped)
+	}
+	return nil
+}
+
+// groupKey renders a group-by key: dictionary columns ("plan") resolve ids
+// to names, everything else prints the number.
+func groupKey(col string, key float64, dict []string) string {
+	if col == "plan" {
+		if i := int(key); float64(i) == key && i >= 0 && i < len(dict) {
+			return dict[i]
+		}
+	}
+	return strconv.FormatFloat(key, 'g', -1, 64)
+}
+
+var kindNames = map[uint16]string{
+	colstore.KindTrace:  "trace",
+	colstore.KindJobs:   "jobs",
+	colstore.KindEpochs: "epochs",
+	colstore.KindEvents: "events",
+}
+
+func printDescribe(out io.Writer, path string, r *colstore.Reader) error {
+	s := r.Schema()
+	kind := kindNames[s.Kind]
+	if kind == "" {
+		kind = fmt.Sprintf("kind-%d", s.Kind)
+	}
+	fmt.Fprintf(out, "%s: %s, %d rows in %d blocks", path, kind, r.Rows(), r.NumBlocks())
+	if s.SlotSeconds > 0 {
+		fmt.Fprintf(out, ", %gs slots", s.SlotSeconds)
+	}
+	if r.Mapped() {
+		fmt.Fprint(out, ", mmap")
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-16s %16s %16s\n", "column", "min", "max")
+	for c, name := range s.Cols {
+		if r.NumBlocks() == 0 {
+			fmt.Fprintf(out, "%-16s %16s %16s\n", name, "-", "-")
+			continue
+		}
+		lo, hi := r.ColRange(0, c)
+		for b := 1; b < r.NumBlocks(); b++ {
+			l, h := r.ColRange(b, c)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		fmt.Fprintf(out, "%-16s %16g %16g\n", name, lo, hi)
+	}
+	if len(s.Dict) > 0 {
+		fmt.Fprintf(out, "dictionary: %s\n", strings.Join(s.Dict, ", "))
+	}
+	return nil
+}
+
+// parseWhere parses the -where conjunction. Each clause is col=value
+// (equality, a degenerate closed interval), col>=value or col<=value;
+// clauses on the same column intersect.
+func parseWhere(arg string) ([]colstore.Filter, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return nil, nil
+	}
+	byCol := make(map[string]*colstore.Filter)
+	var order []string
+	for _, clause := range strings.Split(arg, ",") {
+		clause = strings.TrimSpace(clause)
+		var col, valStr string
+		var lo, hi bool
+		switch {
+		case strings.Contains(clause, ">="):
+			parts := strings.SplitN(clause, ">=", 2)
+			col, valStr, lo = parts[0], parts[1], true
+		case strings.Contains(clause, "<="):
+			parts := strings.SplitN(clause, "<=", 2)
+			col, valStr, hi = parts[0], parts[1], true
+		case strings.Contains(clause, "="):
+			parts := strings.SplitN(clause, "=", 2)
+			col, valStr, lo, hi = parts[0], parts[1], true, true
+		default:
+			return nil, fmt.Errorf("bad predicate %q (want col=v, col>=v or col<=v)", clause)
+		}
+		col = strings.TrimSpace(col)
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", clause, err)
+		}
+		f := byCol[col]
+		if f == nil {
+			inf := math.Inf(1)
+			f = &colstore.Filter{Col: col, Lo: -inf, Hi: inf}
+			byCol[col] = f
+			order = append(order, col)
+		}
+		if lo && v > f.Lo {
+			f.Lo = v
+		}
+		if hi && v < f.Hi {
+			f.Hi = v
+		}
+	}
+	out := make([]colstore.Filter, 0, len(order))
+	for _, col := range order {
+		out = append(out, *byCol[col])
+	}
+	return out, nil
+}

@@ -18,6 +18,12 @@
 // back to the Θ(k) linear scan (identical results — the flag exists for
 // A/B timing at large k). Dispatchers: jsq, rr, random, pd<d> (power-of-d
 // choices) and lwl (least work left, wake-aware).
+//
+// With -trace the farm instead runs the epoch-policy loop over a
+// utilization trace (synthetic name, CSV or columnar path), and -epochs-out
+// appends each size's per-epoch records to a column file for cmd/colq:
+//
+//	farmsim -trace email-store -sizes 2,4 -epochs-out epochs.col
 package main
 
 import (
@@ -25,10 +31,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
 	"sleepscale"
+	"sleepscale/internal/trace"
 )
 
 func main() {
@@ -45,12 +53,21 @@ func main() {
 		streaming = flag.Bool("stream", false, "farm mode: pull jobs from a streaming source (O(chunk) memory) instead of materializing")
 		parallel  = flag.Bool("parallel", false, "with -stream: time-sliced parallel simulation (bit-identical results)")
 		linear    = flag.Bool("linear", false, "with -stream -parallel: route via the linear shadow scan instead of the O(log k) index (bit-identical; for A/B timing)")
+		traceArg  = flag.String("trace", "", "run the epoch-policy farm over this utilization trace (email-store, file-server, or a CSV/columnar path) instead of the stationary sweep")
+		epochT    = flag.Int("T", 5, "with -trace: trace slots per policy epoch")
+		epochsOut = flag.String("epochs-out", "", "with -trace: append per-epoch records to this column file (query with colq)")
 	)
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesArg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceArg != "" {
+		if err := runTraceFarm(sizes, *traceArg, *epochT, *dispatch, *seed, *epochsOut); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	// The materialized job slice only exists outside -stream farm runs —
 	// materializing it anyway would do exactly the work the flag avoids.
@@ -125,6 +142,86 @@ func main() {
 			log.Fatalf("unknown mode %q", *mode)
 		}
 	}
+}
+
+// runTraceFarm sweeps farm sizes through the epoch-policy runner over a
+// utilization trace, optionally appending every size's per-epoch records to
+// one columnar log (runs are distinguished by append order — epoch indices
+// restart at 0 per run).
+func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, seed int64, epochsOut string) error {
+	tr, err := loadFarmTrace(traceName, seed)
+	if err != nil {
+		return err
+	}
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		return err
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	qcfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		return err
+	}
+	cfg := sleepscale.RunnerConfig{
+		Stats:        stats,
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   epochT,
+		Predictor:    sleepscale.NewNaivePredictor(),
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		Seed:         seed,
+	}
+	fmt.Printf("trace=%s (%d slots) T=%d dispatch=%s\n\n", traceName, tr.Len(), epochT, dispatch)
+	fmt.Printf("%6s  %10s  %10s  %12s  %8s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)", "epochs")
+	for _, k := range sizes {
+		disp, err := buildDispatcher(dispatch, seed, qcfg)
+		if err != nil {
+			return err
+		}
+		src, err := sleepscale.NewTraceSource(stats, tr, seed)
+		if err != nil {
+			return err
+		}
+		rep, err := sleepscale.RunFarmEpochs(cfg, k, disp, src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d  %10.4f  %10.4f  %12.2f  %8d\n",
+			k, rep.MeanResponse, rep.P95Response, rep.AvgPower, len(rep.Epochs))
+		if epochsOut != "" {
+			if err := sleepscale.WriteEpochLog(epochsOut, rep.Epochs); err != nil {
+				return err
+			}
+		}
+	}
+	if epochsOut != "" {
+		fmt.Printf("\nepoch records appended to %s (try: colq -f %s -op mean -col energy -group-by epoch)\n",
+			epochsOut, epochsOut)
+	}
+	return nil
+}
+
+// loadFarmTrace resolves -trace: a synthetic day by name, or a file sniffed
+// as columnar (magic "SSCL") or CSV.
+func loadFarmTrace(name string, seed int64) (*sleepscale.Trace, error) {
+	switch name {
+	case "email-store":
+		return sleepscale.EmailStoreTrace(1, seed), nil
+	case "file-server":
+		return sleepscale.FileServerTrace(1, seed), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [4]byte
+	if n, _ := f.ReadAt(head[:], 0); n == 4 && string(head[:]) == "SSCL" {
+		return trace.ReadCol(name)
+	}
+	return trace.ReadCSV(f)
 }
 
 func parseSizes(arg string) ([]int, error) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"sleepscale"
+	"sleepscale/internal/colstore"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -66,5 +71,58 @@ func TestBuildDispatcher(t *testing.T) {
 		if _, err := buildDispatcher(bad, 1, cfg); err == nil {
 			t.Errorf("dispatcher %q accepted", bad)
 		}
+	}
+}
+
+// TestRunTraceFarmWritesEpochLog drives the -trace path end to end on a tiny
+// CSV trace and checks the appended columnar log covers both farm sizes.
+func TestRunTraceFarmWritesEpochLog(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	var buf strings.Builder
+	buf.WriteString("slot,utilization\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&buf, "%d,0.3\n", i)
+	}
+	if err := os.WriteFile(csvPath, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "epochs.col")
+	if err := runTraceFarm([]int{1, 2}, csvPath, 3, "jsq", 1, logPath); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// 6 slots at T=3 → 2 epochs per run, two runs appended.
+	if r.Rows() != 4 {
+		t.Fatalf("epoch log has %d rows, want 4", r.Rows())
+	}
+	res, err := colstore.Query{Col: "energy", Op: colstore.Mean, GroupBy: "epoch"}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 || res.Groups[0].Count != 2 {
+		t.Fatalf("per-epoch groups = %+v", res.Groups)
+	}
+}
+
+func TestLoadFarmTraceSniffs(t *testing.T) {
+	dir := t.TempDir()
+	colPath := filepath.Join(dir, "t.col")
+	if err := sleepscale.WriteColTrace(sleepscale.EmailStoreTrace(1, 2), colPath); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadFarmTrace(colPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1440 {
+		t.Fatalf("columnar day has %d slots, want 1440", tr.Len())
+	}
+	if _, err := loadFarmTrace(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }

@@ -1,12 +1,15 @@
 // Command tracesim drives one power-management strategy through a
 // utilization trace (the §6 evaluation loop) and reports response time,
 // power and the distribution of selected sleep states. It can load a trace
-// from CSV or generate the synthetic file-server / email-store days.
+// from CSV or the columnar format (sniffed by magic), or generate the
+// synthetic file-server / email-store days.
 //
 // Usage:
 //
 //	tracesim -strategy SS -predictor LC -T 5 -alpha 0.35 \
 //	         -trace email-store -workload DNS -rhob 0.8
+//	tracesim -trace email-store -days 7 -convert week.col   # trace → columnar
+//	tracesim -trace week.col -convert week.csv              # columnar → CSV
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		verbose       = flag.Bool("v", false, "print per-epoch decisions")
 		streaming     = flag.Bool("stream", false, "pull jobs from an explicit streaming source (bounded job-buffer memory; bit-identical to the default path)")
 		burst         = flag.String("burst", "none", "overlay a bursty arrival source on the trace stream: none, mmpp or flash (implies -stream)")
+		convert       = flag.String("convert", "", "write the loaded trace to this path (.csv → CSV, else columnar) and exit")
 	)
 	flag.Parse()
 
@@ -50,6 +54,13 @@ func main() {
 	tr, err := loadTrace(*traceName, *days, *seed, *winStart, *winEnd)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *convert != "" {
+		if err := convertTrace(tr, *convert); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d slots (%gs each) to %s\n", tr.Len(), tr.SlotSeconds, *convert)
+		return
 	}
 	stats, err := sleepscale.NewFittedStats(spec)
 	if err != nil {
@@ -193,9 +204,37 @@ func loadTrace(name string, days int, seed int64, winStart, winEnd int) (*sleeps
 			return nil, err
 		}
 		defer f.Close()
+		if isColFile(f) {
+			return trace.ReadCol(name)
+		}
 		return trace.ReadCSV(f)
 	}
 	return full.DailyWindow(winStart, winEnd)
+}
+
+// isColFile sniffs the columnar magic ("SSCL") so -trace takes either
+// format without a flag. The reader is rewound after the peek.
+func isColFile(f *os.File) bool {
+	var head [4]byte
+	n, _ := f.ReadAt(head[:], 0)
+	return n == 4 && string(head[:]) == "SSCL"
+}
+
+// convertTrace writes tr in the format the destination extension names:
+// .csv gets the text format, anything else the columnar binary.
+func convertTrace(tr *sleepscale.Trace, path string) error {
+	if strings.HasSuffix(path, ".csv") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return tr.WriteCol(path)
 }
 
 func buildStrategy(name string, spec sleepscale.Spec, qos sleepscale.QoS,

@@ -172,9 +172,41 @@
 // baseline's recorded GOMAXPROCS so the timing gate stays armed on every
 // runner shape.
 //
+// # Columnar trace & event store
+//
+// Heavy replay input and post-hoc analysis run on a compact columnar
+// binary format (internal/colstore): per-column float64 blocks framed with
+// per-block min/max/count footers and a CRC, memory-mapped on open so
+// readers serve column views zero-copy out of the page cache (an
+// io.ReaderAt fallback covers everything else). The format carries
+// utilization traces (WriteColTrace/ReadColTrace — bit-exact, unlike
+// CSV's decimal round-trip), recorded job streams (RecordJobsCol), and
+// append-only epoch logs (WriteEpochLog, one row per decision epoch with
+// per-epoch energy/busy/wake/idle deltas that sum exactly to the report's
+// totals — Engine.TotalsAt splits idle periods at epoch boundaries without
+// perturbing the run). Replay is wired into the streaming layer:
+// NewColTraceSource feeds the shared trace generator (bit-identical to
+// NewTraceSource and NewCSVTraceSource for equal seeds) and
+// NewColJobsSource replays a recorded stream verbatim, so a production
+// incident replays exactly on any machine. eventlog.Window tees per-epoch
+// job logs into the same format, one block per epoch.
+//
+// cmd/colq aggregates column files without materializing them —
+// sum/mean/min/max/count and ceiling nearest-rank percentiles, grouped and
+// filtered by column — skipping every block whose footer range cannot
+// match the filter. cmd/tracesim sniffs both trace formats and converts
+// between them (-convert); cmd/farmsim -trace runs the epoch-policy farm
+// over a trace and appends its epoch log (-epochs-out) for colq.
+//
+// CI gates the store: BenchmarkColReplaySteadyState and
+// BenchmarkColJobsReplaySteadyState must hold 0 allocs/op, and
+// BenchmarkColVsCSVReplay pins the columnar ingest's ~25× lead over
+// buffered CSV in BENCH_colstore.json.
+//
 // See examples/ for runnable programs (examples/week-long drives a 7-day
-// trace through the streaming loop; examples/streamed-farm dispatches a
-// 7-day diurnal + flash-crowd scenario across 16 servers) and
-// internal/experiments for the harness that regenerates every table and
-// figure in the paper.
+// trace through the streaming loop, then replays it from a mapped column
+// file; examples/streamed-farm dispatches a 7-day diurnal + flash-crowd
+// scenario across 16 servers and replays the recorded stream bit-for-bit)
+// and internal/experiments for the harness that regenerates every table
+// and figure in the paper.
 package sleepscale

@@ -16,6 +16,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -77,6 +79,44 @@ func main() {
 	}
 	fmt.Printf("sequential == parallel: bit-identical merge; %.2fx wall-clock speedup on %d CPUs\n",
 		seqT.Seconds()/parT.Seconds(), runtime.GOMAXPROCS(0))
+
+	// Record the composed stream to a columnar job log, then replay the
+	// week from the memory-mapped file. Replay skips the generators
+	// entirely — arrivals and sizes stream zero-copy from disk — and must
+	// reproduce the live dispatch bit for bit.
+	dir, err := os.MkdirTemp("", "streamed-farm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	jobsPath := filepath.Join(dir, "week-jobs.col")
+	n, err := sleepscale.RecordJobsCol(buildScenario(stats), jobsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(jobsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	replaySrc, err := sleepscale.NewColJobsSource(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	replay, err := sleepscale.RunFarmSource(servers, cfg, sleepscale.JSQ{}, replaySrc,
+		sleepscale.FarmDispatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayT := time.Since(start)
+	fmt.Printf("columnar replay     %8d jobs  %.4f s mean response  %7.1f W  %9s  %v\n",
+		replay.Jobs, replay.MeanResponse, replay.TotalAvgPower, "(mmap)", replayT.Round(time.Millisecond))
+	if replay.Jobs != n || replay.Jobs != seq.Jobs || replay.MeanResponse != seq.MeanResponse ||
+		replay.Energy != seq.Energy || replay.TotalAvgPower != seq.TotalAvgPower {
+		log.Fatal("columnar replay diverged from the live dispatch")
+	}
+	fmt.Println("recorded replay == live: bit-identical dispatch from the column file")
 
 	// JSQ breaks backlog ties toward the lowest index, so at off-peak load
 	// it packs work onto the first few servers and leaves the rest asleep —

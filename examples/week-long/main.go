@@ -4,13 +4,16 @@
 // incremental trace generator in 256-job chunks, so peak job-buffer memory
 // is independent of trace length. The demo then replays the same week
 // through the materialized path (stream.Slice over the full TraceJobs
-// slice) to show the two are bit-identical, and finishes with a composed
-// scenario: the trace baseline spliced into a flash-crowd afternoon.
+// slice) and through a memory-mapped columnar trace file — all three
+// bit-identical — and finishes with a composed scenario: the trace
+// baseline spliced into a flash-crowd afternoon.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"sleepscale"
@@ -74,7 +77,44 @@ func main() {
 	}
 	fmt.Println("streamed == materialized: bit-identical epoch metrics")
 
-	// 3. Scenario composition: the same trace baseline until mid-week, then
+	// 3. Columnar replay: the same week from a memory-mapped column file.
+	// The trace is served zero-copy out of the page cache — no per-slot
+	// parsing, no trace materialization — and, sharing the seeded
+	// generator, reproduces the streamed run bit for bit.
+	colDir, err := os.MkdirTemp("", "week-long")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(colDir)
+	colPath := filepath.Join(colDir, "week.col")
+	if err := sleepscale.WriteColTrace(tr, colPath); err != nil {
+		log.Fatal(err)
+	}
+	colAlloc, columnar := measure(func() sleepscale.RunReport {
+		r, err := sleepscale.OpenCol(colPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		src, err := sleepscale.NewColTraceSource(r, stats, cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sleepscale.RunSource(cfg, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	})
+	fmt.Printf("columnar week     %d jobs, %.4f s mean response, %.1f W, %.1f MB allocated\n",
+		columnar.Jobs, columnar.MeanResponse, columnar.AvgPower, colAlloc)
+	if columnar.Jobs != streamed.Jobs || columnar.Energy != streamed.Energy ||
+		columnar.MeanResponse != streamed.MeanResponse {
+		log.Fatal("columnar replay diverged from the streamed run")
+	}
+	fmt.Println("columnar == streamed: bit-identical epoch metrics")
+
+	// 4. Scenario composition: the same trace baseline until mid-week, then
 	// a flash-crowd regime — arrival shapes a fixed trace cannot express.
 	base, err := sleepscale.NewTraceSource(stats, tr, cfg.Seed)
 	if err != nil {

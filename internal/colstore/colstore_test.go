@@ -1,0 +1,535 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFile writes rows of the given schema and returns the encoded file.
+func buildFile(t *testing.T, s Schema, rows [][]float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, s)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append row %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func traceRows(n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		// Deterministic, irregular float values exercising exact-bit checks.
+		rows[i] = []float64{float64(i), math.Mod(float64(i)*0.6180339887498949, 1)}
+	}
+	return rows
+}
+
+func readAll(t *testing.T, r *Reader, col int) []float64 {
+	t.Helper()
+	var out []float64
+	var scratch []float64
+	for b := 0; b < r.NumBlocks(); b++ {
+		v, err := r.Col(b, col, scratch)
+		if err != nil {
+			t.Fatalf("Col(%d,%d): %v", b, col, err)
+		}
+		out = append(out, v...)
+	}
+	return out
+}
+
+func TestRoundTripExactBits(t *testing.T) {
+	const n = 3*BlockRows + 100 // four blocks, last partial
+	rows := traceRows(n)
+	data := buildFile(t, Schema{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot", "utilization"}}, rows)
+
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != n {
+		t.Fatalf("Rows = %d, want %d", r.Rows(), n)
+	}
+	if r.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", r.NumBlocks())
+	}
+	s := r.Schema()
+	if s.Kind != KindTrace || s.SlotSeconds != 60 || len(s.Cols) != 2 {
+		t.Fatalf("schema mismatch: %+v", s)
+	}
+	for c := 0; c < 2; c++ {
+		got := readAll(t, r, c)
+		for i := range rows {
+			if math.Float64bits(got[i]) != math.Float64bits(rows[i][c]) {
+				t.Fatalf("col %d row %d: %v != %v", c, i, got[i], rows[i][c])
+			}
+		}
+	}
+}
+
+func TestBlockFooterRanges(t *testing.T) {
+	rows := traceRows(2 * BlockRows)
+	data := buildFile(t, Schema{Kind: KindTrace, Cols: []string{"slot", "utilization"}}, rows)
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer r.Close()
+	for b := 0; b < r.NumBlocks(); b++ {
+		lo, hi := r.ColRange(b, 0)
+		wantLo := float64(b * BlockRows)
+		wantHi := float64((b+1)*BlockRows - 1)
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("block %d slot range (%g,%g), want (%g,%g)", b, lo, hi, wantLo, wantHi)
+		}
+	}
+}
+
+// TestOpenPathsAgree pins the three open paths — mmap, in-memory bytes, and
+// ReaderAt — to identical schemas and identical column bits.
+func TestOpenPathsAgree(t *testing.T) {
+	rows := traceRows(BlockRows + 17)
+	data := buildFile(t, Schema{Kind: KindTrace, SlotSeconds: 300, Cols: []string{"slot", "utilization"}}, rows)
+	path := filepath.Join(t.TempDir(), "t.col")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mm, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer mm.Close()
+	bb, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer bb.Close()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, _ := f.Stat()
+	ra, err := OpenReaderAt(f, st.Size())
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	defer ra.Close()
+
+	if ra.Mapped() {
+		t.Fatal("ReaderAt reader claims to be mapped")
+	}
+	for c := 0; c < 2; c++ {
+		a, b, cc := readAll(t, mm, c), readAll(t, bb, c), readAll(t, ra, c)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) || math.Float64bits(a[i]) != math.Float64bits(cc[i]) {
+				t.Fatalf("col %d row %d differs across open paths: %v %v %v", c, i, a[i], b[i], cc[i])
+			}
+		}
+	}
+}
+
+func TestColScratchReuseReaderAt(t *testing.T) {
+	rows := traceRows(2 * BlockRows)
+	data := buildFile(t, Schema{Kind: KindTrace, Cols: []string{"slot", "utilization"}}, rows)
+	r, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	defer r.Close()
+	scratch, err := r.Col(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.Col(1, 1, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &scratch[0] {
+		t.Fatal("scratch was not reused for a same-size block")
+	}
+	if again[0] != rows[BlockRows][1] {
+		t.Fatalf("block 1 row 0 = %v, want %v", again[0], rows[BlockRows][1])
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Schema{Kind: KindEpochs, Cols: []string{"epoch", "plan"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"slow-down", "sleep", "slow-down"}
+	for i, n := range names {
+		if err := w.Append([]float64{float64(i), w.DictID(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dict := r.Schema().Dict
+	if len(dict) != 2 || dict[0] != "slow-down" || dict[1] != "sleep" {
+		t.Fatalf("dict = %v, want [slow-down sleep]", dict)
+	}
+	ids := readAll(t, r, 1)
+	want := []float64{0, 1, 0}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("plan ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.col")
+	s := Schema{Kind: KindEpochs, SlotSeconds: 1, Cols: []string{"epoch", "energy"}}
+
+	w, err := Append(path, s) // creates
+	if err != nil {
+		t.Fatalf("Append(create): %v", err)
+	}
+	w.DictID("first")
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]float64{float64(i), float64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err = Append(path, s) // reopens
+	if err != nil {
+		t.Fatalf("Append(reopen): %v", err)
+	}
+	if got := w.DictID("first"); got != 0 {
+		t.Fatalf("dictionary did not carry over: DictID(first) = %g", got)
+	}
+	w.DictID("second")
+	for i := 10; i < 25; i++ {
+		if err := w.Append([]float64{float64(i), float64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after reopen: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != 25 {
+		t.Fatalf("Rows = %d, want 25", r.Rows())
+	}
+	if r.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2 (one per session)", r.NumBlocks())
+	}
+	if d := r.Schema().Dict; len(d) != 2 || d[0] != "first" || d[1] != "second" {
+		t.Fatalf("dict = %v", d)
+	}
+	got := readAll(t, r, 0)
+	for i := 0; i < 25; i++ {
+		if got[i] != float64(i) {
+			t.Fatalf("epoch[%d] = %g", i, got[i])
+		}
+	}
+}
+
+func TestAppendSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.col")
+	if err := os.WriteFile(path, buildFile(t, Schema{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot", "utilization"}}, traceRows(4)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Schema{
+		{Kind: KindJobs, SlotSeconds: 60, Cols: []string{"slot", "utilization"}},
+		{Kind: KindTrace, SlotSeconds: 30, Cols: []string{"slot", "utilization"}},
+		{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot"}},
+		{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot", "rho"}},
+	}
+	for i, s := range cases {
+		if _, err := Append(path, s); err == nil {
+			t.Fatalf("case %d: Append accepted mismatched schema %+v", i, s)
+		}
+	}
+}
+
+// TestCrashRecovery drops the footer+trailer (simulating a writer that died
+// before Close) and checks every complete block is still recovered, plus a
+// trailing partial block write is ignored.
+func TestCrashRecovery(t *testing.T) {
+	rows := traceRows(BlockRows + 50)
+	full := buildFile(t, Schema{Kind: KindTrace, Cols: []string{"slot", "utilization"}}, rows)
+
+	// Find where block data ends by parsing the intact file.
+	_, blocks, _, dataEnd, err := parseFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("fixture has %d blocks", len(blocks))
+	}
+
+	crashed := full[:dataEnd] // footer and trailer lost
+	r, err := OpenBytes(crashed)
+	if err != nil {
+		t.Fatalf("OpenBytes(crashed): %v", err)
+	}
+	if r.Rows() != len(rows) || r.NumBlocks() != 2 {
+		t.Fatalf("recovered %d rows in %d blocks, want %d in 2", r.Rows(), r.NumBlocks(), len(rows))
+	}
+	if len(r.Schema().Dict) != 0 {
+		t.Fatal("dictionary should be lost with the footer")
+	}
+	got := readAll(t, r, 1)
+	for i := range rows {
+		if math.Float64bits(got[i]) != math.Float64bits(rows[i][1]) {
+			t.Fatalf("row %d: %v != %v", i, got[i], rows[i][1])
+		}
+	}
+	r.Close()
+
+	// A torn half-written final block must be dropped, earlier blocks kept.
+	torn := append(append([]byte(nil), crashed...), crashed[blocks[1].offset:blocks[1].offset+100]...)
+	r, err = OpenBytes(torn)
+	if err != nil {
+		t.Fatalf("OpenBytes(torn): %v", err)
+	}
+	if r.Rows() != len(rows) {
+		t.Fatalf("torn tail changed row count: %d", r.Rows())
+	}
+	r.Close()
+
+	// Appending to a crashed file works: recovery, then new blocks.
+	path := filepath.Join(t.TempDir(), "c.col")
+	if err := os.WriteFile(path, crashed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Append(path, Schema{Kind: KindTrace, Cols: []string{"slot", "utilization"}})
+	if err != nil {
+		t.Fatalf("Append(crashed): %v", err)
+	}
+	if err := w.Append([]float64{9999, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != len(rows)+1 {
+		t.Fatalf("after crash+append: %d rows, want %d", r.Rows(), len(rows)+1)
+	}
+}
+
+// Decoder error paths: malformed input must error, never panic, and never
+// silently succeed.
+func TestDecodeErrors(t *testing.T) {
+	good := buildFile(t, Schema{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot", "utilization"}}, traceRows(BlockRows+5))
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must carry ("" = any error)
+	}{
+		{"empty", nil, "too short"},
+		{"truncated header", good[:10], "too short"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), "bad magic"},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 99; return b }), "version"},
+		{"zero columns", mutate(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[16:], 0); return b }), "column count"},
+		{"huge header len", mutate(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[20:], 1<<30); return b }), "header length"},
+		{"block offset out of range", mutate(func(b []byte) []byte {
+			// First footer block-index entry: offset field.
+			_, _, footStart, _, _ := decodeFooter(b)
+			binary.LittleEndian.PutUint64(b[footStart+8:], 1<<40)
+			return b
+		}), "block 0"},
+		{"block rows out of range", mutate(func(b []byte) []byte {
+			_, _, footStart, _, _ := decodeFooter(b)
+			binary.LittleEndian.PutUint64(b[footStart+16:], BlockRows+1)
+			return b
+		}), "rows"},
+		{"footer length overrun", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[len(b)-trailerLen:], uint64(len(b)))
+			return b
+		}), "footer length"},
+		{"payload corruption", mutate(func(b []byte) []byte {
+			s, _, _ := decodeHeader(b)
+			b[s.headerSize()+blockHeaderLen+16*len(s.Cols)+3] ^= 0x40
+			return b
+		}), "crc"},
+		{"footer crc field corruption", mutate(func(b []byte) []byte {
+			s, _, _ := decodeHeader(b)
+			b[s.headerSize()+8] ^= 0x01 // block 0's stored CRC
+			return b
+		}), "crc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := OpenBytes(tc.data)
+			if err == nil {
+				r.Close()
+				t.Fatal("OpenBytes accepted malformed input")
+			}
+			if tc.want != "" && !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(&bytes.Buffer{}, Schema{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewWriter(&bytes.Buffer{}, Schema{Cols: []string{"a", "a"}}); err == nil {
+		t.Fatal("duplicate columns accepted")
+	}
+	w, err := NewWriter(&bytes.Buffer{}, Schema{Kind: KindTrace, Cols: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1, 2}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestQueryAggregations(t *testing.T) {
+	// Two epochs' worth of rows with a known layout.
+	var rows [][]float64
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 100; i++ {
+			rows = append(rows, []float64{float64(e), float64(e*100 + i)})
+		}
+	}
+	data := buildFile(t, Schema{Kind: KindEpochs, Cols: []string{"epoch", "energy"}}, rows)
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	res, err := Query{Col: "energy", Op: Mean, GroupBy: "epoch"}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 || res.Rows != 300 {
+		t.Fatalf("groups=%d rows=%d", len(res.Groups), res.Rows)
+	}
+	for e, g := range res.Groups {
+		want := float64(e*100) + 49.5
+		if g.Key != float64(e) || g.Value != want || g.Count != 100 {
+			t.Fatalf("group %d = %+v, want key=%d mean=%g count=100", e, g, e, want)
+		}
+	}
+
+	sum, err := Query{Col: "energy", Op: Sum}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 299.0 * 300 / 2; sum.Groups[0].Value != want {
+		t.Fatalf("sum = %g, want %g", sum.Groups[0].Value, want)
+	}
+
+	p95, err := Query{Col: "energy", Op: P95, Filters: []Filter{{Col: "epoch", Lo: 1, Hi: 1}}}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 values 100..199; ceil nearest-rank p95 = 95th value = 194.
+	if p95.Groups[0].Value != 194 {
+		t.Fatalf("p95 = %g, want 194", p95.Groups[0].Value)
+	}
+
+	if _, err := (Query{Col: "nope", Op: Sum}).Run(r); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := (Query{Col: "energy", Op: Sum, Filters: []Filter{{Col: "epoch", Lo: 2, Hi: 1}}}).Run(r); err == nil {
+		t.Fatal("empty filter range accepted")
+	}
+}
+
+// TestQueryBlockSkipping pins that a selective filter prunes blocks from
+// their footers alone: a filter touching one block's range scans exactly one
+// block.
+func TestQueryBlockSkipping(t *testing.T) {
+	// 8 full blocks of a monotone column: block b covers [b*4096,(b+1)*4096).
+	rows := traceRows(8 * BlockRows)
+	data := buildFile(t, Schema{Kind: KindTrace, Cols: []string{"slot", "utilization"}}, rows)
+	r, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	lo := float64(5 * BlockRows)
+	res, err := Query{
+		Col:     "utilization",
+		Op:      Count,
+		Filters: []Filter{{Col: "slot", Lo: lo, Hi: lo + 10}},
+	}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksScanned != 1 || res.BlocksSkipped != 7 {
+		t.Fatalf("scanned=%d skipped=%d, want 1/7", res.BlocksScanned, res.BlocksSkipped)
+	}
+	if res.Rows != 11 {
+		t.Fatalf("rows = %d, want 11", res.Rows)
+	}
+
+	// An unsatisfiable filter skips everything.
+	none, err := Query{Col: "utilization", Op: Count, Filters: []Filter{{Col: "slot", Lo: -10, Hi: -5}}}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.BlocksScanned != 0 || none.BlocksSkipped != 8 || len(none.Groups) != 0 {
+		t.Fatalf("unsatisfiable filter: scanned=%d skipped=%d groups=%d", none.BlocksScanned, none.BlocksSkipped, len(none.Groups))
+	}
+}
+
+func TestParseAggRoundTrip(t *testing.T) {
+	for _, a := range []Agg{Count, Sum, Mean, Min, Max, P50, P95, P99} {
+		got, err := ParseAgg(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseAgg(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAgg("median"); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Package colstore is the compact columnar binary store behind heavy-trace
+// replay and post-hoc analysis: utilization traces, recorded job streams and
+// per-epoch run statistics are laid out column-by-column in fixed-width
+// blocks, so replay reads are straight float64 loads out of a memory-mapped
+// file — no per-slot parsing, no per-chunk allocation — and aggregation
+// queries can skip whole blocks from their footers without touching the
+// data.
+//
+// # File format (version 1)
+//
+// Every multi-byte integer and float is little-endian; float64 values are
+// IEEE 754 bits. The file is
+//
+//	header · block · block · … · block · footer · trailer
+//
+// Header:
+//
+//	offset 0   magic        uint32  "SSCL" (0x4c435353)
+//	offset 4   version      uint16  1
+//	offset 6   kind         uint16  KindTrace, KindJobs, KindEpochs, KindEvents
+//	offset 8   slotSeconds  float64 trace slot length; 0 when not a trace
+//	offset 16  ncols        uint32
+//	offset 20  headerLen    uint32  total header size; the first block starts here
+//	offset 24  per column:  nameLen uint32, name bytes
+//	…padding to an 8-byte boundary…
+//
+// Block (always starting on an 8-byte boundary):
+//
+//	blockMagic uint32  "SSBK" (0x4b425353)
+//	rows       uint32  1 ≤ rows ≤ BlockRows
+//	crc        uint32  CRC-32C over the footer and payload bytes below
+//	_          uint32  reserved (zero)
+//	per column: min float64, max float64   — the block footer the queries skip on
+//	per column: rows × 8 payload bytes     — column-major within the block
+//
+// The frame is self-describing given the schema: its size is
+// 16 + 16·ncols + 8·rows·ncols bytes, itself a multiple of 8, so every
+// column payload in a mapped file is 8-byte aligned and castable to a
+// []float64 view in place.
+//
+// Footer and trailer (written by Close):
+//
+//	footMagic  uint32  "SSFT" (0x54465353)
+//	nblocks    uint32
+//	per block: offset uint64, rows uint64
+//	ndict      uint32
+//	per entry: nameLen uint32, name bytes
+//	footerLen  uint64  bytes from footMagic through the dictionary
+//	trailerMagic uint64 "SSCLTRLR"
+//
+// The dictionary interns strings (sleep-plan names, trace labels) that
+// columns reference by float64 id — ids are indexes into it.
+//
+// # Append-only logging and crash recovery
+//
+// Writers only ever append: rows buffer per column and flush as a complete
+// self-framed block; the footer and trailer are written once, at Close.
+// Append reopens an existing file, drops its footer and trailer, and
+// continues appending blocks (the dictionary carries over), which is what a
+// long-running daemon's epoch log needs. A file missing its trailer — a
+// crashed writer — is still readable: Open falls back to a sequential block
+// scan from the header, recovering every complete block (the dictionary,
+// which lives in the footer, is lost).
+//
+// Open validates the whole file eagerly — magic, version, block framing,
+// footer offsets against the file size, and every block's CRC — so malformed
+// or truncated input fails Open with an error rather than panicking later,
+// and everything after Open is safe to index.
+//
+// # Zero-copy replay and the fallback
+//
+// Open memory-maps the file when the platform allows and serves column reads
+// as unsafe []float64 views directly over the mapping: Reader.Col returns a
+// slice aliasing the file bytes, allocation-free, valid until Close. On
+// platforms without mmap (or when mapping fails, or for a non-file
+// io.ReaderAt) the reader falls back to plain ReaderAt block reads decoded
+// into a caller-provided scratch slice — same API, one copy, still
+// allocation-free once the scratch has grown to one block. Big-endian hosts
+// always take the decode path; the format stays little-endian on disk.
+//
+// # Determinism contract
+//
+// The store holds exactly the float64 bits it was given, so replay through
+// it is bit-identical to replay from the original source: a trace written
+// with WriteTrace and replayed through stream.ColTrace yields the same job
+// stream as the CSV path under the same seed, and a job stream recorded
+// with stream.RecordJobs replays byte-for-byte through stream.ColJobs.
+package colstore

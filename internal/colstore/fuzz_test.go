@@ -1,0 +1,56 @@
+package colstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpenBytes drives the whole decode stack — header, footer, block scan,
+// CRC, column reads and a query — over malformed input. The contract under
+// fuzz: errors are fine, panics are not, and a file that opens must serve
+// every column read it advertises.
+func FuzzOpenBytes(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Schema{Kind: KindTrace, SlotSeconds: 60, Cols: []string{"slot", "utilization"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := w.Append([]float64{float64(i), float64(i%7) / 7}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-trailerLen]) // crash-recovery path
+	f.Add(valid[:40])                    // truncated
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		var scratch []float64
+		for b := 0; b < r.NumBlocks(); b++ {
+			for c := range r.Schema().Cols {
+				v, err := r.Col(b, c, scratch)
+				if err != nil {
+					t.Fatalf("opened file failed Col(%d,%d): %v", b, c, err)
+				}
+				if len(v) != r.BlockRows(b) {
+					t.Fatalf("Col(%d,%d) returned %d values, block has %d rows", b, c, len(v), r.BlockRows(b))
+				}
+			}
+		}
+		if len(r.Schema().Cols) > 0 && r.Rows() > 0 {
+			if _, err := (Query{Col: r.Schema().Cols[0], Op: Mean}).Run(r); err != nil {
+				t.Fatalf("query over opened file: %v", err)
+			}
+		}
+	})
+}

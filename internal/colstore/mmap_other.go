@@ -1,0 +1,16 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile always fails on platforms without the unix mmap syscall; Open
+// degrades to the ReaderAt fallback.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("colstore: mmap unavailable on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

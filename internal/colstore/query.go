@@ -1,0 +1,251 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Agg is an aggregation operator.
+type Agg int
+
+// The supported aggregations. Percentiles use the ceiling nearest-rank
+// definition, matching internal/metrics.
+const (
+	Count Agg = iota
+	Sum
+	Mean
+	Min
+	Max
+	P50
+	P95
+	P99
+)
+
+// ParseAgg resolves an operator name ("mean", "p95", …).
+func ParseAgg(name string) (Agg, error) {
+	switch name {
+	case "count":
+		return Count, nil
+	case "sum":
+		return Sum, nil
+	case "mean":
+		return Mean, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "p50":
+		return P50, nil
+	case "p95":
+		return P95, nil
+	case "p99":
+		return P99, nil
+	}
+	return 0, fmt.Errorf("colstore: unknown aggregation %q", name)
+}
+
+func (a Agg) String() string {
+	switch a {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Mean:
+		return "mean"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case P50:
+		return "p50"
+	case P95:
+		return "p95"
+	case P99:
+		return "p99"
+	}
+	return fmt.Sprintf("agg(%d)", int(a))
+}
+
+// needsValues reports whether the operator must retain individual values
+// (percentiles) rather than streaming scalars.
+func (a Agg) needsValues() bool { return a == P50 || a == P95 || a == P99 }
+
+// Filter keeps rows whose column value lies in the closed interval
+// [Lo, Hi]. Blocks whose footer range does not intersect it are skipped
+// without reading their data.
+type Filter struct {
+	Col string
+	Lo  float64
+	Hi  float64
+}
+
+// Query is one aggregation over a column file: Op over Col, optionally
+// grouped by the values of GroupBy, over the rows passing every filter.
+type Query struct {
+	Col     string
+	Op      Agg
+	GroupBy string // empty for a single whole-file group
+	Filters []Filter
+}
+
+// Group is one result row. For ungrouped queries Key is 0 and meaningless.
+type Group struct {
+	Key   float64
+	Value float64
+	Count int
+}
+
+// Result reports the groups (ordered by key) and the block-skipping stats:
+// BlocksSkipped blocks were eliminated from their footers alone.
+type Result struct {
+	Groups        []Group
+	Rows          int // rows aggregated (after filtering)
+	BlocksScanned int
+	BlocksSkipped int
+}
+
+// groupAcc accumulates one group's streaming aggregates.
+type groupAcc struct {
+	count  int
+	sum    float64
+	min    float64
+	max    float64
+	values []float64 // only for percentile ops
+}
+
+// Run executes the query against r.
+func (q Query) Run(r *Reader) (*Result, error) {
+	s := r.Schema()
+	aggCol := s.ColIndex(q.Col)
+	if aggCol < 0 {
+		return nil, fmt.Errorf("colstore: no column %q (have %v)", q.Col, s.Cols)
+	}
+	groupCol := -1
+	if q.GroupBy != "" {
+		if groupCol = s.ColIndex(q.GroupBy); groupCol < 0 {
+			return nil, fmt.Errorf("colstore: no group-by column %q (have %v)", q.GroupBy, s.Cols)
+		}
+	}
+	type filterBound struct {
+		col    int
+		lo, hi float64
+	}
+	filters := make([]filterBound, 0, len(q.Filters))
+	for _, f := range q.Filters {
+		c := s.ColIndex(f.Col)
+		if c < 0 {
+			return nil, fmt.Errorf("colstore: no filter column %q (have %v)", f.Col, s.Cols)
+		}
+		if f.Lo > f.Hi {
+			return nil, fmt.Errorf("colstore: filter on %q has empty range [%g,%g]", f.Col, f.Lo, f.Hi)
+		}
+		filters = append(filters, filterBound{col: c, lo: f.Lo, hi: f.Hi})
+	}
+
+	res := &Result{}
+	groups := make(map[float64]*groupAcc)
+	// Column scratch slices for the ReaderAt fallback; on a mapped file Col
+	// ignores them and returns views.
+	scratch := make(map[int][]float64)
+	colVals := func(b, c int) ([]float64, error) {
+		v, err := r.Col(b, c, scratch[c])
+		if err == nil {
+			scratch[c] = v
+		}
+		return v, err
+	}
+
+blocks:
+	for b := 0; b < r.NumBlocks(); b++ {
+		// Footer check: a block whose [min,max] misses any filter interval
+		// holds no qualifying row.
+		for _, f := range filters {
+			lo, hi := r.ColRange(b, f.col)
+			if hi < f.lo || lo > f.hi {
+				res.BlocksSkipped++
+				continue blocks
+			}
+		}
+		res.BlocksScanned++
+		vals, err := colVals(b, aggCol)
+		if err != nil {
+			return nil, err
+		}
+		var keys []float64
+		if groupCol >= 0 {
+			if keys, err = colVals(b, groupCol); err != nil {
+				return nil, err
+			}
+		}
+		fvals := make([][]float64, len(filters))
+		for i, f := range filters {
+			if fvals[i], err = colVals(b, f.col); err != nil {
+				return nil, err
+			}
+		}
+	rows:
+		for i := range vals {
+			for j, f := range filters {
+				if v := fvals[j][i]; v < f.lo || v > f.hi {
+					continue rows
+				}
+			}
+			key := 0.0
+			if groupCol >= 0 {
+				key = keys[i]
+			}
+			g := groups[key]
+			if g == nil {
+				g = &groupAcc{min: math.Inf(1), max: math.Inf(-1)}
+				groups[key] = g
+			}
+			v := vals[i]
+			g.count++
+			g.sum += v
+			if v < g.min {
+				g.min = v
+			}
+			if v > g.max {
+				g.max = v
+			}
+			if q.Op.needsValues() {
+				g.values = append(g.values, v)
+			}
+			res.Rows++
+		}
+	}
+
+	res.Groups = make([]Group, 0, len(groups))
+	for key, g := range groups {
+		res.Groups = append(res.Groups, Group{Key: key, Value: finish(q.Op, g), Count: g.count})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	return res, nil
+}
+
+// finish folds one group's accumulator into the operator's scalar.
+func finish(op Agg, g *groupAcc) float64 {
+	switch op {
+	case Count:
+		return float64(g.count)
+	case Sum:
+		return g.sum
+	case Mean:
+		return g.sum / float64(g.count)
+	case Min:
+		return g.min
+	case Max:
+		return g.max
+	case P50, P95, P99:
+		q := map[Agg]float64{P50: 50, P95: 95, P99: 99}[op]
+		sort.Float64s(g.values)
+		// Ceiling nearest-rank, the metrics package's convention.
+		rank := int(math.Ceil(q / 100 * float64(len(g.values))))
+		if rank < 1 {
+			rank = 1
+		}
+		return g.values[rank-1]
+	}
+	return math.NaN()
+}

@@ -1,0 +1,262 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Writer appends rows to a column file. Rows buffer per column and flush as
+// complete self-framed blocks (every BlockRows rows, or on Flush/Close);
+// Close writes the footer index, dictionary and trailer. A Writer only ever
+// appends — it never seeks — so it can sit on a pipe or an O_APPEND log fd.
+type Writer struct {
+	w      io.Writer
+	schema Schema
+	dict   map[string]int
+
+	cols   [][]float64 // per-column block buffers
+	blocks []blockMeta
+	offset int64 // file offset of the next block
+	frame  []byte
+	closed bool
+}
+
+// NewWriter starts a column file on w: the header is written immediately.
+// The schema's Dict seeds the dictionary (Append reopening relies on this);
+// most callers leave it nil and intern via DictID.
+func NewWriter(w io.Writer, s Schema) (*Writer, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	cw := &Writer{
+		w:      w,
+		schema: Schema{Kind: s.Kind, SlotSeconds: s.SlotSeconds},
+		dict:   make(map[string]int, len(s.Dict)),
+	}
+	cw.schema.Cols = append([]string(nil), s.Cols...)
+	cw.schema.Dict = append([]string(nil), s.Dict...)
+	for i, d := range cw.schema.Dict {
+		cw.dict[d] = i
+	}
+	cw.cols = make([][]float64, len(s.Cols))
+	for i := range cw.cols {
+		cw.cols[i] = make([]float64, 0, BlockRows)
+	}
+	hdr := encodeHeader(&cw.schema)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("colstore: write header: %w", err)
+	}
+	cw.offset = int64(len(hdr))
+	return cw, nil
+}
+
+// Schema returns the writer's schema, including the dictionary as interned
+// so far.
+func (w *Writer) Schema() Schema { return w.schema }
+
+// DictID interns name in the file's string dictionary and returns its id —
+// the value an id column stores. Interning is idempotent.
+func (w *Writer) DictID(name string) float64 {
+	if i, ok := w.dict[name]; ok {
+		return float64(i)
+	}
+	i := len(w.schema.Dict)
+	w.schema.Dict = append(w.schema.Dict, name)
+	w.dict[name] = i
+	return float64(i)
+}
+
+// Append adds one row; len(row) must equal the column count. The row is
+// copied out — callers reuse their slice.
+func (w *Writer) Append(row []float64) error {
+	if w.closed {
+		return fmt.Errorf("colstore: append to closed writer")
+	}
+	if len(row) != len(w.cols) {
+		return fmt.Errorf("colstore: row has %d values, schema %d columns", len(row), len(w.cols))
+	}
+	for i, v := range row {
+		w.cols[i] = append(w.cols[i], v)
+	}
+	if len(w.cols[0]) == BlockRows {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush writes the buffered rows (if any) as one block. Sub-full blocks are
+// legal anywhere in the file; a daemon flushing per epoch simply produces
+// epoch-sized blocks.
+func (w *Writer) Flush() error {
+	if w.closed {
+		return fmt.Errorf("colstore: flush of closed writer")
+	}
+	rows := len(w.cols[0])
+	if rows == 0 {
+		return nil
+	}
+	ncols := len(w.cols)
+	size := blockSize(ncols, rows)
+	if cap(w.frame) < size {
+		w.frame = make([]byte, size)
+	}
+	frame := w.frame[:size]
+	binary.LittleEndian.PutUint32(frame[0:], blockMagic)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(rows))
+	binary.LittleEndian.PutUint32(frame[12:], 0)
+	off := blockHeaderLen
+	for _, col := range w.cols {
+		lo, hi := col[0], col[0]
+		for _, v := range col[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		binary.LittleEndian.PutUint64(frame[off:], math.Float64bits(lo))
+		binary.LittleEndian.PutUint64(frame[off+8:], math.Float64bits(hi))
+		off += 16
+	}
+	for _, col := range w.cols {
+		for _, v := range col {
+			binary.LittleEndian.PutUint64(frame[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	crc := crc32.Checksum(frame[blockHeaderLen:], crcTable)
+	binary.LittleEndian.PutUint32(frame[8:], crc)
+	if _, err := w.w.Write(frame); err != nil {
+		return fmt.Errorf("colstore: write block: %w", err)
+	}
+	w.blocks = append(w.blocks, blockMeta{offset: w.offset, rows: rows})
+	w.offset += int64(size)
+	for i := range w.cols {
+		w.cols[i] = w.cols[i][:0]
+	}
+	return nil
+}
+
+// Close flushes the last partial block and writes the footer and trailer.
+// It does not close an underlying file — see FileWriter.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.closed = true
+	if _, err := w.w.Write(encodeFooter(w.blocks, w.schema.Dict)); err != nil {
+		return fmt.Errorf("colstore: write footer: %w", err)
+	}
+	return nil
+}
+
+// Rows reports how many rows have been appended (buffered ones included).
+func (w *Writer) Rows() int {
+	n := len(w.cols[0])
+	for _, b := range w.blocks {
+		n += b.rows
+	}
+	return n
+}
+
+// FileWriter is a Writer bound to a file created by Create or reopened by
+// Append; its Close also closes the file.
+type FileWriter struct {
+	*Writer
+	f *os.File
+}
+
+// Create starts a new column file at path, truncating any existing one.
+func Create(path string, s Schema) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, s)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileWriter{Writer: w, f: f}, nil
+}
+
+// Append reopens the column file at path for appending: the footer and
+// trailer are dropped, the block index and dictionary carry over, and new
+// blocks continue where the old ones ended — the append-only reopen a
+// long-running daemon's epoch log restarts with. The file's schema must
+// match s (kind, slot length and columns; the dictionary is taken from the
+// file). If the file does not exist it is created.
+func Append(path string, s Schema) (*FileWriter, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Create(path, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	got, blocks, dict, dataEnd, err := parseFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: append to %s: %w", path, err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if got.Kind != s.Kind || got.SlotSeconds != s.SlotSeconds {
+		return nil, fmt.Errorf("colstore: append to %s: file kind/slot (%d, %g) != (%d, %g)",
+			path, got.Kind, got.SlotSeconds, s.Kind, s.SlotSeconds)
+	}
+	if len(got.Cols) != len(s.Cols) {
+		return nil, fmt.Errorf("colstore: append to %s: file has %d columns, schema %d", path, len(got.Cols), len(s.Cols))
+	}
+	for i, c := range got.Cols {
+		if c != s.Cols[i] {
+			return nil, fmt.Errorf("colstore: append to %s: column %d is %q, schema says %q", path, i, c, s.Cols[i])
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(dataEnd)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(dataEnd), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &Writer{
+		w:      f,
+		schema: Schema{Kind: got.Kind, SlotSeconds: got.SlotSeconds},
+		dict:   make(map[string]int, len(dict)),
+		blocks: blocks,
+		offset: int64(dataEnd),
+	}
+	w.schema.Cols = append([]string(nil), got.Cols...)
+	w.schema.Dict = append([]string(nil), dict...)
+	for i, d := range w.schema.Dict {
+		w.dict[d] = i
+	}
+	w.cols = make([][]float64, len(got.Cols))
+	for i := range w.cols {
+		w.cols[i] = make([]float64, 0, BlockRows)
+	}
+	return &FileWriter{Writer: w, f: f}, nil
+}
+
+// Close finishes the file: footer, trailer, fsync-free close.
+func (fw *FileWriter) Close() error {
+	err := fw.Writer.Close()
+	if cerr := fw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

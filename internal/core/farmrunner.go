@@ -55,6 +55,20 @@ func (b *farmBackend) process(j queue.Job) (float64, error) {
 	return resp, err
 }
 
+func (b *farmBackend) totalsAt(t float64) queue.Snapshot {
+	var sum queue.Snapshot
+	for s := 0; s < b.servers; s++ {
+		sn := b.f.Server(s).TotalsAt(t)
+		sum.Energy += sn.Energy
+		sum.BusyTime += sn.BusyTime
+		sum.WakeTime += sn.WakeTime
+		sum.IdleTime += sn.IdleTime
+		sum.Jobs += sn.Jobs
+		sum.Wakes += sn.Wakes
+	}
+	return sum
+}
+
 // RunFarmSource executes the §6 evaluation loop of RunSource over a
 // k-server farm behind a dispatcher: one strategy decision per epoch,
 // applied fleet-wide (every server switches to the chosen policy at the

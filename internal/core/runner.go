@@ -82,6 +82,20 @@ type EpochRecord struct {
 	Jobs int
 	// MeanDelay is the mean response of those jobs.
 	MeanDelay float64
+	// P95Delay is the ceiling nearest-rank 95th percentile of those
+	// responses — the figure the over-provisioning guard keys off.
+	P95Delay float64
+	// Energy is the epoch's energy in joules, taken as the delta of the
+	// backend's running totals at the epoch boundary. Idle spanning the
+	// boundary is split exactly at it; service energy counts in the epoch
+	// that accepted the job. Epoch energies therefore sum to the report's
+	// Energy.
+	Energy float64
+	// BusyTime, WakeTime and IdleTime are the epoch's deltas of the
+	// corresponding totals (farm runs sum them across servers).
+	BusyTime float64
+	WakeTime float64
+	IdleTime float64
 }
 
 // RunReport aggregates a whole trace-driven run.
@@ -206,10 +220,14 @@ func RunSource(cfg RunnerConfig, src stream.Source) (RunReport, error) {
 // epochBackend abstracts what the epoch loop drives: one engine (RunSource)
 // or a dispatched farm (RunFarmSource). applyPolicy installs the epoch's
 // configuration — the first call creates the backend — and process serves
-// one job, returning its response time.
+// one job, returning its response time. totalsAt reports the cumulative
+// counters as of time t (idle priced to t without billing it), which the
+// loop differences at epoch boundaries for per-epoch energy accounting; it
+// is only called after the first applyPolicy.
 type epochBackend interface {
 	applyPolicy(epochStart float64, qcfg queue.Config) error
 	process(j queue.Job) (float64, error)
+	totalsAt(t float64) queue.Snapshot
 }
 
 // engineBackend is the single-server backend.
@@ -228,6 +246,8 @@ func (b *engineBackend) applyPolicy(epochStart float64, qcfg queue.Config) error
 }
 
 func (b *engineBackend) process(j queue.Job) (float64, error) { return b.eng.Process(j) }
+
+func (b *engineBackend) totalsAt(t float64) queue.Snapshot { return b.eng.TotalsAt(t) }
 
 // runEpochs is the shared §6 epoch loop behind RunSource and RunFarmSource:
 // per epoch it predicts utilization, lets the strategy pick a policy,
@@ -260,6 +280,7 @@ func runEpochs(cfg RunnerConfig, src stream.Source, backend epochBackend, report
 	lastMean, lastP95 := 0.0, 0.0
 	lastJobs := 0
 	var freqSum float64
+	var prevTotals queue.Snapshot // running-total baseline for epoch deltas
 	// epochDelays is the per-epoch delay scratch, reset and refilled every
 	// epoch instead of reallocated.
 	var epochDelays metrics.Sample
@@ -335,10 +356,16 @@ func runEpochs(cfg RunnerConfig, src stream.Source, backend epochBackend, report
 		lastJobs = epochDelays.Count()
 		lastMean = epochDelays.Mean()
 		lastP95 = epochDelays.PercentileNearestRank(95)
+		tot := backend.totalsAt(epochEnd)
 		report.Epochs = append(report.Epochs, EpochRecord{
 			Index: e, Predicted: pred, Realized: realized,
-			Policy: pol, Jobs: lastJobs, MeanDelay: lastMean,
+			Policy: pol, Jobs: lastJobs, MeanDelay: lastMean, P95Delay: lastP95,
+			Energy:   tot.Energy - prevTotals.Energy,
+			BusyTime: tot.BusyTime - prevTotals.BusyTime,
+			WakeTime: tot.WakeTime - prevTotals.WakeTime,
+			IdleTime: tot.IdleTime - prevTotals.IdleTime,
 		})
+		prevTotals = tot
 		report.PlanEpochs[pol.Plan.Name]++
 		freqSum += pol.Frequency
 	}

@@ -1,0 +1,46 @@
+package eventlog
+
+import (
+	"sleepscale/internal/colstore"
+)
+
+// EventsSchema returns the column-file schema per-job epoch event logs use:
+// one row per job, columns epoch index, inter-arrival gap and service
+// demand.
+func EventsSchema() colstore.Schema {
+	return colstore.Schema{Kind: colstore.KindEvents, Cols: []string{"epoch", "gap", "size"}}
+}
+
+// ColSink persists epoch job logs to a KindEvents column file as they are
+// pushed — the durable companion of the in-memory ring, which only retains
+// the last few epochs. Each epoch flushes as its own block, so a reader (or
+// colq) skips straight to an epoch from the block footers, and a crash loses
+// at most the in-flight epoch. Errors are sticky and deferred: logging keeps
+// the epoch loop unconditional, Err reports the first failure.
+type ColSink struct {
+	w   *colstore.Writer
+	row [3]float64
+	err error
+}
+
+// NewColSink returns a sink appending to w, which must carry EventsSchema
+// columns. The caller closes w when the run ends.
+func NewColSink(w *colstore.Writer) *ColSink { return &ColSink{w: w} }
+
+// logEpoch appends one epoch's gaps and sizes and flushes them as a block.
+func (s *ColSink) logEpoch(epoch int, gaps, sizes []float64) {
+	if s.err != nil {
+		return
+	}
+	s.row[0] = float64(epoch)
+	for i := range gaps {
+		s.row[1], s.row[2] = gaps[i], sizes[i]
+		if s.err = s.w.Append(s.row[:]); s.err != nil {
+			return
+		}
+	}
+	s.err = s.w.Flush()
+}
+
+// Err reports the first append failure, if any.
+func (s *ColSink) Err() error { return s.err }

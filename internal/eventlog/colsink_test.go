@@ -1,0 +1,142 @@
+package eventlog
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sleepscale/internal/colstore"
+	"sleepscale/internal/queue"
+)
+
+// TestWindowTee pins the columnar tee: epochs pushed into the ring also land
+// in the column file, one block per non-empty epoch, with epoch indices
+// counting pushes beyond the ring's capacity and gaps/sizes bit-exact.
+func TestWindowTee(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.col")
+	fw, err := colstore.Create(path, EventsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindow(2) // smaller than the number of epochs pushed
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tee(NewColSink(fw.Writer))
+
+	epochs := [][]queue.Job{
+		{{Arrival: 1, Size: 0.5}, {Arrival: 2.5, Size: 0.25}},
+		{}, // empty epoch: pushed, logged as no rows
+		{{Arrival: 20.125, Size: 1}, {Arrival: 21, Size: 2}, {Arrival: 22, Size: 3}},
+		{{Arrival: 31, Size: 0.125}},
+	}
+	for e, jobs := range epochs {
+		w.PushJobs(jobs, float64(10*e))
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Epochs() != 2 {
+		t.Fatalf("ring holds %d epochs, want capacity 2", w.Epochs())
+	}
+
+	r, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != 6 {
+		t.Fatalf("log has %d rows, want 6", r.Rows())
+	}
+	// One block per non-empty epoch (the sink flushes each).
+	if r.NumBlocks() != 3 {
+		t.Fatalf("log has %d blocks, want 3", r.NumBlocks())
+	}
+
+	var eps, gaps, sizes []float64
+	for b := 0; b < r.NumBlocks(); b++ {
+		for c, dst := range []*[]float64{&eps, &gaps, &sizes} {
+			v, err := r.Col(b, c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*dst = append(*dst, v...)
+		}
+	}
+	wantEpoch := []float64{0, 0, 2, 2, 2, 3}
+	wantGap := []float64{1, 1.5, 0.125, 0.875, 1, 1}
+	wantSize := []float64{0.5, 0.25, 1, 2, 3, 0.125}
+	for i := range wantEpoch {
+		if eps[i] != wantEpoch[i] || math.Float64bits(gaps[i]) != math.Float64bits(wantGap[i]) || sizes[i] != wantSize[i] {
+			t.Fatalf("row %d = (%g, %g, %g), want (%g, %g, %g)",
+				i, eps[i], gaps[i], sizes[i], wantEpoch[i], wantGap[i], wantSize[i])
+		}
+	}
+
+	// Block footers let a reader skip straight to epoch 2.
+	res, err := colstore.Query{
+		Col: "size", Op: colstore.Sum,
+		Filters: []colstore.Filter{{Col: "epoch", Lo: 2, Hi: 2}},
+	}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksScanned != 1 || res.BlocksSkipped != 2 {
+		t.Fatalf("scanned=%d skipped=%d, want 1/2", res.BlocksScanned, res.BlocksSkipped)
+	}
+	if res.Groups[0].Value != 6 {
+		t.Fatalf("epoch 2 size sum = %g, want 6", res.Groups[0].Value)
+	}
+}
+
+// TestWindowTeePushMatchesPushJobs pins Push and PushJobs to the same teed
+// output.
+func TestWindowTeePushMatchesPushJobs(t *testing.T) {
+	jobs := []queue.Job{{Arrival: 3, Size: 1}, {Arrival: 4.5, Size: 2}}
+	build := func(push func(w *Window)) []byte {
+		path := filepath.Join(t.TempDir(), "e.col")
+		fw, err := colstore.Create(path, EventsSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWindow(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := NewColSink(fw.Writer)
+		w.Tee(sink)
+		push(w)
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := colstore.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		var flat []byte
+		for b := 0; b < r.NumBlocks(); b++ {
+			for c := 0; c < 3; c++ {
+				v, err := r.Col(b, c, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range v {
+					bits := math.Float64bits(f)
+					for s := 0; s < 64; s += 8 {
+						flat = append(flat, byte(bits>>s))
+					}
+				}
+			}
+		}
+		return flat
+	}
+	a := build(func(w *Window) { w.PushJobs(jobs, 2) })
+	b := build(func(w *Window) { w.Push(FromJobs(jobs, 2)) })
+	if string(a) != string(b) {
+		t.Fatal("Push and PushJobs tee different bytes")
+	}
+}

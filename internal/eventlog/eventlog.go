@@ -46,6 +46,8 @@ type Window struct {
 	epochs []Epoch // fixed-capacity ring storage
 	head   int     // index of the oldest held epoch
 	count  int     // epochs currently held
+	pushed int     // epochs ever pushed — the tee's epoch index
+	sink   *ColSink
 }
 
 // NewWindow returns a window retaining the most recent capacity epochs.
@@ -75,6 +77,19 @@ func (w *Window) slot() *Epoch {
 // at returns the i-th held epoch, oldest first.
 func (w *Window) at(i int) *Epoch { return &w.epochs[(w.head+i)%len(w.epochs)] }
 
+// Tee attaches a columnar sink: every epoch pushed from now on is also
+// appended to the sink's file, with epoch indices counting all pushes (not
+// just the epochs the ring still holds). Tee(nil) detaches.
+func (w *Window) Tee(s *ColSink) { w.sink = s }
+
+// tee forwards the just-filled ring slot to the attached sink, if any.
+func (w *Window) tee(s *Epoch) {
+	if w.sink != nil {
+		w.sink.logEpoch(w.pushed, s.Gaps, s.Sizes)
+	}
+	w.pushed++
+}
+
 // Push records an epoch, evicting the oldest beyond capacity. Empty epochs
 // (no jobs) are recorded too — they carry load information. The epoch's
 // slices are copied into ring-owned buffers; the caller's remain its own.
@@ -82,6 +97,7 @@ func (w *Window) Push(e Epoch) {
 	s := w.slot()
 	s.Gaps = append(s.Gaps, e.Gaps...)
 	s.Sizes = append(s.Sizes, e.Sizes...)
+	w.tee(s)
 }
 
 // PushJobs logs one epoch straight from its job slice (sorted by arrival,
@@ -97,6 +113,7 @@ func (w *Window) PushJobs(jobs []queue.Job, epochStart float64) {
 		s.Sizes = append(s.Sizes, j.Size)
 		prev = j.Arrival
 	}
+	w.tee(s)
 }
 
 // Epochs reports how many epochs the window currently holds.

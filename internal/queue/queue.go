@@ -449,6 +449,53 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 }
 
+// idleEnergyBetween prices the idle interval [from, to) against the current
+// idle schedule without billing it — the pure-read mirror of billIdle's
+// energy arithmetic (same segments, same phase boundaries), minus the
+// residency bookkeeping.
+func (e *Engine) idleEnergyBetween(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	o1, o2 := from-e.anchor, to-e.anchor
+	var energy float64
+	preEnd := math.Inf(1)
+	if len(e.cfg.Phases) > 0 {
+		preEnd = e.cfg.Phases[0].EnterAfter
+	}
+	if o1 < preEnd {
+		energy += (math.Min(o2, preEnd) - o1) * e.cfg.IdlePower
+	}
+	for i, ph := range e.cfg.Phases {
+		end := math.Inf(1)
+		if i+1 < len(e.cfg.Phases) {
+			end = e.cfg.Phases[i+1].EnterAfter
+		}
+		lo := math.Max(o1, ph.EnterAfter)
+		hi := math.Min(o2, end)
+		if hi > lo {
+			energy += (hi - lo) * ph.Power
+		}
+	}
+	return energy
+}
+
+// TotalsAt reports the cumulative counters as they would stand with idle
+// billed up to time t, without mutating the engine — what lets an epoch
+// driver take exact per-epoch energy deltas at boundaries that fall inside
+// an idle period. Idle the engine has already billed (t ≤ billed horizon) is
+// never double-counted; service energy remains attributed at accept time, so
+// work straddling t counts in the epoch that accepted it. TotalsAt(end of
+// run) equals FinishSummary's totals.
+func (e *Engine) TotalsAt(t float64) Snapshot {
+	s := e.Snapshot()
+	if t > e.billed {
+		s.Energy += e.idleEnergyBetween(e.billed, t)
+		s.IdleTime += t - e.billed
+	}
+	return s
+}
+
 // Summary is the scalar aggregate of a run: the same quantities as Result
 // minus the residency map and the raw response sample, so producing one
 // allocates nothing. It is what Evaluator returns per candidate policy.

@@ -1,0 +1,108 @@
+package queue
+
+import (
+	"math"
+	"testing"
+)
+
+func totalsTestConfig() Config {
+	return Config{
+		Frequency:    0.8,
+		FreqExponent: 1,
+		ActivePower:  200,
+		IdlePower:    120,
+		Phases: []SleepPhase{
+			{Name: "halt", Power: 60, WakeLatency: 1e-5, EnterAfter: 0},
+			{Name: "deep", Power: 15, WakeLatency: 0.5, EnterAfter: 2},
+		},
+	}
+}
+
+func totalsTestJobs() []Job {
+	return []Job{
+		{Arrival: 0.5, Size: 1}, {Arrival: 0.7, Size: 0.4}, {Arrival: 5, Size: 0.2},
+		{Arrival: 30, Size: 2}, {Arrival: 30.1, Size: 0.1}, {Arrival: 80, Size: 0.3},
+	}
+}
+
+// TestTotalsAtMatchesFinish pins TotalsAt at the run's end to
+// FinishSummary's totals, and pins it as read-only: interleaving TotalsAt
+// probes mid-run must not change anything a control run reports.
+func TestTotalsAtMatchesFinish(t *testing.T) {
+	jobs := totalsTestJobs()
+	end := 120.0
+
+	control, err := NewEngine(totalsTestConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := control.Process(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := control.FinishSummary(end)
+
+	probed, err := NewEngine(totalsTestConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Snapshot
+	for i, j := range jobs {
+		if _, err := probed.Process(j); err != nil {
+			t.Fatal(err)
+		}
+		// Probe at an instant strictly between this arrival and the next —
+		// often inside an idle period — twice, to catch mutation.
+		at := j.Arrival + 1
+		s1 := probed.TotalsAt(at)
+		s2 := probed.TotalsAt(at)
+		if s1 != s2 {
+			t.Fatalf("job %d: TotalsAt not idempotent: %+v vs %+v", i, s1, s2)
+		}
+		if s1.Energy < prev.Energy || s1.IdleTime < prev.IdleTime {
+			t.Fatalf("job %d: totals decreased: %+v after %+v", i, s1, prev)
+		}
+		prev = s1
+	}
+	got := probed.TotalsAt(end)
+	if got.Energy != want.Energy || got.BusyTime != want.BusyTime ||
+		got.WakeTime != want.WakeTime || got.IdleTime != want.IdleTime {
+		t.Fatalf("TotalsAt(end) = %+v, want energy=%g busy=%g wake=%g idle=%g",
+			got, want.Energy, want.BusyTime, want.WakeTime, want.IdleTime)
+	}
+	// The probes must not have perturbed the run itself.
+	gotSum := probed.FinishSummary(end)
+	if gotSum != want {
+		t.Fatalf("probed run summary %+v != control %+v", gotSum, want)
+	}
+}
+
+// TestTotalsAtSplitsIdleAtBoundary pins the delta semantics: the idle energy
+// between two probes inside one idle period equals the phase schedule's
+// price for exactly that interval.
+func TestTotalsAtSplitsIdleAtBoundary(t *testing.T) {
+	cfg := totalsTestConfig()
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Process(Job{Arrival: 0, Size: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	dep := eng.FreeAt() // idle schedule anchors here
+	// Probe spanning the halt→deep transition at dep+2.
+	a := eng.TotalsAt(dep + 1)
+	b := eng.TotalsAt(dep + 5)
+	wantDelta := 1*60.0 + 3*15.0 // 1s more halt at 60 W, 3s deep at 15 W
+	if delta := b.Energy - a.Energy; math.Abs(delta-wantDelta) > 1e-9 {
+		t.Fatalf("idle delta = %g J, want %g", delta, wantDelta)
+	}
+	if d := b.IdleTime - a.IdleTime; math.Abs(d-4) > 1e-12 {
+		t.Fatalf("idle time delta = %g, want 4", d)
+	}
+	// Probing before the billed horizon returns the plain counters.
+	if got := eng.TotalsAt(dep - 1); got != eng.Snapshot() {
+		t.Fatalf("TotalsAt before billed horizon = %+v, want %+v", got, eng.Snapshot())
+	}
+}

@@ -9,6 +9,8 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -248,39 +250,83 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 
 // SlotReader parses a WriteCSV-format trace one row at a time, so week-long
 // (or unbounded) traces replay in O(1) memory. Each Next validates its row
-// the way ReadCSV validates the whole file.
+// the way ReadCSV validates the whole file. Rows are parsed off a single
+// buffered reader with a reused line scratch, so steady-state reading does
+// not allocate.
 type SlotReader struct {
-	cr  *csv.Reader
-	row int
+	br   *bufio.Reader
+	line []byte // scratch for lines spanning the buffer boundary
+	row  int
+	eof  bool
 }
+
+// slotReaderBuf sizes the read buffer: a full buffer of ~20-byte rows per
+// syscall.
+const slotReaderBuf = 1 << 16
 
 // NewSlotReader returns a reader over r; an optional "slot,utilization"
 // header row is skipped.
 func NewSlotReader(r io.Reader) *SlotReader {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // every row must have exactly 2 fields, checked below
-	return &SlotReader{cr: cr}
+	return &SlotReader{br: bufio.NewReaderSize(r, slotReaderBuf)}
+}
+
+// nextLine returns the next newline-terminated line (terminator stripped,
+// trailing \r removed), sliced from the buffer when it fits and from the
+// reused scratch when it does not. ok=false at end of input.
+func (sr *SlotReader) nextLine() (line []byte, ok bool, err error) {
+	if sr.eof {
+		return nil, false, nil
+	}
+	line, err = sr.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Long line: spill into the scratch and keep reading.
+		sr.line = append(sr.line[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = sr.br.ReadSlice('\n')
+			sr.line = append(sr.line, line...)
+		}
+		line = sr.line
+	}
+	if err == io.EOF {
+		sr.eof = true
+		if len(line) == 0 {
+			return nil, false, nil
+		}
+		err = nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, true, nil
 }
 
 // Next returns the next slot's utilization; ok is false at end of input.
 func (sr *SlotReader) Next() (u float64, ok bool, err error) {
 	for {
-		row, err := sr.cr.Read()
-		if err == io.EOF {
-			return 0, false, nil
+		line, ok, err := sr.nextLine()
+		if err != nil || !ok {
+			return 0, false, err
 		}
-		if err != nil {
-			return 0, false, fmt.Errorf("trace: read csv: %w", err)
+		if len(line) == 0 {
+			continue // blank line, as encoding/csv skips them
 		}
 		i := sr.row
 		sr.row++
-		if i == 0 && len(row) >= 2 && row[0] == "slot" {
+		c := bytes.IndexByte(line, ',')
+		if i == 0 && c >= 0 && string(line[:c]) == "slot" {
 			continue
 		}
-		if len(row) != 2 {
-			return 0, false, fmt.Errorf("trace: row %d has %d fields, want 2", i, len(row))
+		if c < 0 || bytes.IndexByte(line[c+1:], ',') >= 0 {
+			n := bytes.Count(line, []byte{','}) + 1
+			return 0, false, fmt.Errorf("trace: row %d has %d fields, want 2", i, n)
 		}
-		u, perr := strconv.ParseFloat(row[1], 64)
+		u, perr := strconv.ParseFloat(string(line[c+1:]), 64)
 		if perr != nil {
 			return 0, false, fmt.Errorf("trace: row %d: %w", i, perr)
 		}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"sleepscale/internal/analytic"
+	"sleepscale/internal/colstore"
 	"sleepscale/internal/core"
 	"sleepscale/internal/dist"
 	"sleepscale/internal/farm"
@@ -254,6 +255,74 @@ func NewTraceSource(st Stats, tr *Trace, seed int64) (StreamSource, error) {
 // time through the trace-driven generator; Reset seeks r back to the start.
 func NewCSVTraceSource(r io.ReadSeeker, st Stats, slotSeconds float64, seed int64) (StreamSource, error) {
 	return stream.CSVTrace(r, st, slotSeconds, seed)
+}
+
+// Columnar store: the binary trace/event format of internal/colstore —
+// zero-copy mmap replay, append-only epoch logs, block-skipping
+// aggregation (see cmd/colq for the query CLI).
+type (
+	// ColReader is an open column file; Open memory-maps when possible.
+	ColReader = colstore.Reader
+	// ColWriter is an append-only column-file writer bound to a file.
+	ColWriter = colstore.FileWriter
+	// ColSchema describes a column file's kind and columns.
+	ColSchema = colstore.Schema
+	// ColQuery is one aggregation (optionally grouped and filtered) over a
+	// column file, skipping blocks from their min/max footers.
+	ColQuery = colstore.Query
+	// ColFilter is one closed-interval row predicate of a ColQuery.
+	ColFilter = colstore.Filter
+	// ColResult reports a query's groups and block-skipping statistics.
+	ColResult = colstore.Result
+)
+
+// OpenCol opens the column file at path for reading, memory-mapped when the
+// platform allows, with a ReaderAt fallback otherwise.
+func OpenCol(path string) (*ColReader, error) { return colstore.Open(path) }
+
+// CreateCol starts a new column file at path under the given schema.
+func CreateCol(path string, s ColSchema) (*ColWriter, error) { return colstore.Create(path, s) }
+
+// AppendCol reopens the column file at path for appending (creating it if
+// absent); the schema must match the file's.
+func AppendCol(path string, s ColSchema) (*ColWriter, error) { return colstore.Append(path, s) }
+
+// NewColTraceSource replays a KindTrace column file through the
+// trace-driven generator — bit-identical to NewCSVTraceSource and
+// NewTraceSource for equal seeds, with zero per-slot parsing on a mapped
+// file.
+func NewColTraceSource(r *ColReader, st Stats, seed int64) (StreamSource, error) {
+	return stream.ColTrace(r, st, seed)
+}
+
+// NewColJobsSource replays a recorded KindJobs column file bit-exactly.
+func NewColJobsSource(r *ColReader) (StreamSource, error) { return stream.NewColJobs(r) }
+
+// RecordJobsCol drains src into a KindJobs column file at path, returning
+// the number of jobs recorded; replay it with NewColJobsSource.
+func RecordJobsCol(src StreamSource, path string) (int, error) {
+	w, err := colstore.Create(path, stream.JobsSchema())
+	if err != nil {
+		return 0, err
+	}
+	n, err := stream.RecordJobs(src, w.Writer)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// ReadColTrace materializes a KindTrace column file as a Trace.
+func ReadColTrace(path string) (*Trace, error) { return trace.ReadCol(path) }
+
+// WriteColTrace writes a trace as a column file — the binary counterpart of
+// Trace.WriteCSV.
+func WriteColTrace(t *Trace, path string) error { return t.WriteCol(path) }
+
+// WriteEpochLog appends a run's per-epoch records to the KindEpochs column
+// file at path (created if absent) for offline aggregation with cmd/colq.
+func WriteEpochLog(path string, epochs []EpochRecord) error {
+	return core.WriteEpochLog(path, epochs)
 }
 
 // NewStationarySource streams a fixed-rate job stream from the workload
