@@ -13,6 +13,9 @@ package sleepscale_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -1078,5 +1081,200 @@ func BenchmarkAblationEvalJobs(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Live serving benchmarks (cmd/sleepscaled).
+
+// serveBenchConfig is the daemon runner fixture shared by the serving
+// benchmarks: minute telemetry slots, 5-slot epochs, DNS-shaped jobs at
+// ρ=0.3, LMS prediction and a fixed deep-sleep plan. The strategy is static
+// on purpose: the steady-state gate pins the loop machinery — wire decode,
+// job cursoring, engine advance, predictor update, NDJSON emit — at zero
+// allocations, while policy-search cost (whose returned evaluation slices
+// allocate by design) is measured by the PolicySelection/SelectParallel
+// benchmarks with their own explicit floors.
+func serveBenchConfig() (sleepscale.LiveConfig, []sleepscale.Job, error) {
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewIdealizedStats(spec)
+	if err != nil {
+		return sleepscale.LiveConfig{}, nil, err
+	}
+	stats, err = stats.AtUtilization(0.3)
+	if err != nil {
+		return sleepscale.LiveConfig{}, nil, err
+	}
+	const epochSec = 5 * 60.0
+	all := stats.Jobs(2000, rand.New(rand.NewSource(7)))
+	var jobs []sleepscale.Job
+	for _, j := range all {
+		if j.Arrival >= epochSec {
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	pred, err := sleepscale.NewLMSPredictor(10, 0.5)
+	if err != nil {
+		return sleepscale.LiveConfig{}, nil, err
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	return sleepscale.LiveConfig{
+		SlotSeconds:  60,
+		EpochSlots:   5,
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Predictor:    pred,
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		Seed:         1,
+	}, jobs, nil
+}
+
+// epochWireFeed synthesizes an endless wire stream of identical epochs in
+// place: each rep re-frames the same job set with arrivals offset by one
+// epoch, so the stream stays monotonic while the daemon serves it forever.
+// Refills reuse one frame buffer — the feed itself is allocation-free after
+// the first rep, keeping the 0 allocs/op gate on the serve loop honest.
+type epochWireFeed struct {
+	jobs    []sleepscale.Job // one epoch's arrivals, within [0, epochSec)
+	rho     float64
+	slotSec float64
+	slots   int
+
+	reps  int // epochs to emit before the end-of-stream marker
+	rep   int
+	ended bool
+	buf   []byte
+	pos   int
+	onRep func(rep int) // timer control at rep boundaries
+}
+
+func (f *epochWireFeed) Read(p []byte) (int, error) {
+	if f.pos == len(f.buf) {
+		if err := f.refill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, f.buf[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+func (f *epochWireFeed) refill() error {
+	if f.rep == f.reps {
+		if f.ended {
+			return io.EOF
+		}
+		f.ended = true
+		if f.onRep != nil {
+			f.onRep(f.rep)
+		}
+		f.buf, f.pos = append(f.buf[:0], 'e'), 0
+		return nil
+	}
+	if f.onRep != nil {
+		f.onRep(f.rep)
+	}
+	b := f.buf[:0]
+	if f.rep == 0 {
+		b = append(b, "SSW1"...)
+	}
+	off := float64(f.rep) * float64(f.slots) * f.slotSec
+	i := 0
+	for s := 0; s < f.slots; s++ {
+		slotEnd := off + float64(s+1)*f.slotSec
+		for i < len(f.jobs) && off+f.jobs[i].Arrival < slotEnd {
+			b = append(b, 'j')
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(off+f.jobs[i].Arrival))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.jobs[i].Size))
+			i++
+		}
+		b = append(b, 's')
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.rho))
+	}
+	f.buf, f.pos = b, 0
+	f.rep++
+	return nil
+}
+
+// BenchmarkServeLoopSteadyState measures the daemon's steady-state serve
+// loop: one op decodes, serves and NDJSON-emits one full policy epoch —
+// wire frames in, LMS prediction, policy install, engine advance, epoch
+// record out. The first epochs are warm-up (buffers grow to their steady
+// sizes) and run off the timer; after them the loop must not allocate — CI
+// gates allocs/op at 0.
+func BenchmarkServeLoopSteadyState(b *testing.B) {
+	cfg, jobs, err := serveBenchConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := sleepscale.NewServeServer(sleepscale.ServeConfig{Runner: cfg, Out: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up must outlast every buffer still growing after the first
+	// epoch: the 3-epoch event-log window ring and the 10-observation LMS
+	// history both reach steady size within 6 epochs.
+	const warm = 6
+	feed := &epochWireFeed{
+		jobs: jobs, rho: 0.3, slotSec: cfg.SlotSeconds, slots: cfg.EpochSlots,
+		reps: b.N + warm,
+		onRep: func(rep int) {
+			switch rep {
+			case warm:
+				b.ResetTimer()
+			case b.N + warm:
+				b.StopTimer() // run finalization is not the loop
+			}
+		},
+	}
+	b.ReportAllocs()
+	if _, done, err := srv.Serve(feed); err != nil || !done {
+		b.Fatalf("serve: done=%v err=%v", done, err)
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+}
+
+// BenchmarkServeCheckpointWrite measures one durable checkpoint: encode the
+// live runner's epoch-boundary state, CRC it, write-fsync-rename atomically
+// and rotate the previous snapshot.
+func BenchmarkServeCheckpointWrite(b *testing.B) {
+	cfg, jobs, err := serveBenchConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := sleepscale.NewLiveRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	i := 0
+	for s := 0; s < cfg.EpochSlots; s++ {
+		slotEnd := float64(s+1) * cfg.SlotSeconds
+		for i < len(jobs) && jobs[i].Arrival < slotEnd {
+			if err := runner.OfferJob(jobs[i]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		if _, _, err := runner.OfferSlot(0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := runner.State()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck := &sleepscale.ServeCheckpoint{
+		State:        *st,
+		EpochLogRows: 672,
+		EpochLogDict: []string{"C0S0", "C6S0(i)"},
+	}
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := sleepscale.WriteServeCheckpoint(path, ck); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

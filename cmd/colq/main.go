@@ -100,10 +100,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// groupKey renders a group-by key: dictionary columns ("plan") resolve ids
-// to names, everything else prints the number.
+// groupKey renders a group-by key: dictionary columns ("plan" in epoch
+// logs, "state" in sweep results) resolve ids to names, everything else
+// prints the number.
 func groupKey(col string, key float64, dict []string) string {
-	if col == "plan" {
+	if col == "plan" || col == "state" {
 		if i := int(key); float64(i) == key && i >= 0 && i < len(dict) {
 			return dict[i]
 		}
@@ -116,6 +117,7 @@ var kindNames = map[uint16]string{
 	colstore.KindJobs:   "jobs",
 	colstore.KindEpochs: "epochs",
 	colstore.KindEvents: "events",
+	colstore.KindSweep:  "sweep",
 }
 
 func printDescribe(out io.Writer, path string, r *colstore.Reader) error {

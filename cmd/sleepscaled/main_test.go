@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sleepscale"
+)
+
+// defaults mirrors the flag defaults for direct run() calls.
+func defaults() options {
+	return options{
+		listen: "-", workload: "DNS", profile: "xeon",
+		strategy: "sleepscale", predictor: "lms", lmsOrder: 10, lmsStep: 0.5,
+		epochSlots: 5, slotSeconds: 60, qos: 0.8, evalJobs: 200, alpha: 0.1,
+		seed: 1, checkpointEvery: 16,
+	}
+}
+
+// recordStream writes a small daily-window scenario as a wire-stream file
+// and returns its path and slot count.
+func recordStream(t *testing.T, dir string) string {
+	t.Helper()
+	tr, err := sleepscale.EmailStoreTrace(1, 3).DailyWindow(300, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sleepscale.NewIdealizedStats(sleepscale.DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sleepscale.NewTraceSource(stats, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "stream.ssw")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sleepscale.FeedWire(sleepscale.NewWireWriter(f), src,
+		sleepscale.SliceSlots(tr.Utilization), tr.SlotSeconds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readLog(t *testing.T, path string) [][]float64 {
+	t.Helper()
+	r, err := sleepscale.OpenCol(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ncols := len(r.Schema().Cols)
+	cols := make([][]float64, ncols)
+	for b := 0; b < r.NumBlocks(); b++ {
+		for c := 0; c < ncols; c++ {
+			v, err := r.Col(b, c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols[c] = append(cols[c], v...)
+		}
+	}
+	rows := make([][]float64, r.Rows())
+	for i := range rows {
+		rows[i] = make([]float64, ncols)
+		for c := range cols {
+			rows[i][c] = cols[c][i]
+		}
+	}
+	return rows
+}
+
+func TestBuildConfigRejects(t *testing.T) {
+	for name, mutate := range map[string]func(*options){
+		"workload":           func(o *options) { o.workload = "nope" },
+		"profile":            func(o *options) { o.profile = "nope" },
+		"strategy":           func(o *options) { o.strategy = "nope" },
+		"predictor":          func(o *options) { o.predictor = "nope" },
+		"restore-without-ck": func(o *options) { o.restore = true },
+	} {
+		o := defaults()
+		mutate(&o)
+		if _, err := buildConfig(o, nil); err == nil {
+			t.Errorf("%s: bad options accepted", name)
+		}
+	}
+}
+
+func TestBuildConfigVariants(t *testing.T) {
+	for _, strat := range []string{"sleepscale", "analytic", "race", "static"} {
+		for _, pred := range []string{"lms", "lms-cusum", "naive"} {
+			o := defaults()
+			o.strategy, o.predictor = strat, pred
+			cfg, err := buildConfig(o, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strat, pred, err)
+			}
+			if cfg.Runner.Strategy == nil || cfg.Runner.Predictor == nil {
+				t.Fatalf("%s/%s: nil runner pieces", strat, pred)
+			}
+		}
+	}
+}
+
+// TestRunFileFeedKillRestore drives the daemon end to end over a recorded
+// stream file: an uninterrupted run, then a run off a truncated copy (the
+// producer dies) restored with -replay — the stitched epoch log must match
+// the uninterrupted one row for row.
+func TestRunFileFeedKillRestore(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := recordStream(t, dir)
+	full, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refOut := &bytes.Buffer{}
+	ref := defaults()
+	ref.listen = streamPath
+	ref.epochsOut = filepath.Join(dir, "ref.col")
+	if err := run(ref, refOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(refOut.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON output too short: %q", refOut.String())
+	}
+	if !strings.Contains(lines[len(lines)-1], `"done":true`) {
+		t.Fatalf("missing summary line: %s", lines[len(lines)-1])
+	}
+	if !strings.Contains(lines[0], `"epoch":0`) || !strings.Contains(lines[0], `"plan":"`) {
+		t.Fatalf("first epoch line malformed: %s", lines[0])
+	}
+
+	cutPath := filepath.Join(dir, "cut.ssw")
+	if err := os.WriteFile(cutPath, full[:len(full)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	victim := defaults()
+	victim.listen = cutPath
+	victim.checkpoint = filepath.Join(dir, "ss.ckpt")
+	victim.checkpointEvery = 3
+	victim.epochsOut = filepath.Join(dir, "live.col")
+	if err := run(victim, &bytes.Buffer{}); err == nil {
+		t.Fatal("truncated feed exited cleanly")
+	}
+
+	restored := victim
+	restored.listen = streamPath
+	restored.restore = true
+	restored.replay = true
+	if err := run(restored, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := readLog(t, victim.epochsOut), readLog(t, ref.epochsOut)
+	if len(got) != len(want) {
+		t.Fatalf("stitched log has %d rows, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		for c := range got[i] {
+			if got[i][c] != want[i][c] {
+				t.Fatalf("row %d col %d: %v != %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestRunUnixSocket serves one connection over a Unix socket.
+func TestRunUnixSocket(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := recordStream(t, dir)
+	data, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "ss.sock")
+	go func() {
+		for i := 0; i < 100; i++ {
+			conn, err := net.Dial("unix", sock)
+			if err == nil {
+				conn.Write(data)
+				conn.Close()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	o := defaults()
+	o.listen = "unix:" + sock
+	out := &bytes.Buffer{}
+	if err := run(o, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"done":true`) {
+		t.Fatal("socket-fed run did not emit a summary")
+	}
+}
+
+func TestOpenFeedRejectsMissing(t *testing.T) {
+	if _, err := openFeed(filepath.Join(t.TempDir(), "missing.ssw")); err == nil {
+		t.Fatal("missing stream file accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sleepscale/internal/colstore"
+)
+
+func sweepOpts(colOut string) sweepOptions {
+	return sweepOptions{
+		workload: "DNS", rho: 0.3, states: "C0(i)S0(i),C6S3",
+		jobs: 400, step: 0.2, beta: 1, profile: "xeon", seed: 1, colOut: colOut,
+	}
+}
+
+// TestRunSweepColRoundTrip pins the columnar result sink: every TSV row
+// lands in the column file with the state resolved through the dictionary,
+// and the file aggregates with the colq query engine.
+func TestRunSweepColRoundTrip(t *testing.T) {
+	colPath := filepath.Join(t.TempDir(), "sweep.col")
+	var out strings.Builder
+	if err := runSweep(sweepOpts(colPath), &out); err != nil {
+		t.Fatal(err)
+	}
+	var tsv [][]string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "state\t") {
+			continue
+		}
+		tsv = append(tsv, strings.Split(line, "\t"))
+	}
+	if len(tsv) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+
+	r, err := colstore.Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Schema().Kind != colstore.KindSweep {
+		t.Fatalf("kind = %d, want KindSweep", r.Schema().Kind)
+	}
+	if r.Rows() != len(tsv) {
+		t.Fatalf("column file has %d rows, TSV %d", r.Rows(), len(tsv))
+	}
+	dict := r.Schema().Dict
+	if len(dict) != 2 || dict[0] != "C0(i)S0(i)" || dict[1] != "C6S3" {
+		t.Fatalf("dictionary = %v", dict)
+	}
+	var states, fs, powers []float64
+	for b := 0; b < r.NumBlocks(); b++ {
+		for c, dst := range []*[]float64{&states, &fs, nil, &powers} {
+			if dst == nil {
+				continue
+			}
+			v, err := r.Col(b, c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*dst = append(*dst, v...)
+		}
+	}
+	for i, row := range tsv {
+		if got := dict[int(states[i])]; got != row[0] {
+			t.Fatalf("row %d: state %q, TSV %q", i, got, row[0])
+		}
+		f, _ := strconv.ParseFloat(row[1], 64)
+		if diff := fs[i] - f; diff > 5e-4 || diff < -5e-4 {
+			t.Fatalf("row %d: f %v, TSV %v", i, fs[i], f)
+		}
+		p, _ := strconv.ParseFloat(row[3], 64)
+		if diff := powers[i] - p; diff > 5e-3 || diff < -5e-3 {
+			t.Fatalf("row %d: power %v, TSV %v", i, powers[i], p)
+		}
+	}
+
+	// The file answers colq-style aggregations: min power per state.
+	res, err := colstore.Query{Col: "avg_power", Op: colstore.Min, GroupBy: "state"}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("per-state groups = %+v", res.Groups)
+	}
+	for _, g := range res.Groups {
+		if g.Value <= 0 {
+			t.Fatalf("non-positive min power in group %+v", g)
+		}
+	}
+}
+
+// TestRunSweepColAppends pins the append-across-runs behavior: a second
+// sweep doubles the rows and reuses the dictionary.
+func TestRunSweepColAppends(t *testing.T) {
+	colPath := filepath.Join(t.TempDir(), "sweep.col")
+	var out strings.Builder
+	if err := runSweep(sweepOpts(colPath), &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colstore.Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.Rows()
+	r.Close()
+	if err := runSweep(sweepOpts(colPath), &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err = colstore.Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != 2*first {
+		t.Fatalf("after second run: %d rows, want %d", r.Rows(), 2*first)
+	}
+	if len(r.Schema().Dict) != 2 {
+		t.Fatalf("dictionary grew: %v", r.Schema().Dict)
+	}
+}
+
+func TestRunSweepRejects(t *testing.T) {
+	for name, mutate := range map[string]func(*sweepOptions){
+		"workload": func(o *sweepOptions) { o.workload = "nope" },
+		"profile":  func(o *sweepOptions) { o.profile = "nope" },
+		"state":    func(o *sweepOptions) { o.states = "C9S9" },
+	} {
+		o := sweepOpts("")
+		mutate(&o)
+		var out strings.Builder
+		if err := runSweep(o, &out); err == nil {
+			t.Errorf("%s: bad options accepted", name)
+		}
+	}
+}

@@ -203,10 +203,46 @@
 // BenchmarkColVsCSVReplay pins the columnar ingest's ~25× lead over
 // buffered CSV in BENCH_colstore.json.
 //
+// # Live serving
+//
+// SleepScale also runs as what the paper pitches: a long-lived runtime
+// controller. LiveRunner is the §6 epoch loop turned incremental — the same
+// epoch machine behind Run and RunSource driven one event at a time
+// (OfferJob/OfferSlot/Finish) by an unbounded telemetry stream, with no
+// materialized trace and the batch runners' exact semantics: for the same
+// events, epochs, predictions and policy switches are bit-identical to a
+// batch run, and the steady-state loop does not allocate. At any epoch
+// boundary, State captures a resumable snapshot — engine totals, predictor
+// and policy-selection state, RNG cursors, queue backlog — and
+// RestoreLiveRunner resumes from it bit-identically.
+//
+// The serve layer (internal/serve) wraps the runner into a daemon,
+// cmd/sleepscaled: jobs and slot telemetry arrive over a compact binary
+// wire protocol (Unix/TCP socket, or any stream.Source replayed through
+// FeedWire — every scenario generator and recorded ColJobs stream doubles
+// as a load generator), per-epoch stats and policy decisions stream out as
+// NDJSON, and closed epochs tee to the colstore epoch log. Durability:
+// checkpoints (CRC-framed, written atomically, previous snapshot rotated
+// to a .prev fallback) every N epochs and on SIGTERM drain; the checkpoint
+// records the epoch log's row count and plan dictionary, so a restore cuts
+// the log back to that high-water mark and re-emitted epochs land exactly
+// once. A checkpointed/killed/restored run produces the same epoch log as
+// an uninterrupted one — equivalence tests pin this across seeds and
+// checkpoint cadences, and corruption tests (truncation, CRC damage, torn
+// writes, a decoder fuzz target) pin that damaged checkpoints fall back,
+// never panic.
+//
+// CI gates the daemon's hot path in BENCH_serve.json:
+// BenchmarkServeLoopSteadyState (decode one epoch of wire frames, advance
+// the runner, emit NDJSON) must hold 0 allocs/op once warm, with
+// BenchmarkServeCheckpointWrite tracking the fsync-bound checkpoint cost.
+//
 // See examples/ for runnable programs (examples/week-long drives a 7-day
 // trace through the streaming loop, then replays it from a mapped column
 // file; examples/streamed-farm dispatches a 7-day diurnal + flash-crowd
-// scenario across 16 servers and replays the recorded stream bit-for-bit)
-// and internal/experiments for the harness that regenerates every table
-// and figure in the paper.
+// scenario across 16 servers and replays the recorded stream bit-for-bit;
+// examples/live-replay crashes a serving daemon mid-week, tears its primary
+// checkpoint, and proves the restored run's stitched epoch log bit-identical
+// to an uninterrupted batch run) and internal/experiments for the harness
+// that regenerates every table and figure in the paper.
 package sleepscale

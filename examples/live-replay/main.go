@@ -1,0 +1,278 @@
+// Example live-replay: SleepScale as a daemon surviving a mid-week crash.
+// A full 7-day job stream (hundreds of thousands of jobs) is recorded to a
+// columnar file, encoded onto the serving wire protocol, and piped into a
+// live server that checkpoints its state periodically. Sixty percent of the
+// way through the week the power fails: the feed dies mid-event, and — to
+// make recovery earn its keep — the primary checkpoint file is scribbled
+// over, simulating a torn write. The restored daemon falls back to the
+// rotated previous snapshot, cuts the epoch log back to that snapshot's
+// row high-water mark, replays the week's stream from the top (skipping
+// everything the checkpoint already accounts for), and finishes the run.
+// The stitched epoch log — rows from before the crash plus rows from after
+// the restore — must be bit-identical, row for row, to an uninterrupted
+// batch evaluation of the same week, and so must the final report.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sleepscale"
+)
+
+const (
+	slotSeconds = 60.0
+	epochSlots  = 15 // minute slots per policy epoch
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("live-replay: ")
+
+	dir, err := os.MkdirTemp("", "live-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec := sleepscale.DNS()
+	stats, err := sleepscale.NewFittedStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sleepscale.FileServerTrace(7, 1) // 7 days, 10080 minute slots
+
+	// Record the week's job stream once; every run below replays this file.
+	jobsPath := filepath.Join(dir, "week-jobs.col")
+	n, err := sleepscale.RecordJobsCol(traceSource(stats, tr), jobsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded week: %d jobs, %d slots → %s\n", n, tr.Len(), filepath.Base(jobsPath))
+
+	// Uninterrupted batch reference over the recorded stream.
+	refLog := filepath.Join(dir, "ref-epochs.col")
+	start := time.Now()
+	ref, err := sleepscale.RunSource(batchConfig(spec, tr), colJobs(jobsPath))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sleepscale.WriteEpochLog(refLog, ref.Epochs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch reference:  %d epochs, %.1f W, %.4f s mean response  (%v)\n",
+		len(ref.Epochs), ref.AvgPower, ref.MeanResponse, time.Since(start).Round(time.Millisecond))
+
+	// Encode the recorded stream onto the wire: the columnar job file plus
+	// the trace's slot telemetry become one interleaved event stream, the
+	// bytes a load generator would push at the daemon.
+	wirePath := filepath.Join(dir, "week.ssw")
+	wf, err := os.Create(wirePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sleepscale.FeedWire(sleepscale.NewWireWriter(wf), colJobs(jobsPath),
+		sleepscale.SliceSlots(tr.Utilization), slotSeconds); err != nil {
+		log.Fatal(err)
+	}
+	if err := wf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	wire, err := os.ReadFile(wirePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live serving, attempt one: the daemon consumes the piped stream and
+	// checkpoints every 32 epochs — until the feed dies 60% in, mid-event.
+	ckpt := filepath.Join(dir, "sleepscaled.ckpt")
+	liveLog := filepath.Join(dir, "live-epochs.col")
+	cfg := sleepscale.ServeConfig{
+		Runner:          liveConfig(spec),
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 32,
+		EpochLogPath:    liveLog,
+	}
+	victim, err := sleepscale.NewServeServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	served := make(chan error, 1)
+	go func() {
+		_, _, err := victim.Serve(pr)
+		served <- err
+	}()
+	cut := len(wire) * 3 / 5
+	if _, err := pw.Write(wire[:cut]); err != nil {
+		log.Fatal(err)
+	}
+	pw.CloseWithError(fmt.Errorf("simulated power loss"))
+	if err := <-served; err == nil {
+		log.Fatal("the daemon survived a severed feed — it should not have")
+	}
+	fmt.Printf("crash at byte %d/%d: epoch %d of %d served, state on disk\n",
+		cut, len(wire), victim.Runner().Epoch(), len(ref.Epochs))
+
+	// Make it a real crash: tear the primary checkpoint, as a write cut off
+	// by the same power loss would. Recovery must fall back to the rotated
+	// previous snapshot.
+	if err := os.WriteFile(ckpt, []byte("torn checkpoint write"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// Restore and replay the stream from the top: events the surviving
+	// snapshot already accounts for are skipped, everything after lands
+	// exactly once.
+	start = time.Now()
+	restored, err := sleepscale.RestoreServeServer(cfg, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored from previous snapshot at epoch %d\n", restored.Runner().Epoch())
+	rep, done, err := restored.Serve(bytes.NewReader(wire))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !done {
+		log.Fatal("replayed stream did not run to completion")
+	}
+	fmt.Printf("replay finished:  %d jobs, %.1f W, %.4f s mean response  (%v)\n",
+		rep.Jobs, rep.AvgPower, rep.MeanResponse, time.Since(start).Round(time.Millisecond))
+
+	// The verdict: the stitched epoch log must match the uninterrupted
+	// batch run bit for bit, and so must the aggregates.
+	if rep.Jobs != ref.Jobs || rep.Energy != ref.Energy || rep.AvgPower != ref.AvgPower ||
+		rep.MeanResponse != ref.MeanResponse || rep.Duration != ref.Duration {
+		log.Fatal("restored aggregates diverged from the batch reference")
+	}
+	rows := mustEqualLogs(liveLog, refLog)
+	fmt.Printf("stitched == batch: %d epoch-log rows bit-identical across the crash\n", rows)
+}
+
+// liveConfig is the daemon's runner: LMS prediction, analytic SleepScale
+// policy selection — the same pieces the batch reference runs.
+func liveConfig(spec sleepscale.Spec) sleepscale.LiveConfig {
+	pred, strat := pieces(spec)
+	return sleepscale.LiveConfig{
+		SlotSeconds:  slotSeconds,
+		EpochSlots:   epochSlots,
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Predictor:    pred,
+		Strategy:     strat,
+		Seed:         1,
+	}
+}
+
+func batchConfig(spec sleepscale.Spec, tr *sleepscale.Trace) sleepscale.RunnerConfig {
+	pred, strat := pieces(spec)
+	return sleepscale.RunnerConfig{
+		FreqExponent: spec.FreqExponent,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   epochSlots,
+		Predictor:    pred,
+		Strategy:     strat,
+		Seed:         1,
+	}
+}
+
+// pieces builds a fresh predictor (stateful — one per run) and the shared
+// stateless strategy.
+func pieces(spec sleepscale.Spec) (sleepscale.Predictor, sleepscale.Strategy) {
+	pred, err := sleepscale.NewLMSPredictor(10, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos, err := sleepscale.NewMeanResponseQoS(0.8, spec.MaxServiceRate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sleepscale.NewManager(sleepscale.Xeon(), spec, qos)
+	strat, err := sleepscale.NewAnalyticSleepScaleStrategy(m, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pred, strat
+}
+
+// traceSource streams the week's jobs from the utilization trace.
+func traceSource(stats sleepscale.Stats, tr *sleepscale.Trace) sleepscale.StreamSource {
+	src, err := sleepscale.NewTraceSource(stats, tr, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src
+}
+
+// colJobs replays the recorded job stream from the memory-mapped file.
+func colJobs(path string) sleepscale.StreamSource {
+	r, err := sleepscale.OpenCol(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := sleepscale.NewColJobsSource(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src
+}
+
+// mustEqualLogs compares two epoch logs row for row (and their plan
+// dictionaries) and returns the row count.
+func mustEqualLogs(gotPath, wantPath string) int {
+	got, gotDict := readLog(gotPath)
+	want, wantDict := readLog(wantPath)
+	if len(gotDict) != len(wantDict) {
+		log.Fatalf("plan dictionaries diverge: %v vs %v", gotDict, wantDict)
+	}
+	for i := range gotDict {
+		if gotDict[i] != wantDict[i] {
+			log.Fatalf("plan dictionaries diverge: %v vs %v", gotDict, wantDict)
+		}
+	}
+	if len(got) != len(want) {
+		log.Fatalf("epoch logs differ in length: %d vs %d rows", len(got), len(want))
+	}
+	for i := range got {
+		for c := range got[i] {
+			if got[i][c] != want[i][c] {
+				log.Fatalf("epoch log row %d col %d: %v != %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+	return len(got)
+}
+
+func readLog(path string) ([][]float64, []string) {
+	r, err := sleepscale.OpenCol(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	ncols := len(r.Schema().Cols)
+	cols := make([][]float64, ncols)
+	for b := 0; b < r.NumBlocks(); b++ {
+		for c := 0; c < ncols; c++ {
+			v, err := r.Col(b, c, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cols[c] = append(cols[c], v...)
+		}
+	}
+	rows := make([][]float64, r.Rows())
+	for i := range rows {
+		rows[i] = make([]float64, ncols)
+		for c := range cols {
+			rows[i][c] = cols[c][i]
+		}
+	}
+	return rows, append([]string(nil), r.Schema().Dict...)
+}

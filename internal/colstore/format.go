@@ -17,6 +17,10 @@ const (
 	KindEpochs uint16 = 3
 	// KindEvents is a per-job epoch event log: columns "epoch", "gap", "size".
 	KindEvents uint16 = 4
+	// KindSweep is a policy-sweep result set (see cmd/sweep): columns
+	// "state", "f", "norm_mean_response", "avg_power", with "state" holding
+	// dictionary ids of sleep-state names.
+	KindSweep uint16 = 5
 )
 
 // BlockRows is the maximum (and default flush) number of rows per block.

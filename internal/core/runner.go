@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"sleepscale/internal/eventlog"
-	"sleepscale/internal/metrics"
 	"sleepscale/internal/policy"
 	"sleepscale/internal/power"
 	"sleepscale/internal/predict"
@@ -230,14 +229,22 @@ type epochBackend interface {
 	totalsAt(t float64) queue.Snapshot
 }
 
-// engineBackend is the single-server backend.
-type engineBackend struct{ eng *queue.Engine }
+// engineBackend is the single-server backend. discardResponses (the live
+// runner's default) folds responses into streaming moments on creation, so
+// an unbounded run holds O(1) response memory.
+type engineBackend struct {
+	eng              *queue.Engine
+	discardResponses bool
+}
 
 func (b *engineBackend) applyPolicy(epochStart float64, qcfg queue.Config) error {
 	if b.eng == nil {
 		eng, err := queue.NewEngine(qcfg, 0)
 		if err != nil {
 			return err
+		}
+		if b.discardResponses {
+			eng.SetRetainResponses(false)
 		}
 		b.eng = eng
 		return nil
@@ -250,132 +257,76 @@ func (b *engineBackend) process(j queue.Job) (float64, error) { return b.eng.Pro
 func (b *engineBackend) totalsAt(t float64) queue.Snapshot { return b.eng.TotalsAt(t) }
 
 // runEpochs is the shared §6 epoch loop behind RunSource and RunFarmSource:
-// per epoch it predicts utilization, lets the strategy pick a policy,
-// installs it on the backend, serves the epoch's arrivals from the chunk
-// cursor, logs them in the ring window and feeds realized utilizations back
-// to the predictor. One implementation serves both runners, so their epoch
-// accounting — including the k = 1 bit-for-bit equivalence the farm runner
-// guarantees — can never drift. It fills report.Epochs, PlanEpochs and
-// MeanFrequency; closing out the backend and the aggregate report fields is
-// the caller's job. cfg must already have passed validateRunner.
+// it replays the trace slot by slot through the incremental epochLoop
+// machine, offering each slot's arrivals from the chunk cursor and then the
+// slot's realized utilization. The machine — the same one the live serving
+// subsystem drives from sockets — predicts, decides, installs the policy on
+// the backend, serves, logs the window and feeds the predictor, so batch
+// and live epoch accounting (including the k = 1 bit-for-bit equivalence
+// the farm runner guarantees) can never drift. It fills report.Epochs,
+// PlanEpochs and MeanFrequency; closing out the backend and the aggregate
+// report fields is the caller's job. cfg must already have passed
+// validateRunner.
 func runEpochs(cfg RunnerConfig, src stream.Source, backend epochBackend, report *RunReport) error {
 	if src == nil {
 		return fmt.Errorf("core: runner needs a job source")
 	}
-	windowEpochs := cfg.WindowEpochs
-	if windowEpochs <= 0 {
-		windowEpochs = 3
-	}
-	window, err := eventlog.NewWindow(windowEpochs)
+	loop, err := newEpochLoop(loopConfig{
+		SlotSeconds:  cfg.Trace.SlotSeconds,
+		EpochSlots:   cfg.EpochSlots,
+		FreqExponent: cfg.FreqExponent,
+		Profile:      cfg.Profile,
+		Predictor:    cfg.Predictor,
+		Strategy:     cfg.Strategy,
+		WindowEpochs: cfg.WindowEpochs,
+		Seed:         cfg.Seed,
+	}, backend)
 	if err != nil {
 		return err
 	}
 
-	decideRng := rand.New(rand.NewSource(cfg.Seed + 0x5157))
-
 	slotSec := cfg.Trace.SlotSeconds
 	nSlots := cfg.Trace.Len()
 	nEpochs := (nSlots + cfg.EpochSlots - 1) / cfg.EpochSlots
-	jobIdx := 0
-	lastMean, lastP95 := 0.0, 0.0
-	lastJobs := 0
-	var freqSum float64
-	var prevTotals queue.Snapshot // running-total baseline for epoch deltas
-	// epochDelays is the per-epoch delay scratch, reset and refilled every
-	// epoch instead of reallocated.
-	var epochDelays metrics.Sample
 	report.Epochs = make([]EpochRecord, 0, nEpochs)
 
-	// The chunk cursor and the per-epoch job log are the run's only job
-	// buffers: one chunk of lookahead plus one epoch of arrivals, however
-	// long the trace.
+	// The chunk cursor and the machine's per-epoch job log are the run's
+	// only job buffers: one chunk of lookahead plus one epoch of arrivals,
+	// however long the trace. Jobs arriving at or after the trace's end are
+	// never offered, so they stay unread in the source.
 	cursor := stream.NewCursor(src)
-	var epochJobs []queue.Job
-
-	for e := 0; e < nEpochs; e++ {
-		startSlot := e * cfg.EpochSlots
-		endSlot := startSlot + cfg.EpochSlots
-		if endSlot > nSlots {
-			endSlot = nSlots
-		}
-		epochStart := float64(startSlot) * slotSec
-		epochEnd := float64(endSlot) * slotSec
-
-		pred := clampRho(cfg.Predictor.Predict())
-		pol, err := cfg.Strategy.Decide(DecideInput{
-			PredictedUtilization: pred,
-			Window:               window,
-			LastEpochMeanDelay:   lastMean,
-			LastEpochP95Delay:    lastP95,
-			LastEpochJobs:        lastJobs,
-			Rng:                  decideRng,
-		})
-		if err != nil {
-			return fmt.Errorf("core: epoch %d decision: %w", e, err)
-		}
-		qcfg, err := pol.Config(cfg.Profile, cfg.FreqExponent)
-		if err != nil {
-			return fmt.Errorf("core: epoch %d policy %v: %w", e, pol, err)
-		}
-		if err := backend.applyPolicy(epochStart, qcfg); err != nil {
-			return fmt.Errorf("core: epoch %d switch: %w", e, err)
-		}
-
-		// Serve this epoch's arrivals from the chunk cursor.
-		epochDelays.Reset()
-		epochJobs = epochJobs[:0]
+	for s := 0; s < nSlots; s++ {
+		slotEnd := float64(s+1) * slotSec
 		for {
 			j, ok := cursor.Peek()
-			if !ok || j.Arrival >= epochEnd {
+			if !ok || j.Arrival >= slotEnd {
 				break
 			}
-			resp, err := backend.process(j)
-			if err != nil {
-				return fmt.Errorf("core: epoch %d job %d: %w", e, jobIdx, err)
+			if err := loop.OfferJob(j); err != nil {
+				return err
 			}
-			epochDelays.Add(resp)
-			epochJobs = append(epochJobs, j)
 			cursor.Advance()
-			jobIdx++
 		}
-		// PushJobs logs the epoch in the window's recycled ring buffers —
-		// no per-epoch slice allocations (the old FromJobs path's two).
-		window.PushJobs(epochJobs, epochStart)
-
-		// Feed the predictor the realized utilization of each slot.
-		var realized float64
-		for s := startSlot; s < endSlot; s++ {
-			cfg.Predictor.Observe(cfg.Trace.Utilization[s])
-			realized += cfg.Trace.Utilization[s]
+		rec, closed, err := loop.OfferSlot(cfg.Trace.Utilization[s])
+		if err != nil {
+			return err
 		}
-		realized /= float64(endSlot - startSlot)
-
-		// The ceiling nearest-rank P95 matches the paper's epoch-budget
-		// accounting (the guard keys off it); the shared metrics helper
-		// replaces a hand-rolled sort-copy per epoch.
-		lastJobs = epochDelays.Count()
-		lastMean = epochDelays.Mean()
-		lastP95 = epochDelays.PercentileNearestRank(95)
-		tot := backend.totalsAt(epochEnd)
-		report.Epochs = append(report.Epochs, EpochRecord{
-			Index: e, Predicted: pred, Realized: realized,
-			Policy: pol, Jobs: lastJobs, MeanDelay: lastMean, P95Delay: lastP95,
-			Energy:   tot.Energy - prevTotals.Energy,
-			BusyTime: tot.BusyTime - prevTotals.BusyTime,
-			WakeTime: tot.WakeTime - prevTotals.WakeTime,
-			IdleTime: tot.IdleTime - prevTotals.IdleTime,
-		})
-		prevTotals = tot
-		report.PlanEpochs[pol.Plan.Name]++
-		freqSum += pol.Frequency
+		if closed {
+			report.Epochs = append(report.Epochs, rec)
+		}
+	}
+	rec, closed, err := loop.FinishEpoch()
+	if err != nil {
+		return err
+	}
+	if closed {
+		report.Epochs = append(report.Epochs, rec)
 	}
 
 	if err := stream.Err(src); err != nil {
 		return fmt.Errorf("core: job source: %w", err)
 	}
-	if nEpochs > 0 {
-		report.MeanFrequency = freqSum / float64(nEpochs)
-	}
+	loop.fillReport(report)
 	return nil
 }
 

@@ -119,6 +119,59 @@ func (w *Window) PushJobs(jobs []queue.Job, epochStart float64) {
 // Epochs reports how many epochs the window currently holds.
 func (w *Window) Epochs() int { return w.count }
 
+// Pushed reports how many epochs have ever been pushed — the next tee index.
+func (w *Window) Pushed() int { return w.pushed }
+
+// WindowState is a deep copy of a Window's contents, oldest epoch first,
+// captured for checkpointing. The attached ColSink is not part of the state;
+// a restored window starts detached and the caller re-attaches via Tee.
+type WindowState struct {
+	Capacity int
+	Pushed   int
+	Epochs   []Epoch // oldest first, deep-copied
+}
+
+// State captures the window's contents for a checkpoint.
+func (w *Window) State() WindowState {
+	st := WindowState{
+		Capacity: len(w.epochs),
+		Pushed:   w.pushed,
+		Epochs:   make([]Epoch, w.count),
+	}
+	for i := 0; i < w.count; i++ {
+		e := w.at(i)
+		st.Epochs[i] = Epoch{
+			Gaps:  append([]float64(nil), e.Gaps...),
+			Sizes: append([]float64(nil), e.Sizes...),
+		}
+	}
+	return st
+}
+
+// RestoreWindow rebuilds a window from a captured state. The restored window
+// holds the same epochs in the same oldest-first order, so every subsequent
+// Push, Means and Jobs call behaves bit-identically to the original's.
+func RestoreWindow(st WindowState) (*Window, error) {
+	w, err := NewWindow(st.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Epochs) > st.Capacity {
+		return nil, fmt.Errorf("eventlog: state holds %d epochs, capacity %d", len(st.Epochs), st.Capacity)
+	}
+	if st.Pushed < len(st.Epochs) {
+		return nil, fmt.Errorf("eventlog: state pushed %d < %d held epochs", st.Pushed, len(st.Epochs))
+	}
+	for _, e := range st.Epochs {
+		if len(e.Gaps) != len(e.Sizes) {
+			return nil, fmt.Errorf("eventlog: state epoch has %d gaps, %d sizes", len(e.Gaps), len(e.Sizes))
+		}
+		w.Push(e)
+	}
+	w.pushed = st.Pushed
+	return w, nil
+}
+
 // JobCount reports the total number of logged jobs.
 func (w *Window) JobCount() int {
 	var n int

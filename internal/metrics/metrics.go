@@ -104,6 +104,25 @@ func (s *Stream) Max() float64 { return s.max }
 // Sum reports mean × count.
 func (s *Stream) Sum() float64 { return s.mean * float64(s.n) }
 
+// StreamState is the full internal state of a Stream, exposed so long-running
+// consumers (the serve daemon's checkpoints) can persist and restore the
+// moments bit-for-bit.
+type StreamState struct {
+	N                  int
+	Mean, M2, Min, Max float64
+}
+
+// State captures the stream's internal state exactly.
+func (s *Stream) State() StreamState {
+	return StreamState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// SetState overwrites the stream with a previously captured state; a stream
+// restored this way continues bit-identically to the original.
+func (s *Stream) SetState(st StreamState) {
+	s.n, s.mean, s.m2, s.min, s.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
 // String implements fmt.Stringer.
 func (s *Stream) String() string {
 	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",

@@ -164,10 +164,18 @@ func (l *LMS) Observe(actual float64) {
 }
 
 func (l *LMS) push(x float64) {
-	l.history = append([]float64{x}, l.history...)
-	if len(l.history) > l.hist {
-		l.history = l.history[:l.hist]
+	if cap(l.history) < l.hist {
+		// First pushes (or a restore that handed us a tight slice): move to
+		// a full-depth buffer once, then shift in place forever after.
+		h := make([]float64, len(l.history), l.hist)
+		copy(h, l.history)
+		l.history = h
 	}
+	if len(l.history) < l.hist {
+		l.history = l.history[:len(l.history)+1]
+	}
+	copy(l.history[1:], l.history)
+	l.history[0] = x
 }
 
 // Name implements Predictor.

@@ -1,0 +1,361 @@
+package predict
+
+// Checkpoint support: every predictor implements encoding.BinaryMarshaler
+// and encoding.BinaryUnmarshaler over its full mutable state, so a
+// long-running serve loop can persist its predictor mid-stream and restore
+// it bit-identically — the restored predictor's every future Predict agrees
+// with the uninterrupted one's exactly (state is carried as raw float64
+// bits, never reformatted). UnmarshalBinary restores *state only*: it is
+// called on a predictor constructed with the same configuration (depth,
+// step, period, …) as the one that was marshaled, and fails loudly on a
+// type-tag mismatch or a malformed blob rather than guessing.
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type tags keep a blob from being restored into the wrong predictor.
+const (
+	tagNaive    = uint32(0x5053_4e50) // "PSNP"
+	tagMovAvg   = uint32(0x5053_4d41) // "PSMA"
+	tagLMS      = uint32(0x5053_4c53) // "PSLS"
+	tagLMSCUSUM = uint32(0x5053_4c43) // "PSLC"
+	tagSeasonal = uint32(0x5053_5345) // "PSSE"
+	tagOffline  = uint32(0x5053_4f46) // "PSOF"
+)
+
+// stateEnc builds a little-endian state blob.
+type stateEnc struct{ b []byte }
+
+func (e *stateEnc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *stateEnc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *stateEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *stateEnc) boolean(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *stateEnc) floats(vs []float64) {
+	e.u64(uint64(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+func (e *stateEnc) blob(b []byte) {
+	e.u64(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// stateDec consumes a state blob, latching the first error.
+type stateDec struct {
+	b   []byte
+	err error
+}
+
+func (d *stateDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("predict: "+format, args...)
+	}
+}
+
+func (d *stateDec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.fail("truncated state")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *stateDec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated state")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *stateDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *stateDec) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("truncated state")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+func (d *stateDec) count() int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)/8) {
+		d.fail("length %d exceeds remaining state", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *stateDec) floats() []float64 {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *stateDec) blob() []byte {
+	if d.err != nil {
+		return nil
+	}
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("blob length %d exceeds remaining state", n)
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *stateDec) tag(want uint32, who string) {
+	if got := d.u32(); d.err == nil && got != want {
+		d.fail("%s: state tag %#x, want %#x", who, got, want)
+	}
+}
+
+func (d *stateDec) finish(who string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("predict: %s: %d trailing bytes in state", who, len(d.b))
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (n *NaivePrevious) MarshalBinary() ([]byte, error) {
+	var e stateEnc
+	e.u32(tagNaive)
+	e.f64(n.last)
+	e.boolean(n.seen)
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (n *NaivePrevious) UnmarshalBinary(data []byte) error {
+	d := stateDec{b: data}
+	d.tag(tagNaive, "NP")
+	last, seen := d.f64(), d.boolean()
+	if err := d.finish("NP"); err != nil {
+		return err
+	}
+	n.last, n.seen = last, seen
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *MovingAverage) MarshalBinary() ([]byte, error) {
+	var e stateEnc
+	e.u32(tagMovAvg)
+	e.u64(uint64(m.p))
+	e.floats(m.window)
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *MovingAverage) UnmarshalBinary(data []byte) error {
+	d := stateDec{b: data}
+	d.tag(tagMovAvg, "MA")
+	p := int(d.u64())
+	window := d.floats()
+	if err := d.finish("MA"); err != nil {
+		return err
+	}
+	if p != m.p {
+		return fmt.Errorf("predict: MA: state window %d, predictor configured for %d", p, m.p)
+	}
+	if len(window) > p {
+		return fmt.Errorf("predict: MA: state holds %d observations, window is %d", len(window), p)
+	}
+	m.window = window
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (l *LMS) MarshalBinary() ([]byte, error) {
+	var e stateEnc
+	e.u32(tagLMS)
+	e.u64(uint64(l.hist))
+	e.u64(uint64(l.p))
+	e.f64(l.step)
+	e.floats(l.weights)
+	e.floats(l.history)
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (l *LMS) UnmarshalBinary(data []byte) error {
+	d := stateDec{b: data}
+	d.tag(tagLMS, "LMS")
+	hist, p := int(d.u64()), int(d.u64())
+	step := d.f64()
+	weights := d.floats()
+	history := d.floats()
+	if err := d.finish("LMS"); err != nil {
+		return err
+	}
+	if hist != l.hist {
+		return fmt.Errorf("predict: LMS: state depth %d, predictor configured for %d", hist, l.hist)
+	}
+	if p < 1 || p > hist {
+		return fmt.Errorf("predict: LMS: active depth %d outside [1,%d]", p, hist)
+	}
+	if len(weights) != hist {
+		return fmt.Errorf("predict: LMS: %d weights, want %d", len(weights), hist)
+	}
+	if len(history) > hist {
+		return fmt.Errorf("predict: LMS: history %d deeper than %d", len(history), hist)
+	}
+	l.p, l.step = p, step
+	l.weights = weights
+	l.history = history
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *LMSCUSUM) MarshalBinary() ([]byte, error) {
+	inner, err := c.lms.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var e stateEnc
+	e.u32(tagLMSCUSUM)
+	e.blob(inner)
+	e.f64(c.ewmaAbs)
+	e.f64(c.ewmaSq)
+	e.u64(uint64(c.warm))
+	e.f64(c.K)
+	e.f64(c.Floor)
+	e.u64(uint64(c.alarms))
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *LMSCUSUM) UnmarshalBinary(data []byte) error {
+	d := stateDec{b: data}
+	d.tag(tagLMSCUSUM, "LC")
+	inner := d.blob()
+	ewmaAbs, ewmaSq := d.f64(), d.f64()
+	warm := int(d.u64())
+	k, floor := d.f64(), d.f64()
+	alarms := int(d.u64())
+	if err := d.finish("LC"); err != nil {
+		return err
+	}
+	if err := c.lms.UnmarshalBinary(inner); err != nil {
+		return err
+	}
+	c.ewmaAbs, c.ewmaSq = ewmaAbs, ewmaSq
+	c.warm = warm
+	c.K, c.Floor = k, floor
+	c.alarms = alarms
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler; the base predictor must
+// itself be a BinaryMarshaler.
+func (s *Seasonal) MarshalBinary() ([]byte, error) {
+	bm, ok := s.base.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("predict: seasonal base %s is not checkpointable", s.base.Name())
+	}
+	inner, err := bm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var e stateEnc
+	e.u32(tagSeasonal)
+	e.blob(inner)
+	e.u64(uint64(s.period))
+	e.floats(s.history)
+	e.f64(s.baseErr)
+	e.f64(s.seasonErr)
+	e.boolean(s.warm)
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the base predictor
+// must itself be a BinaryUnmarshaler.
+func (s *Seasonal) UnmarshalBinary(data []byte) error {
+	bu, ok := s.base.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("predict: seasonal base %s is not checkpointable", s.base.Name())
+	}
+	d := stateDec{b: data}
+	d.tag(tagSeasonal, "seasonal")
+	inner := d.blob()
+	period := int(d.u64())
+	history := d.floats()
+	baseErr, seasonErr := d.f64(), d.f64()
+	warm := d.boolean()
+	if err := d.finish("seasonal"); err != nil {
+		return err
+	}
+	if period != s.period {
+		return fmt.Errorf("predict: seasonal: state period %d, predictor configured for %d", period, s.period)
+	}
+	if err := bu.UnmarshalBinary(inner); err != nil {
+		return err
+	}
+	s.history = history
+	s.baseErr, s.seasonErr = baseErr, seasonErr
+	s.warm = warm
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Only the cursor is
+// state; the true sequence is construction configuration.
+func (o *Offline) MarshalBinary() ([]byte, error) {
+	var e stateEnc
+	e.u32(tagOffline)
+	e.u64(uint64(o.idx))
+	return e.b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (o *Offline) UnmarshalBinary(data []byte) error {
+	d := stateDec{b: data}
+	d.tag(tagOffline, "offline")
+	idx := int(d.u64())
+	if err := d.finish("offline"); err != nil {
+		return err
+	}
+	o.idx = idx
+	return nil
+}

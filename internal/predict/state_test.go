@@ -1,0 +1,169 @@
+package predict
+
+import (
+	"encoding"
+	"math"
+	"testing"
+)
+
+// checkpointable pairs the predictor interface with the marshaling side.
+type checkpointable interface {
+	Predictor
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// synthetic utilization trace with drift and a level shift, enough to warm
+// every predictor's internal state.
+func stateTrace(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		x := 0.45 + 0.3*math.Sin(float64(i)/7) + 0.01*float64(i%13)
+		if i > n/2 {
+			x += 0.25
+		}
+		out[i] = math.Min(0.95, math.Max(0.05, x))
+	}
+	return out
+}
+
+func TestStateRoundTripMidStream(t *testing.T) {
+	cases := []struct {
+		name  string
+		make  func() checkpointable
+		split int
+	}{
+		{"naive", func() checkpointable { return NewNaivePrevious() }, 17},
+		{"moving-average", func() checkpointable { return NewMovingAverage(5) }, 23},
+		{"moving-average-cold", func() checkpointable { return NewMovingAverage(5) }, 2},
+		{"lms", func() checkpointable {
+			l, err := NewLMS(8, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		}, 31},
+		{"lms-cusum", func() checkpointable {
+			c, err := NewLMSCUSUM(8, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}, 41},
+		{"seasonal-lms", func() checkpointable {
+			l, err := NewLMS(6, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSeasonal(l, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 37},
+		{"offline", func() checkpointable { return NewOffline(stateTrace(90)) }, 29},
+	}
+	trace := stateTrace(90)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.make()
+			for _, x := range trace[:tc.split] {
+				ref.Predict()
+				ref.Observe(x)
+			}
+			blob, err := ref.MarshalBinary()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			restored := tc.make()
+			if err := restored.UnmarshalBinary(blob); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			// The restored predictor must track the original bit-for-bit
+			// over the remainder of the stream.
+			for i, x := range trace[tc.split:] {
+				want, got := ref.Predict(), restored.Predict()
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("step %d: restored Predict %v, want %v", i, got, want)
+				}
+				ref.Observe(x)
+				restored.Observe(x)
+			}
+			// And re-marshaling both must agree.
+			b1, err := ref.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := restored.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("post-restore state blobs diverge")
+			}
+		})
+	}
+}
+
+func TestStateRejectsWrongTag(t *testing.T) {
+	blob, err := NewNaivePrevious().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewMovingAverage(3).UnmarshalBinary(blob); err == nil {
+		t.Fatal("MA accepted an NP state blob")
+	}
+}
+
+func TestStateRejectsTruncationAndTrailing(t *testing.T) {
+	l, err := NewLMS(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range stateTrace(20) {
+		l.Predict()
+		l.Observe(x)
+	}
+	blob, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *LMS {
+		v, err := NewLMS(4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Every truncation must error, never panic.
+	for cut := 0; cut < len(blob); cut++ {
+		if err := fresh().UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", cut)
+		}
+	}
+	if err := fresh().UnmarshalBinary(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+	// Mismatched configuration must be rejected too.
+	if other, err2 := NewLMS(5, 0.5); err2 == nil {
+		if err := other.UnmarshalBinary(blob); err == nil {
+			t.Fatal("depth-5 LMS accepted depth-4 state")
+		}
+	}
+}
+
+func TestStateRejectsOversizedLengths(t *testing.T) {
+	blob, err := NewMovingAverage(3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the window length field (after 4-byte tag + 8-byte p) to a
+	// huge value; the decoder must refuse rather than allocate or panic.
+	bad := append([]byte(nil), blob...)
+	for i := 0; i < 8; i++ {
+		bad[4+8+i] = 0xff
+	}
+	if err := NewMovingAverage(3).UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted absurd length field")
+	}
+}

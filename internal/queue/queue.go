@@ -229,6 +229,14 @@ type Engine struct {
 	resid     []float64
 	residPrev *metrics.WeightedTally
 	responses metrics.Sample
+
+	// discardResponses drops raw response observations, keeping only the
+	// streaming moments (count, mean, variance, min, max). A long-running
+	// serve loop sets it so engine memory stays O(1) however many jobs the
+	// unbounded feed delivers; the cost is that percentile queries over the
+	// whole run (FinishSummary's ResponseP95/P99) report 0 — per-epoch tails
+	// are the epoch driver's own bounded sample, unaffected.
+	discardResponses bool
 }
 
 // ErrOutOfOrder reports a job processed with an arrival before the previous
@@ -366,9 +374,22 @@ func (e *Engine) Process(j Job) (response float64, err error) {
 	e.billed = e.freeAt
 
 	response = e.freeAt - j.Arrival
-	e.responses.Add(response)
+	if e.discardResponses {
+		// Moments only: Count/Mean stay exact (Snapshot.Jobs, the epoch
+		// deltas and FinishSummary's MeanResponse are unaffected); the raw
+		// sample — and with it whole-run percentiles — is not kept.
+		e.responses.Stream.Add(response)
+	} else {
+		e.responses.Add(response)
+	}
 	return response, nil
 }
+
+// SetRetainResponses controls whether Process keeps the raw response sample
+// (the default, enabling whole-run percentiles) or only the streaming
+// moments (O(1) memory for unbounded runs; see the discardResponses field).
+// Switch before the first Process of a run.
+func (e *Engine) SetRetainResponses(retain bool) { e.discardResponses = !retain }
 
 // SetConfigAt switches the engine to a new configuration at absolute time t.
 // Idle time before t is billed under the old configuration; the idle
@@ -494,6 +515,83 @@ func (e *Engine) TotalsAt(t float64) Snapshot {
 		s.IdleTime += t - e.billed
 	}
 	return s
+}
+
+// EngineState is the complete resumable state of an Engine minus its
+// configuration (which callers persist alongside, normally by re-deriving it
+// from the policy in force) and minus the raw response sample: responses are
+// captured as streaming moments only, so a restored engine reports exact
+// counts, means and energy totals but whole-run percentiles restart empty.
+// Engines running with SetRetainResponses(false) — the serve daemon's mode —
+// lose nothing. All fields are plain values; State deep-copies the slices.
+type EngineState struct {
+	FreeAt, Anchor, Billed   float64
+	Energy, Busy, Wake, Idle float64
+	Wakes                    int
+	Started, LastSeen        float64
+	Resid                    []float64
+	// ResidPrevNames/ResidPrevWeights carry the name-keyed residency folded
+	// at configuration switches, in first-seen order.
+	ResidPrevNames   []string
+	ResidPrevWeights []float64
+	Responses        metrics.StreamState
+	DiscardResponses bool
+}
+
+// State captures the engine's resumable state; see EngineState for what a
+// restore preserves. The engine is not mutated.
+func (e *Engine) State() EngineState {
+	st := EngineState{
+		FreeAt: e.freeAt, Anchor: e.anchor, Billed: e.billed,
+		Energy: e.energy, Busy: e.busy, Wake: e.wake, Idle: e.idle,
+		Wakes: e.wakes, Started: e.started, LastSeen: e.lastSeen,
+		Resid:            append([]float64(nil), e.resid...),
+		Responses:        e.responses.Stream.State(),
+		DiscardResponses: e.discardResponses,
+	}
+	if e.residPrev != nil {
+		for _, name := range e.residPrev.Names() {
+			st.ResidPrevNames = append(st.ResidPrevNames, name)
+			st.ResidPrevWeights = append(st.ResidPrevWeights, e.residPrev.Get(name))
+		}
+	}
+	return st
+}
+
+// RestoreEngine reconstructs an engine mid-run from a captured state under
+// cfg, which must be the configuration that was in force at capture time
+// (cfg.Phases is deep-copied, so the caller's slice stays its own). The
+// restored engine continues bit-identically to the original: same billing,
+// same wake pricing, same totals at every future instant.
+func RestoreEngine(cfg Config, st EngineState) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(st.ResidPrevNames) != len(st.ResidPrevWeights) {
+		return nil, fmt.Errorf("queue: residency names/weights length mismatch (%d vs %d)",
+			len(st.ResidPrevNames), len(st.ResidPrevWeights))
+	}
+	if len(st.Resid) != len(cfg.Phases)+1 {
+		return nil, fmt.Errorf("queue: residency tally has %d buckets, config wants %d",
+			len(st.Resid), len(cfg.Phases)+1)
+	}
+	cfg.Phases = append([]SleepPhase(nil), cfg.Phases...)
+	e := &Engine{
+		cfg:    cfg,
+		freeAt: st.FreeAt, anchor: st.Anchor, billed: st.Billed,
+		energy: st.Energy, busy: st.Busy, wake: st.Wake, idle: st.Idle,
+		wakes: st.Wakes, started: st.Started, lastSeen: st.LastSeen,
+		resid:            append([]float64(nil), st.Resid...),
+		discardResponses: st.DiscardResponses,
+	}
+	if len(st.ResidPrevNames) > 0 {
+		e.residPrev = metrics.NewWeightedTally()
+		for i, name := range st.ResidPrevNames {
+			e.residPrev.Add(name, st.ResidPrevWeights[i])
+		}
+	}
+	e.responses.Stream.SetState(st.Responses)
+	return e, nil
 }
 
 // Summary is the scalar aggregate of a run: the same quantities as Result

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
+	"sleepscale/internal/workload"
+)
+
+// Wire format: the byte stream between a load generator and the daemon,
+// carried over a Unix/TCP socket or a replayed pipe. It opens with the
+// 4-byte magic "SSW1"; each event is a 1-byte kind followed by little-endian
+// raw float64 bits:
+//
+//	'j' arrival size — a job arrival (17 bytes)
+//	's' rho          — a completed telemetry slot (9 bytes)
+//	'e'              — clean end of stream (1 byte)
+//
+// Floats travel as raw bits, never reformatted, so a replayed stream is
+// bit-identical to the source that produced it — the determinism contract
+// the serve loop's equivalence tests rest on.
+
+const wireMagic = "SSW1"
+
+// EventKind discriminates wire events.
+type EventKind byte
+
+// Wire event kinds.
+const (
+	EventJob  EventKind = 'j'
+	EventSlot EventKind = 's'
+	EventEnd  EventKind = 'e'
+)
+
+// Event is one decoded wire event.
+type Event struct {
+	Kind EventKind
+	Job  queue.Job // valid for EventJob
+	Rho  float64   // valid for EventSlot
+}
+
+// WireWriter encodes events onto a stream. Not safe for concurrent use.
+type WireWriter struct {
+	w       *bufio.Writer
+	started bool
+	scratch [17]byte
+}
+
+// NewWireWriter returns a writer over w; the magic is emitted lazily before
+// the first event.
+func NewWireWriter(w io.Writer) *WireWriter { return &WireWriter{w: bufio.NewWriter(w)} }
+
+func (w *WireWriter) begin() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	_, err := w.w.WriteString(wireMagic)
+	return err
+}
+
+// Job emits a job arrival.
+func (w *WireWriter) Job(j queue.Job) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	w.scratch[0] = byte(EventJob)
+	binary.LittleEndian.PutUint64(w.scratch[1:9], math.Float64bits(j.Arrival))
+	binary.LittleEndian.PutUint64(w.scratch[9:17], math.Float64bits(j.Size))
+	_, err := w.w.Write(w.scratch[:17])
+	return err
+}
+
+// Slot emits a completed telemetry slot's realized utilization.
+func (w *WireWriter) Slot(rho float64) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	w.scratch[0] = byte(EventSlot)
+	binary.LittleEndian.PutUint64(w.scratch[1:9], math.Float64bits(rho))
+	_, err := w.w.Write(w.scratch[:9])
+	return err
+}
+
+// End emits the clean end-of-stream marker and flushes.
+func (w *WireWriter) End() error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(byte(EventEnd)); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Flush pushes buffered events to the underlying writer — call it when
+// feeding a live consumer that must see events promptly.
+func (w *WireWriter) Flush() error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// WireReader decodes events from a stream. Steady-state reads allocate
+// nothing. Not safe for concurrent use.
+type WireReader struct {
+	r       *bufio.Reader
+	started bool
+	scratch [16]byte
+}
+
+// NewWireReader returns a reader over r.
+func NewWireReader(r io.Reader) *WireReader { return &WireReader{r: bufio.NewReader(r)} }
+
+// Next decodes the next event. A stream that ends without an EventEnd
+// returns io.ErrUnexpectedEOF — the producer died mid-stream.
+func (r *WireReader) Next() (Event, error) {
+	if !r.started {
+		if _, err := io.ReadFull(r.r, r.scratch[:4]); err != nil {
+			return Event{}, fmt.Errorf("serve: wire magic: %w", noEOF(err))
+		}
+		if string(r.scratch[:4]) != wireMagic {
+			return Event{}, fmt.Errorf("serve: bad wire magic %q", r.scratch[:4])
+		}
+		r.started = true
+	}
+	k, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("serve: wire event: %w", noEOF(err))
+	}
+	switch EventKind(k) {
+	case EventJob:
+		if _, err := io.ReadFull(r.r, r.scratch[:16]); err != nil {
+			return Event{}, fmt.Errorf("serve: wire job: %w", noEOF(err))
+		}
+		return Event{Kind: EventJob, Job: queue.Job{
+			Arrival: math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[0:8])),
+			Size:    math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[8:16])),
+		}}, nil
+	case EventSlot:
+		if _, err := io.ReadFull(r.r, r.scratch[:8]); err != nil {
+			return Event{}, fmt.Errorf("serve: wire slot: %w", noEOF(err))
+		}
+		return Event{Kind: EventSlot, Rho: math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[0:8]))}, nil
+	case EventEnd:
+		return Event{Kind: EventEnd}, nil
+	default:
+		return Event{}, fmt.Errorf("serve: unknown wire event %#x", k)
+	}
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: every clean wire
+// stream ends with an explicit EventEnd, so plain EOF always means a
+// truncated stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Feed replays a job source and a slot feed as one interleaved wire stream:
+// each slot's covered jobs (arrivals before the slot's end) are emitted
+// before the slot record, exactly the interleaving the batch cursor
+// produces — any stream.Source (a trace generator, a ColJobs replay, a
+// flash-crowd scenario) becomes a load generator for the daemon. Jobs
+// arriving past the final slot are left unread, matching batch semantics.
+// Feed closes the stream with End.
+func Feed(w *WireWriter, src stream.Source, slots workload.SlotFeed, slotSeconds float64) error {
+	if slotSeconds <= 0 {
+		return fmt.Errorf("serve: slot length %g ≤ 0", slotSeconds)
+	}
+	cursor := stream.NewCursor(src)
+	for slot := 0; ; slot++ {
+		rho, ok, err := slots.NextSlot()
+		if err != nil {
+			return fmt.Errorf("serve: slot feed: %w", err)
+		}
+		if !ok {
+			break
+		}
+		slotEnd := float64(slot+1) * slotSeconds
+		for {
+			j, jok := cursor.Peek()
+			if !jok || j.Arrival >= slotEnd {
+				break
+			}
+			if err := w.Job(j); err != nil {
+				return err
+			}
+			cursor.Advance()
+		}
+		if err := w.Slot(rho); err != nil {
+			return err
+		}
+	}
+	if err := stream.Err(src); err != nil {
+		return fmt.Errorf("serve: job source: %w", err)
+	}
+	return w.End()
+}

@@ -241,6 +241,13 @@ type SlotFeed interface {
 	ResetSlots() error
 }
 
+// SliceSlots returns a SlotFeed over a materialized utilization slice — the
+// adapter that lets SlotFeed consumers (a live epoch driver, a feeder
+// replaying a recorded trace) run from in-memory data.
+func SliceSlots(utilization []float64) SlotFeed {
+	return &sliceFeed{utilization: utilization}
+}
+
 // sliceFeed feeds slots from a materialized utilization slice.
 type sliceFeed struct {
 	utilization []float64

@@ -13,6 +13,7 @@ import (
 	"sleepscale/internal/power"
 	"sleepscale/internal/predict"
 	"sleepscale/internal/queue"
+	"sleepscale/internal/serve"
 	"sleepscale/internal/strategy"
 	"sleepscale/internal/stream"
 	"sleepscale/internal/trace"
@@ -495,6 +496,71 @@ func NewAnalyticSleepScaleStrategy(m *Manager, alpha float64) (Strategy, error) 
 // NewStaticStrategy returns a strategy that applies one policy forever.
 func NewStaticStrategy(p Policy, label string) Strategy {
 	return &strategy.Static{Policy: p, Label: label}
+}
+
+// Live serving: SleepScale as a long-running controller (cmd/sleepscaled).
+type (
+	// LiveConfig configures the incremental live epoch runner.
+	LiveConfig = core.LiveConfig
+	// LiveRunner advances the §6 epoch loop one job/slot at a time — the
+	// batch runners' epoch machine driven by an unbounded telemetry stream.
+	LiveRunner = core.LiveRunner
+	// LiveState is a LiveRunner's resumable epoch-boundary state.
+	LiveState = core.LiveState
+	// ServeConfig configures one daemon serve session.
+	ServeConfig = serve.Config
+	// ServeServer drives a LiveRunner from a wire event stream: jobs and
+	// slots in, NDJSON epoch records out, durable checkpoints on the side.
+	ServeServer = serve.Server
+	// WireWriter encodes the daemon's binary wire protocol.
+	WireWriter = serve.WireWriter
+	// ServeCheckpoint is a daemon's durable snapshot: the runner state plus
+	// the epoch log's row high-water mark and plan dictionary.
+	ServeCheckpoint = serve.Checkpoint
+	// SlotFeed yields per-slot utilization telemetry incrementally.
+	SlotFeed = workload.SlotFeed
+)
+
+// NewLiveRunner starts a fresh live epoch runner.
+func NewLiveRunner(cfg LiveConfig) (*LiveRunner, error) { return core.NewLiveRunner(cfg) }
+
+// RestoreLiveRunner resumes a live runner from a captured epoch-boundary
+// state, bit-identically to a runner that never stopped.
+func RestoreLiveRunner(cfg LiveConfig, st *LiveState) (*LiveRunner, error) {
+	return core.RestoreLiveRunner(cfg, st)
+}
+
+// NewServeServer starts a fresh daemon serve session.
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
+
+// RestoreServeServer resumes a serve session from its checkpoint; replay
+// realigns a feed that restarts from the beginning of the stream.
+func RestoreServeServer(cfg ServeConfig, replay bool) (*ServeServer, error) {
+	return serve.RestoreServer(cfg, replay)
+}
+
+// NewWireWriter returns a wire-protocol encoder over w.
+func NewWireWriter(w io.Writer) *WireWriter { return serve.NewWireWriter(w) }
+
+// WriteServeCheckpoint atomically writes a daemon checkpoint, rotating the
+// previous snapshot to a .prev fallback.
+func WriteServeCheckpoint(path string, c *ServeCheckpoint) error {
+	return serve.WriteCheckpoint(path, c)
+}
+
+// LoadServeCheckpoint reads a daemon checkpoint, falling back to the rotated
+// previous snapshot when the primary is damaged.
+func LoadServeCheckpoint(path string) (*ServeCheckpoint, error) {
+	return serve.LoadCheckpoint(path)
+}
+
+// SliceSlots adapts a materialized utilization trace to a SlotFeed.
+func SliceSlots(utilization []float64) SlotFeed { return workload.SliceSlots(utilization) }
+
+// FeedWire replays a job source and slot feed as one interleaved wire
+// stream — any StreamSource becomes a load generator for the daemon.
+func FeedWire(w *WireWriter, src StreamSource, slots SlotFeed, slotSeconds float64) error {
+	return serve.Feed(w, src, slots, slotSeconds)
 }
 
 // Multi-server extension (paper §7 future work).
