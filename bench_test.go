@@ -632,6 +632,73 @@ func BenchmarkFarmDispatch10k(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetCoordinatedEpoch measures the fleet coordinator's
+// epoch-boundary machinery at k = 1,000: one op replays a short trace
+// through per-server predictions and policy decisions, a 250-server
+// staggered-sleep quorum whose duty window rotates every epoch (plans
+// capped to ≤C1, the rest re-installed deep), and the sliced serving path
+// between switches. With every coordinator buffer — predictions, ping-pong
+// phase scratch, memoized capped plans, epoch job/response slices, the
+// report's record storage — reused across runs, warm allocs/op must stay
+// at 0; CI gates the budget via BENCH_fleet.json.
+func BenchmarkFleetCoordinatedEpoch(b *testing.B) {
+	const k = 1000
+	tr := &sleepscale.Trace{
+		Name:        "bench-flat",
+		SlotSeconds: 1,
+		Utilization: []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	// ~40k jobs over the 8 s horizon: per-server ρ = 0.5 at full speed.
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]sleepscale.Job, 0, 45000)
+	for tnow := 0.0; ; {
+		tnow += rng.ExpFloat64() / (0.5 * k * 10)
+		if tnow >= tr.Duration() {
+			break
+		}
+		jobs = append(jobs, sleepscale.Job{Arrival: tnow, Size: rng.ExpFloat64() / 10})
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	coord, err := sleepscale.NewFleetCoordinator(sleepscale.FleetConfig{
+		Servers:      k,
+		FreqExponent: 1,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   2,
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		PerServer:    true,
+		NewPredictor: sleepscale.NewNaivePredictor,
+		Seed:         1,
+		Dispatcher:   sleepscale.JSQ{},
+		Quorum:       250,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sleepscale.SliceSource(jobs).(interface {
+		sleepscale.StreamSource
+		Reset(seed int64)
+	})
+	for warm := 0; warm < 2; warm++ { // warm farm, pool, scratch and report storage
+		src.Reset(1)
+		if _, err := coord.Run(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var watts float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(1)
+		rep, err := coord.Run(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		watts = rep.AvgPower
+	}
+	b.ReportMetric(watts, "watts")
+}
+
 // BenchmarkFarmRoute10k is the indexed-vs-linear routing A/B at k = 10,000:
 // the same farm, stream and dispatcher, with the O(log k) routing index on
 // (default) and off (LinearRouting). The two variants produce bit-identical

@@ -24,6 +24,15 @@
 // appends each size's per-epoch records to a column file for cmd/colq:
 //
 //	farmsim -trace email-store -sizes 2,4 -epochs-out epochs.col
+//
+// Adding -coordinate upgrades the trace run to the fleet coordinator:
+// per-server predictors and policy decisions, an optional -quorum staggered
+// sleep rotation (that many active servers always no deeper than C1), and
+// -park horizontal scaling (surplus servers drained, deep-slept and removed
+// from routing). -epochs-out then appends the fleet epoch-log schema —
+// per-epoch records zipped with active/parked/shallow/unparked rollups:
+//
+//	farmsim -trace email-store -sizes 8 -coordinate -quorum 2 -park
 package main
 
 import (
@@ -43,19 +52,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("farmsim: ")
 	var (
-		mode      = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
-		sizesArg  = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
-		dispatch  = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr, random, pd<d> (power-of-d choices, e.g. pd2) or lwl (least work left)")
-		lambda    = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
-		mu        = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
-		jobs      = flag.Int("jobs", 50000, "jobs to simulate")
-		seed      = flag.Int64("seed", 1, "seed")
-		streaming = flag.Bool("stream", false, "farm mode: pull jobs from a streaming source (O(chunk) memory) instead of materializing")
-		parallel  = flag.Bool("parallel", false, "with -stream: time-sliced parallel simulation (bit-identical results)")
-		linear    = flag.Bool("linear", false, "with -stream -parallel: route via the linear shadow scan instead of the O(log k) index (bit-identical; for A/B timing)")
-		traceArg  = flag.String("trace", "", "run the epoch-policy farm over this utilization trace (email-store, file-server, or a CSV/columnar path) instead of the stationary sweep")
-		epochT    = flag.Int("T", 5, "with -trace: trace slots per policy epoch")
-		epochsOut = flag.String("epochs-out", "", "with -trace: append per-epoch records to this column file (query with colq)")
+		mode       = flag.String("mode", "farm", "farm (dispatched servers) or chip (shared platform)")
+		sizesArg   = flag.String("sizes", "1,2,4", "comma-separated machine/core counts")
+		dispatch   = flag.String("dispatch", "jsq", "farm dispatcher: jsq, rr, random, pd<d> (power-of-d choices, e.g. pd2) or lwl (least work left)")
+		lambda     = flag.Float64("lambda", 4, "aggregate arrival rate (jobs/s)")
+		mu         = flag.Float64("mu", 5, "per-server (or per-core) max service rate (jobs/s)")
+		jobs       = flag.Int("jobs", 50000, "jobs to simulate")
+		seed       = flag.Int64("seed", 1, "seed")
+		streaming  = flag.Bool("stream", false, "farm mode: pull jobs from a streaming source (O(chunk) memory) instead of materializing")
+		parallel   = flag.Bool("parallel", false, "with -stream: time-sliced parallel simulation (bit-identical results)")
+		linear     = flag.Bool("linear", false, "with -stream -parallel: route via the linear shadow scan instead of the O(log k) index (bit-identical; for A/B timing)")
+		traceArg   = flag.String("trace", "", "run the epoch-policy farm over this utilization trace (email-store, file-server, or a CSV/columnar path) instead of the stationary sweep")
+		epochT     = flag.Int("T", 5, "with -trace: trace slots per policy epoch")
+		epochsOut  = flag.String("epochs-out", "", "with -trace: append per-epoch records to this column file (query with colq)")
+		coordinate = flag.Bool("coordinate", false, "with -trace: run the fleet coordinator (per-server predictors and policies) instead of the shared epoch loop")
+		quorum     = flag.Int("quorum", 0, "with -coordinate: rotate deep sleep so this many active servers always stay no deeper than C1")
+		park       = flag.Bool("park", false, "with -coordinate: park surplus servers (drain, deep-sleep, remove from routing)")
 	)
 	flag.Parse()
 
@@ -64,7 +76,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if *traceArg != "" {
-		if err := runTraceFarm(sizes, *traceArg, *epochT, *dispatch, *seed, *epochsOut); err != nil {
+		fc := fleetFlags{coordinate: *coordinate, quorum: *quorum, park: *park}
+		if err := runTraceFarm(sizes, *traceArg, *epochT, *dispatch, *seed, *epochsOut, fc); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -144,11 +157,27 @@ func main() {
 	}
 }
 
+// fleetFlags carries the -coordinate family into the trace runner.
+type fleetFlags struct {
+	coordinate bool
+	quorum     int
+	park       bool
+}
+
 // runTraceFarm sweeps farm sizes through the epoch-policy runner over a
-// utilization trace, optionally appending every size's per-epoch records to
-// one columnar log (runs are distinguished by append order — epoch indices
-// restart at 0 per run).
-func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, seed int64, epochsOut string) error {
+// utilization trace — or, with -coordinate, through the fleet coordinator —
+// optionally appending every size's per-epoch records to one columnar log
+// (runs are distinguished by append order — epoch indices restart at 0 per
+// run).
+func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, seed int64, epochsOut string, fc fleetFlags) error {
+	if !fc.coordinate && (fc.quorum != 0 || fc.park) {
+		return fmt.Errorf("-quorum and -park need -coordinate")
+	}
+	for _, k := range sizes {
+		if fc.quorum > k {
+			return fmt.Errorf("quorum %d exceeds fleet size %d: a duty window cannot hold more servers than the fleet (use -quorum ≤ the smallest -sizes entry)", fc.quorum, k)
+		}
+	}
 	tr, err := loadFarmTrace(traceName, seed)
 	if err != nil {
 		return err
@@ -173,8 +202,12 @@ func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, se
 		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
 		Seed:         seed,
 	}
-	fmt.Printf("trace=%s (%d slots) T=%d dispatch=%s\n\n", traceName, tr.Len(), epochT, dispatch)
-	fmt.Printf("%6s  %10s  %10s  %12s  %8s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)", "epochs")
+	fmt.Printf("trace=%s (%d slots) T=%d dispatch=%s coordinate=%v\n\n", traceName, tr.Len(), epochT, dispatch, fc.coordinate)
+	if fc.coordinate {
+		fmt.Printf("%6s  %10s  %10s  %12s  %8s  %8s  %8s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)", "epochs", "EP", "jobs/kJ")
+	} else {
+		fmt.Printf("%6s  %10s  %10s  %12s  %8s\n", "k", "E[R] (s)", "P95 (s)", "E[P] (W)", "epochs")
+	}
 	for _, k := range sizes {
 		disp, err := buildDispatcher(dispatch, seed, qcfg)
 		if err != nil {
@@ -183,6 +216,38 @@ func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, se
 		src, err := sleepscale.NewTraceSource(stats, tr, seed)
 		if err != nil {
 			return err
+		}
+		if fc.coordinate {
+			coord, err := sleepscale.NewFleetCoordinator(sleepscale.FleetConfig{
+				Servers:      k,
+				FreqExponent: spec.FreqExponent,
+				Profile:      sleepscale.Xeon(),
+				Trace:        tr,
+				EpochSlots:   epochT,
+				Strategy:     cfg.Strategy,
+				PerServer:    true,
+				NewPredictor: sleepscale.NewNaivePredictor,
+				Seed:         seed,
+				Dispatcher:   disp,
+				Quorum:       fc.quorum,
+				Park:         fc.park,
+			})
+			if err != nil {
+				return err
+			}
+			rep, err := coord.Run(src)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d  %10.4f  %10.4f  %12.2f  %8d  %8.4f  %8.2f\n",
+				k, rep.MeanResponse, rep.P95Response, rep.AvgPower, len(rep.Epochs),
+				rep.EnergyProportionality, rep.JobsPerJoule*1e3)
+			if epochsOut != "" {
+				if err := sleepscale.WriteFleetEpochLog(epochsOut, rep); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		rep, err := sleepscale.RunFarmEpochs(cfg, k, disp, src)
 		if err != nil {
@@ -273,5 +338,5 @@ func buildDispatcher(name string, seed int64, cfg sleepscale.SimConfig) (sleepsc
 		}
 		return &sleepscale.PowerOfD{D: n, Rng: rand.New(rand.NewSource(seed + 1))}, nil
 	}
-	return nil, fmt.Errorf("unknown dispatcher %q", name)
+	return nil, fmt.Errorf("unknown dispatcher %q (supported: jsq, rr, random, pd<d>, lwl)", name)
 }

@@ -88,7 +88,7 @@ func TestRunTraceFarmWritesEpochLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	logPath := filepath.Join(dir, "epochs.col")
-	if err := runTraceFarm([]int{1, 2}, csvPath, 3, "jsq", 1, logPath); err != nil {
+	if err := runTraceFarm([]int{1, 2}, csvPath, 3, "jsq", 1, logPath, fleetFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	r, err := sleepscale.OpenCol(logPath)
@@ -106,6 +106,59 @@ func TestRunTraceFarmWritesEpochLog(t *testing.T) {
 	}
 	if len(res.Groups) != 2 || res.Groups[0].Count != 2 {
 		t.Fatalf("per-epoch groups = %+v", res.Groups)
+	}
+}
+
+// TestRunTraceFarmCoordinated drives -coordinate -quorum -park end to end
+// and checks the fleet epoch-log schema lands in the columnar output.
+func TestRunTraceFarmCoordinated(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	var buf strings.Builder
+	buf.WriteString("slot,utilization\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&buf, "%d,0.3\n", i)
+	}
+	if err := os.WriteFile(csvPath, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "fleet.col")
+	fc := fleetFlags{coordinate: true, quorum: 2, park: true}
+	if err := runTraceFarm([]int{4}, csvPath, 3, "jsq", 1, logPath, fc); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Schema().Kind != colstore.KindFleetEpochs {
+		t.Fatalf("log kind = %d, want fleet epochs (%d)", r.Schema().Kind, colstore.KindFleetEpochs)
+	}
+	// 12 slots at T=3 → 4 epochs; every epoch honors the quorum floor.
+	if r.Rows() != 4 {
+		t.Fatalf("fleet log has %d rows, want 4", r.Rows())
+	}
+	res, err := colstore.Query{Col: "shallow", Op: colstore.Min}.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[0].Value < 2 {
+		t.Fatalf("quorum violated in log: min shallow = %g, want ≥ 2", res.Groups[0].Value)
+	}
+}
+
+// TestRunTraceFarmRejectsBadFleetFlags pins the flag validation: a quorum
+// larger than the smallest fleet, and quorum/park without -coordinate.
+func TestRunTraceFarmRejectsBadFleetFlags(t *testing.T) {
+	err := runTraceFarm([]int{4}, "email-store", 3, "jsq", 1, "",
+		fleetFlags{coordinate: true, quorum: 5})
+	if err == nil || !strings.Contains(err.Error(), "exceeds fleet size") {
+		t.Fatalf("quorum 5 over 4 servers: err = %v", err)
+	}
+	err = runTraceFarm([]int{4}, "email-store", 3, "jsq", 1, "", fleetFlags{quorum: 2})
+	if err == nil || !strings.Contains(err.Error(), "-coordinate") {
+		t.Fatalf("quorum without coordinate: err = %v", err)
 	}
 }
 

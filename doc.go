@@ -237,6 +237,46 @@
 // the runner, emit NDJSON) must hold 0 allocs/op once warm, with
 // BenchmarkServeCheckpointWrite tracking the fsync-bound checkpoint cost.
 //
+// # Fleet coordination
+//
+// Beyond one policy for k clones, the fleet coordinator (internal/fleet,
+// NewFleetCoordinator) owns per-server policy state and runs the §6 epoch
+// cycle fleet-wide with three coordination dimensions the homogeneous
+// runner cannot express:
+//
+//   - Per-server policies (FleetConfig.PerServer): each server gets its own
+//     utilization predictor and its own strategy decision per epoch, so a
+//     skewed fleet runs each server at its own operating point.
+//   - Staggered sleep quorums (FleetConfig.Quorum): a rotating duty window
+//     of Q servers is capped to C1-or-shallower plans every epoch while
+//     deep sleep rotates through the rest — bounded worst-case wake latency
+//     without giving up deep-sleep residency, and the rotation spreads the
+//     shallow duty evenly.
+//   - Horizontal scaling (FleetConfig.Park): whole servers park — drained,
+//     deepest-sleep, removed from routing — when predicted demand fits a
+//     smaller active prefix at ParkTargetRho, and unpark against rising
+//     demand, each wake-up paying the full deep-sleep latency via
+//     Engine.WakeAt. The fleet report adds the fleet-level metrics this
+//     enables: energy proportionality (measured energy vs the ideal
+//     load-proportional line) and jobs per joule.
+//
+// Epochs serve through the farm's sliced driver between boundary switches
+// (heterogeneous configurations route through ConfigRouter pricing; the
+// active prefix serves as a Subfarm view), and with every dimension off
+// the coordinator is bit-identical to RunFarmEpochs — an equivalence suite
+// pins this across dispatchers, seeds and k up to 1,000. Fleet epoch and
+// per-server rollup logs write to the columnar store
+// (WriteFleetEpochLog/WriteFleetServerLog); cmd/farmsim -coordinate
+// (-quorum, -park) drives the coordinator from the command line, and
+// examples/fleet-demo compares baseline/quorum/parked runs over a
+// synthetic email-store day, verifying the quorum invariant on every
+// epoch.
+//
+// CI gates the coordinator in BENCH_fleet.json:
+// BenchmarkFleetCoordinatedEpoch (k = 1,000, per-server policies, quorum
+// rotation) must hold 0 allocs/op once warm. The bench gates run as a
+// per-suite matrix with the fuzz targets smoked on every push.
+//
 // See examples/ for runnable programs (examples/week-long drives a 7-day
 // trace through the streaming loop, then replays it from a mapped column
 // file; examples/streamed-farm dispatches a 7-day diurnal + flash-crowd

@@ -21,6 +21,14 @@ const (
 	// "state", "f", "norm_mean_response", "avg_power", with "state" holding
 	// dictionary ids of sleep-state names.
 	KindSweep uint16 = 5
+	// KindFleetEpochs is a fleet coordinator per-epoch log: the KindEpochs
+	// quantities plus the fleet dimensions "active", "parked" and "shallow"
+	// (see fleet.WriteEpochLog).
+	KindFleetEpochs uint16 = 6
+	// KindFleetServers is a fleet coordinator per-server rollup: one row per
+	// server with its whole-run totals and final parked flag (see
+	// fleet.WriteServerLog).
+	KindFleetServers uint16 = 7
 )
 
 // BlockRows is the maximum (and default flush) number of rows per block.

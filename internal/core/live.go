@@ -16,6 +16,13 @@ import (
 // workload seed (historically runEpochs' rand.NewSource(cfg.Seed + 0x5157)).
 const decideSeedSalt = 0x5157
 
+// DecideSeed maps a runner seed to the seed of the strategy's decision RNG.
+// Every epoch driver builds its decide stream as
+// rand.New(rand.NewSource(DecideSeed(cfg.Seed))) — the epoch loop's counting
+// wrapper is draw-transparent — so an external driver (the fleet coordinator)
+// seeding the same way reproduces the decision stream bit for bit.
+func DecideSeed(seed int64) int64 { return seed + decideSeedSalt }
+
 // countingSource is the runner's deterministic randomness source with a
 // draw cursor: it counts Int63 calls so a checkpoint can record (seed,
 // draws) and a restore can fast-forward a fresh source to the identical
@@ -54,12 +61,13 @@ func (s *countingSource) skipTo(draws uint64) {
 	}
 }
 
-// feedPredictor is the one predictor-feed path shared by the batch runners
-// and the live serve loop: it observes every realized slot utilization of a
-// just-finished epoch, in slot order, and returns their mean — the epoch's
-// realized utilization. Batch and live modes both close epochs through
-// epochLoop.closeEpoch, so the two cannot drift.
-func feedPredictor(p predict.Predictor, rhos []float64) (realized float64) {
+// FeedPredictor is the one predictor-feed path shared by the batch runners,
+// the live serve loop and the fleet coordinator: it observes every realized
+// slot utilization of a just-finished epoch, in slot order, and returns their
+// mean — the epoch's realized utilization. All epoch drivers close epochs
+// through this function (batch and live via epochLoop.closeEpoch), so the
+// realized-utilization arithmetic cannot drift between them.
+func FeedPredictor(p predict.Predictor, rhos []float64) (realized float64) {
 	for _, rho := range rhos {
 		p.Observe(rho)
 		realized += rho
@@ -197,7 +205,7 @@ func newEpochLoop(cfg loopConfig, backend epochBackend) (*epochLoop, error) {
 // install the policy at the epoch's start instant.
 func (l *epochLoop) openEpoch() error {
 	epochStart := float64(l.slot) * l.cfg.SlotSeconds
-	pred := clampRho(l.cfg.Predictor.Predict())
+	pred := ClampRho(l.cfg.Predictor.Predict())
 	pol, err := l.cfg.Strategy.Decide(DecideInput{
 		PredictedUtilization: pred,
 		Window:               l.window,
@@ -288,7 +296,7 @@ func (l *epochLoop) closeEpoch() EpochRecord {
 	// PushJobs logs the epoch in the window's recycled ring buffers — no
 	// per-epoch slice allocations.
 	l.window.PushJobs(l.epochJobs, epochStart)
-	realized := feedPredictor(l.cfg.Predictor, l.rhos)
+	realized := FeedPredictor(l.cfg.Predictor, l.rhos)
 	// The ceiling nearest-rank P95 matches the paper's epoch-budget
 	// accounting (the guard keys off it).
 	l.lastJobs = l.epochDelays.Count()

@@ -452,7 +452,7 @@ func TestLiveStateValidation(t *testing.T) {
 }
 
 // TestFeedPredictorSharedPath is the satellite-f equivalence check: the
-// extracted feedPredictor observes exactly what a hand-rolled loop would, so
+// extracted FeedPredictor observes exactly what a hand-rolled loop would, so
 // batch and live predictor feeds cannot drift.
 func TestFeedPredictorSharedPath(t *testing.T) {
 	rhos := []float64{0.1, 0.4, 0.9, 0.2, 0.55}
@@ -464,7 +464,7 @@ func TestFeedPredictorSharedPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	realized := feedPredictor(a, rhos)
+	realized := FeedPredictor(a, rhos)
 	var manual float64
 	for _, r := range rhos {
 		b.Observe(r)
@@ -477,7 +477,7 @@ func TestFeedPredictorSharedPath(t *testing.T) {
 	if a.Predict() != b.Predict() {
 		t.Fatalf("predictions diverge: %v vs %v", a.Predict(), b.Predict())
 	}
-	if got := feedPredictor(predict.NewNaivePrevious(), nil); got != 0 {
+	if got := FeedPredictor(predict.NewNaivePrevious(), nil); got != 0 {
 		t.Fatalf("empty feed realized %v, want 0", got)
 	}
 }

@@ -330,7 +330,11 @@ func runEpochs(cfg RunnerConfig, src stream.Source, backend epochBackend, report
 	return nil
 }
 
-func clampRho(r float64) float64 {
+// ClampRho clamps a utilization forecast to the runner's working range
+// (0.01, 0.98) — the clamp every epoch driver (batch, live, fleet) applies to
+// Predictor.Predict before handing the forecast to Strategy.Decide. Exported
+// so the fleet coordinator's per-server decisions use the identical clamp.
+func ClampRho(r float64) float64 {
 	if r < 0.01 {
 		return 0.01
 	}

@@ -116,6 +116,13 @@ func (w *Window) PushJobs(jobs []queue.Job, epochStart float64) {
 	w.tee(s)
 }
 
+// Reset empties the window for a fresh run, rewinding the push counter while
+// retaining the ring's recycled epoch buffers — so a reused epoch driver (the
+// fleet coordinator's Run) starts from a bit-identical empty window without
+// allocating. An attached sink stays attached; its epoch indices restart at 0
+// with the counter, matching a newly built window's.
+func (w *Window) Reset() { w.head, w.count, w.pushed = 0, 0, 0 }
+
 // Epochs reports how many epochs the window currently holds.
 func (w *Window) Epochs() int { return w.count }
 

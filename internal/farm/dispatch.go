@@ -32,6 +32,19 @@ type AnchoredRouter interface {
 	RouteVirtualAnchored(freeAt, anchor []float64, j queue.Job) int
 }
 
+// ConfigRouter is the heterogeneous-farm refinement of AnchoredRouter: a
+// dispatcher whose virtual routing prices each server from that server's own
+// configuration — cfgs[i] being engine i's live queue.Config — instead of
+// one shared operating configuration. The sliced driver switches to it when
+// a per-call scan finds the engines' configurations differ (the fleet
+// coordinator's per-server policies), so routing matches what Pick computes
+// against live engines even when every server runs a different (frequency,
+// sleep-plan) pair. With identical cfgs entries it must pick exactly as
+// RouteVirtualAnchored would.
+type ConfigRouter interface {
+	RouteVirtualConfigs(cfgs []queue.Config, freeAt, anchor []float64, j queue.Job) int
+}
+
 // RouteVirtual implements VirtualRouter: the server with the least
 // outstanding work at the arrival instant, ties toward the lowest index —
 // the same decision Pick makes from engine backlogs.
@@ -105,16 +118,24 @@ func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.D) }
 // server competes against a nearly-free busy one on the work actually left
 // before the job finishes. Ties break toward the lowest index.
 //
-// Cfg must be the farm's operating configuration: the virtual-routing path
-// has no engines to consult, so it prices wake-ups from Cfg, while Pick uses
-// each engine's live configuration — the two agree (and the parallel mode is
-// bit-identical) exactly when Cfg matches the engines'. Idle pricing follows
-// each server's actual idle anchor: Pick reads it from the engine, and the
-// sliced driver carries an anchor shadow alongside freeAt, so the first wake
-// after a mid-run SetConfigAt during an idle period is priced exactly (the
-// anchor the switch moved is honored, not assumed equal to freeAt).
+// Pricing always follows the engines' live configurations wherever engines
+// (or the sliced driver's snapshot of them) are in reach: Pick reads each
+// engine directly, and ServeSourceSliced routes through the O(log k) index
+// or RouteVirtualConfigs, both priced from the live operating point — so the
+// parallel mode stays bit-identical to the sequential dispatch even when
+// SetConfigAt switches configurations between calls (the fleet coordinator's
+// epoch-boundary policy changes). Cfg prices only the standalone
+// RouteVirtual/RouteVirtualAnchored entry points, which have no engines to
+// consult; set it to the farm's operating configuration when calling those
+// directly. Idle pricing follows each server's actual idle anchor: Pick
+// reads it from the engine, and the sliced driver carries an anchor shadow
+// alongside freeAt, so the first wake after a mid-run SetConfigAt during an
+// idle period is priced exactly (the anchor the switch moved is honored, not
+// assumed equal to freeAt).
 type LeastWorkLeft struct {
-	// Cfg prices service and wake-up latency on the virtual-routing path.
+	// Cfg prices service and wake-up latency on the standalone
+	// RouteVirtual/RouteVirtualAnchored paths; the sliced driver and Pick
+	// price from the engines' live configurations instead.
 	Cfg queue.Config
 }
 
@@ -161,8 +182,56 @@ func (l *LeastWorkLeft) RouteVirtualAnchored(freeAt, anchor []float64, j queue.J
 	return best
 }
 
+// RouteVirtualConfigs implements ConfigRouter: the completion-time comparison
+// of RouteVirtualAnchored with wake-ups and service priced from each server's
+// own configuration. With every cfgs entry equal to Cfg it reduces to
+// RouteVirtualAnchored operation for operation.
+func (l *LeastWorkLeft) RouteVirtualConfigs(cfgs []queue.Config, freeAt, anchor []float64, j queue.Job) int {
+	best, bestDone := 0, 0.0
+	for i := range freeAt {
+		done := cfgs[i].NextFreeAtAnchored(freeAt[i], anchor[i], j)
+		if i == 0 || done < bestDone {
+			best, bestDone = i, done
+		}
+	}
+	return best
+}
+
 // Name implements Dispatcher.
 func (l *LeastWorkLeft) Name() string { return "least-work-left" }
+
+// configsEqual reports whether two engine configurations are identical,
+// phases included. The fast path is the homogeneous farm's: engines switched
+// from one shared resolved policy alias the same phase slice, so the slice
+// headers match and no element compare runs.
+func configsEqual(a, b *queue.Config) bool {
+	if a.Frequency != b.Frequency || a.FreqExponent != b.FreqExponent ||
+		a.ActivePower != b.ActivePower || a.IdlePower != b.IdlePower ||
+		len(a.Phases) != len(b.Phases) {
+		return false
+	}
+	if len(a.Phases) == 0 || &a.Phases[0] == &b.Phases[0] {
+		return true
+	}
+	for i := range a.Phases {
+		if a.Phases[i] != b.Phases[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// configFreeRouter reports whether the dispatcher's virtual routing consults
+// no configuration at all (pure backlog comparison), making it valid over a
+// heterogeneous farm as-is. Exact types, like newRouteIndexFor: a wrapper
+// overriding RouteVirtual must not inherit the exemption.
+func configFreeRouter(disp Dispatcher) bool {
+	switch disp.(type) {
+	case JSQ, *JSQ, *PowerOfD:
+		return true
+	}
+	return false
+}
 
 // DefaultSliceJobs is the synchronization granularity of the parallel
 // dispatch mode when DispatchOptions does not pick one: jobs routed per
@@ -265,6 +334,16 @@ type slicedState struct {
 	// shadow, built on first use (the farm's dispatcher never changes) and
 	// rebuilt per call; nil when the dispatcher has none.
 	idx routeIndex
+	// cfgs is the per-server configuration snapshot of a ConfigRouter call:
+	// routing and the shadow advance price each server from its own entry.
+	// Populated when the per-call uniformity scan finds differing engine
+	// configurations, or with the shared configuration when a ConfigRouter
+	// routes a uniform farm on the linear path.
+	cfgs []queue.Config
+	// ord maps bucket positions back to slice positions (ord[offsets[s]+i]
+	// is the slice index of server s's i-th job), computed only while
+	// RecordServe recording is armed so responses land at stream positions.
+	ord []int
 	// done[s] is how many of server s's substream jobs the current slice
 	// actually simulated — equal to count[s] on success, fewer when the
 	// engine failed mid-substream — so perSrv stays consistent with engine
@@ -295,11 +374,22 @@ func (f *Farm) sliced(sliceJobs int) *slicedState {
 		sl.body = func(_, s int) {
 			sub := sl.backing[sl.offsets[s]:sl.offsets[s+1]]
 			eng := sl.f.engines[s]
+			rec, recSrv, base, off := sl.f.recResp, sl.f.recSrv, sl.f.recBase, sl.offsets[s]
 			for i := range sub {
-				if _, err := eng.Process(sub[i]); err != nil {
+				r, err := eng.Process(sub[i])
+				if err != nil {
 					sl.errs[s] = fmt.Errorf("farm: server %d: %w", s, err)
 					sl.done[s] = i
 					return
+				}
+				if rec != nil || recSrv != nil {
+					gi := base + sl.ord[off+i]
+					if rec != nil {
+						rec[gi] = r
+					}
+					if recSrv != nil {
+						recSrv[gi] = s
+					}
 				}
 			}
 			sl.done[s] = len(sub)
@@ -358,11 +448,38 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 	}
 	pool := par.Default()
 	// The shadow recursion prices service and wake-ups from the engines'
-	// (shared) configuration; ServeSourceSliced never switches it mid-run.
+	// configuration; ServeSourceSliced never switches it mid-run. A
+	// homogeneous farm (the overwhelmingly common case, and the only one the
+	// routing index supports) shares server 0's; when the per-call scan finds
+	// the engines disagree — per-server fleet policies — routing falls back
+	// to the linear scans with a per-server configuration snapshot.
 	cfg := f.engines[0].Config()
+	uniform := true
+	if isVR && !isPre {
+		for _, eng := range f.engines[1:] {
+			ec := eng.Config()
+			if !configsEqual(&cfg, &ec) {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			if _, isCR := f.disp.(ConfigRouter); !isCR && !configFreeRouter(f.disp) {
+				return 0, fmt.Errorf("farm: dispatcher %s cannot virtual-route a farm with per-server configurations (implement ConfigRouter or serve sequentially)", f.disp.Name())
+			}
+			if cap(sl.cfgs) < k {
+				sl.cfgs = make([]queue.Config, k)
+			}
+			sl.cfgs = sl.cfgs[:k]
+			for s, eng := range f.engines {
+				sl.cfgs[s] = eng.Config()
+			}
+		}
+	}
 	ar, isAnchored := f.disp.(AnchoredRouter)
+	cr, isCR := f.disp.(ConfigRouter)
 	var ridx routeIndex
-	if isVR && !isPre && !opts.LinearRouting {
+	if uniform && isVR && !isPre && !opts.LinearRouting {
 		if sl.idx == nil {
 			sl.idx = newRouteIndexFor(f.disp, sl.freeAt, sl.anchor)
 		}
@@ -371,6 +488,22 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 			ridx = sl.idx
 		}
 	}
+	// A ConfigRouter on the uniform linear path prices from the engines' live
+	// configuration too: fill the snapshot with the shared cfg so routing
+	// matches Pick (and the index) even when the dispatcher's own pricing
+	// field is stale or zero — the fleet coordinator switches the operating
+	// point every epoch and never updates dispatcher state.
+	if uniform && isVR && !isPre && isCR && ridx == nil {
+		if cap(sl.cfgs) < k {
+			sl.cfgs = make([]queue.Config, k)
+		}
+		sl.cfgs = sl.cfgs[:k]
+		for s := range sl.cfgs {
+			sl.cfgs[s] = cfg
+		}
+	}
+	f.recBase = 0
+	recording := f.recResp != nil || f.recSrv != nil
 
 	served := 0
 	for {
@@ -400,11 +533,30 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 			for i := range slice {
 				assign[i] = ridx.route(slice[i])
 			}
+		case !uniform:
+			// Heterogeneous: route and advance the shadow per-server from
+			// the configuration snapshot, so pricing matches each engine's
+			// live policy exactly.
+			for i := range slice {
+				if isCR {
+					assign[i] = cr.RouteVirtualConfigs(sl.cfgs, sl.freeAt, sl.anchor, slice[i])
+				} else {
+					assign[i] = vr.RouteVirtual(sl.freeAt, slice[i])
+				}
+				if s := assign[i]; s >= 0 && s < k {
+					nf := sl.cfgs[s].NextFreeAtAnchored(sl.freeAt[s], sl.anchor[s], slice[i])
+					sl.freeAt[s], sl.anchor[s] = nf, nf
+				}
+			}
 		default:
 			for i := range slice {
-				if isAnchored {
+				switch {
+				case isCR:
+					// Live-config pricing, identical to the indexed path.
+					assign[i] = cr.RouteVirtualConfigs(sl.cfgs, sl.freeAt, sl.anchor, slice[i])
+				case isAnchored:
 					assign[i] = ar.RouteVirtualAnchored(sl.freeAt, sl.anchor, slice[i])
-				} else {
+				default:
 					assign[i] = vr.RouteVirtual(sl.freeAt, slice[i])
 				}
 				if s := assign[i]; s >= 0 && s < k {
@@ -424,6 +576,21 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 		}
 
 		bucketByServer(slice, assign, sl.count, sl.offsets, sl.fill, sl.backing)
+		if recording {
+			// Invert the bucketing so workers can write each job's response
+			// at its stream position: ord[bucket position] = slice index,
+			// built by replaying the counting sort's fill pass over the
+			// offsets it just computed.
+			if cap(sl.ord) < len(slice) {
+				sl.ord = make([]int, len(slice))
+			}
+			sl.ord = sl.ord[:len(slice)]
+			copy(sl.fill, sl.offsets[:k])
+			for i, s := range assign {
+				sl.ord[sl.fill[s]] = i
+				sl.fill[s]++
+			}
+		}
 
 		// Advance the servers concurrently; the pool's reusable barrier is
 		// the slice barrier. RunSharded pins each executor slot to the same
@@ -438,6 +605,7 @@ func (f *Farm) ServeSourceSliced(src queue.JobSource, opts DispatchOptions) (int
 			simulated += sl.done[s]
 		}
 		served += simulated
+		f.recBase += len(slice)
 		for _, err := range sl.errs {
 			if err != nil {
 				return served, err

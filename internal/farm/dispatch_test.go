@@ -517,3 +517,168 @@ func TestServeSourceZeroAllocSteadyState(t *testing.T) {
 		t.Errorf("steady-state Reset+ServeSource allocates %.1f/run, want 0", avg)
 	}
 }
+
+// hetConfigs returns three mutually distinct server configurations for the
+// heterogeneous routing tests: different frequencies, powers and sleep
+// schedules, as a per-server fleet policy would install.
+func hetConfigs() []queue.Config {
+	a := testCfg()
+	b := testCfg()
+	b.Frequency = 0.7
+	b.ActivePower = 180
+	b.IdlePower = 180
+	b.Phases = []queue.SleepPhase{
+		{Name: "sleep", Power: 40, WakeLatency: 5e-3, EnterAfter: 0.2},
+	}
+	c := testCfg()
+	c.Frequency = 0.5
+	c.Phases = nil // never sleeps
+	return []queue.Config{a, b, c}
+}
+
+// hetFarm builds a 3-server farm with per-server configurations.
+func hetFarm(t *testing.T, disp Dispatcher) *Farm {
+	t.Helper()
+	cfgs := hetConfigs()
+	f, err := New(len(cfgs), cfgs[0], disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < len(cfgs); s++ {
+		if err := f.Server(s).SetConfigAt(0, cfgs[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestServeSourceSlicedHeterogeneousMatchesSequential pins the per-server
+// configuration routing path — RouteVirtualConfigs for least-work-left, the
+// configuration-free shadow for JSQ and power-of-d — to the sequential Pick
+// dispatch over live engines, bit for bit.
+func TestServeSourceSlicedHeterogeneousMatchesSequential(t *testing.T) {
+	disps := []struct {
+		name string
+		mk   func() Dispatcher
+	}{
+		{"jsq", func() Dispatcher { return JSQ{} }},
+		{"pd2", func() Dispatcher { return &PowerOfD{D: 2, Rng: rand.New(rand.NewSource(42))} }},
+		{"lwl", func() Dispatcher { return &LeastWorkLeft{Cfg: hetConfigs()[0]} }},
+	}
+	for _, seed := range []int64{1, 2} {
+		jobs := expJobs(20000, 6, 5, seed)
+		for _, d := range disps {
+			// Sequential reference: Pick consults each engine's live config.
+			ref := hetFarm(t, d.mk())
+			for i, j := range jobs {
+				if _, _, err := ref.Process(j); err != nil {
+					t.Fatalf("%s seed %d job %d: %v", d.name, seed, i, err)
+				}
+			}
+			want, err := ref.Finish(ref.LastFree())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := hetFarm(t, d.mk())
+			// Odd slice size straddles slice boundaries on purpose.
+			if _, err := got.ServeSourceSliced(&sliceSource{jobs: jobs}, DispatchOptions{SliceJobs: 777}); err != nil {
+				t.Fatalf("%s seed %d sliced: %v", d.name, seed, err)
+			}
+			res, err := got.Finish(got.LastFree())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireResultsEqual(t, res, want)
+		}
+	}
+}
+
+// bareVirtualRouter virtual-routes like JSQ but is neither a ConfigRouter
+// nor one of the known configuration-free types, so a heterogeneous farm
+// must reject it rather than silently misprice the shadow.
+type bareVirtualRouter struct{}
+
+func (bareVirtualRouter) Pick(f *Farm, j queue.Job) int { return JSQ{}.Pick(f, j) }
+func (bareVirtualRouter) RouteVirtual(freeAt []float64, j queue.Job) int {
+	return JSQ{}.RouteVirtual(freeAt, j)
+}
+func (bareVirtualRouter) Name() string { return "bare-virtual" }
+
+func TestServeSourceSlicedHeterogeneousRejectsUnawareRouter(t *testing.T) {
+	jobs := expJobs(100, 6, 5, 3)
+	f := hetFarm(t, bareVirtualRouter{})
+	if _, err := f.ServeSourceSliced(&sliceSource{jobs: jobs}, DispatchOptions{}); err == nil {
+		t.Fatal("heterogeneous farm accepted a config-unaware virtual router")
+	}
+	// The same dispatcher over a homogeneous farm is fine.
+	hom, err := New(3, testCfg(), bareVirtualRouter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hom.ServeSourceSliced(&sliceSource{jobs: jobs}, DispatchOptions{}); err != nil {
+		t.Fatalf("homogeneous farm rejected: %v", err)
+	}
+}
+
+// TestRecordServeStreamOrder: RecordServe must land every response and
+// server pick at the job's stream position, across slices.
+func TestRecordServeStreamOrder(t *testing.T) {
+	jobs := expJobs(5000, 8, 5, 17)
+	ref := hetFarm(t, JSQ{})
+	wantResp := make([]float64, len(jobs))
+	wantSrv := make([]int, len(jobs))
+	for i, j := range jobs {
+		r, s, err := ref.Process(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantResp[i], wantSrv[i] = r, s
+	}
+
+	f := hetFarm(t, JSQ{})
+	resp := make([]float64, len(jobs))
+	srv := make([]int, len(jobs))
+	f.RecordServe(resp, srv)
+	if _, err := f.ServeSourceSliced(&sliceSource{jobs: jobs}, DispatchOptions{SliceJobs: 333}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if resp[i] != wantResp[i] || srv[i] != wantSrv[i] {
+			t.Fatalf("job %d: got (%.17g, %d), want (%.17g, %d)", i, resp[i], srv[i], wantResp[i], wantSrv[i])
+		}
+	}
+}
+
+// TestSubfarmPrefixServes: a prefix Subfarm routes only within the prefix
+// and shares engine state with its parent.
+func TestSubfarmPrefixServes(t *testing.T) {
+	jobs := expJobs(2000, 8, 5, 19)
+	f, err := New(4, testCfg(), JSQ{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.Subfarm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := make([]int, len(jobs))
+	sub.RecordServe(nil, srv)
+	if _, err := sub.ServeSourceSliced(&sliceSource{jobs: jobs}, DispatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srv {
+		if s > 1 {
+			t.Fatalf("job %d routed to server %d outside the 2-prefix", i, s)
+		}
+	}
+	if f.Server(0).FreeAt() == 0 || f.Server(2).FreeAt() != 0 {
+		t.Fatal("subfarm serving did not share prefix engines (or leaked past the prefix)")
+	}
+	if _, err := f.Subfarm(0); err == nil {
+		t.Error("subfarm size 0 accepted")
+	}
+	if _, err := f.Subfarm(5); err == nil {
+		t.Error("oversized subfarm accepted")
+	}
+}

@@ -100,4 +100,22 @@
 // DispatchSource calls still build fresh engines so their Results never
 // alias reused storage; FinishSummary is the scalar aggregate for callers
 // on the reuse path.
+//
+// # Heterogeneous fleets
+//
+// The sliced driver also serves fleets whose servers run different
+// configurations — the substrate of the fleet coordinator
+// (internal/fleet). Farm.Server exposes each engine for per-server
+// SetConfigAt/WakeAt at epoch boundaries; the per-call uniformity scan
+// notices differing configurations and routes through per-server shadow
+// arithmetic, with ConfigRouter (implemented by LeastWorkLeft,
+// RouteVirtualConfigs) pricing each candidate under that server's own
+// phase schedule. Pricing is always live: the routing index and both
+// linear arms price from the engines' current configurations exactly as
+// the sequential Pick does, so a dispatcher's static Cfg field is never
+// consulted inside the driver and mid-run switches reprice immediately.
+// Farm.Subfarm returns a prefix view sharing the parent's engines and
+// scratch, so a coordinator can serve a shrunken active set without
+// rebuilding state — parked suffix servers keep accruing sleep residency
+// but receive no work.
 package farm

@@ -96,6 +96,12 @@ type Farm struct {
 	// sl is the reusable scratch of ServeSourceSliced, allocated on first
 	// use so repeated sliced parallel runs are allocation-free too.
 	sl *slicedState
+	// recResp/recSrv, when armed via RecordServe, receive each sliced-served
+	// job's response time and server index at the job's stream position;
+	// recBase is the running stream offset within one serve call.
+	recResp []float64
+	recSrv  []int
+	recBase int
 }
 
 // New builds a farm of k servers, each starting idle at time 0 under cfg,
@@ -166,6 +172,31 @@ func (f *Farm) ServeSource(src queue.JobSource) (int, error) {
 
 // Server exposes server i's engine (for per-server policy switches).
 func (f *Farm) Server(i int) *queue.Engine { return f.engines[i] }
+
+// Subfarm returns a view over the first n servers: it shares the parent's
+// engines and dispatcher — dispatcher state (a round-robin cursor, a random
+// source) advances across parent and view alike — with its own job counters
+// and serving scratch. Serving through the view routes over servers [0, n)
+// only, which is how the fleet coordinator removes parked servers from
+// routing (the active set is always a prefix); the parent still finishes and
+// reports all k engines. Views stay valid across the parent's Reset.
+func (f *Farm) Subfarm(n int) (*Farm, error) {
+	if n < 1 || n > len(f.engines) {
+		return nil, fmt.Errorf("farm: subfarm size %d of a %d-server farm", n, len(f.engines))
+	}
+	return &Farm{engines: f.engines[:n], disp: f.disp, perSrv: make([]int, n)}, nil
+}
+
+// RecordServe arms per-job recording for subsequent sliced serves: every job
+// the next ServeSourceSliced call simulates writes its response time to
+// resp[i] and its routed server index to srv[i], where i is the job's
+// position in the served stream (restarting at 0 each call). Either slice
+// may be nil to skip that column; both must cover every job the call serves.
+// Recording stays armed until the next RecordServe; RecordServe(nil, nil)
+// disarms, returning the serve path to zero recording overhead.
+func (f *Farm) RecordServe(resp []float64, srv []int) {
+	f.recResp, f.recSrv = resp, srv
+}
 
 // Process dispatches and serves one job, returning its response time and
 // the chosen server. Jobs must arrive in non-decreasing order.

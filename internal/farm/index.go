@@ -54,13 +54,13 @@ type routeIndex interface {
 // routes against — and writes through — the driver's freeAt/anchor shadow
 // slices, which must stay aliased for the index's lifetime.
 func newRouteIndexFor(disp Dispatcher, freeAt, anchor []float64) routeIndex {
-	switch d := disp.(type) {
+	switch disp.(type) {
 	case JSQ:
 		return &jsqIndex{freeAt: freeAt, anchor: anchor}
 	case *JSQ:
 		return &jsqIndex{freeAt: freeAt, anchor: anchor}
 	case *LeastWorkLeft:
-		return &lwlIndex{l: d, freeAt: freeAt, anchor: anchor}
+		return &lwlIndex{freeAt: freeAt, anchor: anchor}
 	}
 	return nil
 }
@@ -244,17 +244,22 @@ type crossing struct {
 // lwlIndex indexes least-work-left routing. Busy servers live in a minTree
 // keyed by freeAt (idle keys +Inf, extracted lazily as t passes freeAt);
 // idle servers live in one bitset per wake-pricing bucket — bucket 0 is the
-// pre-sleep window (wake 0), bucket p+1 is priceCfg.Phases[p] — migrating at
+// pre-sleep window (wake 0), bucket p+1 is price.Phases[p] — migrating at
 // anchor+EnterAfter boundaries via the crossing heap. The candidates at
 // arrival t are the busy minimum (done = freeAt + svc) and each non-empty
 // bucket's lowest index (done = (t + wake) + svc), compared by (done, index)
 // exactly as the linear scan's strict-less loop resolves them.
+//
+// Pricing uses the configuration passed to reset — the engines' live shared
+// configuration — exactly as Pick prices from live engines, so indexed
+// routing stays bit-identical to the sequential dispatch even when the
+// operating point switches between calls (the fleet coordinator's
+// epoch-boundary policy changes). The dispatcher's static Cfg field is never
+// consulted.
 type lwlIndex struct {
-	l      *LeastWorkLeft
 	freeAt []float64
 	anchor []float64
-	engCfg queue.Config
-	price  queue.Config // copy of l.Cfg, taken at reset
+	engCfg queue.Config // the reset configuration: live pricing, like Pick
 
 	tree     minTree
 	buckets  []bucketBits // len(price.Phases) + 1
@@ -267,7 +272,6 @@ type lwlIndex struct {
 
 func (x *lwlIndex) reset(engCfg queue.Config) {
 	x.engCfg = engCfg
-	x.price = x.l.Cfg
 	k := len(x.freeAt)
 	x.tree.init(k)
 	// Every server starts in the busy tree regardless of its freeAt; route's
@@ -276,7 +280,7 @@ func (x *lwlIndex) reset(engCfg queue.Config) {
 	copy(x.tree.key, x.freeAt)
 	x.tree.build()
 
-	nb := len(x.price.Phases) + 1
+	nb := len(x.engCfg.Phases) + 1
 	if cap(x.buckets) < nb {
 		x.buckets = make([]bucketBits, nb)
 	}
@@ -288,8 +292,8 @@ func (x *lwlIndex) reset(engCfg queue.Config) {
 	for b := range x.buckets {
 		x.buckets[b].init(words, sumWords)
 		if b > 0 {
-			x.wakes[b] = x.price.Phases[b-1].WakeLatency
-			x.enters[b-1] = x.price.Phases[b-1].EnterAfter
+			x.wakes[b] = x.engCfg.Phases[b-1].WakeLatency
+			x.enters[b-1] = x.engCfg.Phases[b-1].EnterAfter
 		}
 	}
 	x.bucketOf = resizeInt32(x.bucketOf, k)
@@ -329,7 +333,7 @@ func (x *lwlIndex) route(j queue.Job) int {
 	t := j.Arrival
 	x.advance(t)
 
-	svc := x.price.ServiceTime(j.Size)
+	svc := x.engCfg.ServiceTime(j.Size)
 	best, bestDone := -1, 0.0
 	for b := range x.buckets {
 		s := x.buckets[b].lowestSet()

@@ -50,9 +50,11 @@ func TestRoutingIndexEquivalenceFullDispatch(t *testing.T) {
 			jobs = 4000 // the O(k)-per-job reference paths dominate the cost
 		}
 		// The shared dispatchers() table prices least-work-left with
-		// testCfg; these farms run deepCfg, so build a matching table
-		// (Pick and the virtual paths only coincide when Cfg matches the
-		// engines' — that is the documented contract).
+		// testCfg; these farms run deepCfg, so build a fresh table. The
+		// lwl entry deliberately leaves Cfg zero: every dispatch path —
+		// Pick, the index, and the linear ConfigRouter arm — prices from
+		// the engines' live configuration, so the static field must not
+		// matter.
 		disps := []struct {
 			name string
 			mk   func() Dispatcher
@@ -62,7 +64,7 @@ func TestRoutingIndexEquivalenceFullDispatch(t *testing.T) {
 			{"jsq", func() Dispatcher { return JSQ{} }},
 			{"pd2", func() Dispatcher { return &PowerOfD{D: 2, Rng: rand.New(rand.NewSource(55))} }},
 			{"pd3", func() Dispatcher { return &PowerOfD{D: 3, Rng: rand.New(rand.NewSource(56))} }},
-			{"lwl", func() Dispatcher { return &LeastWorkLeft{Cfg: deepCfg()} }},
+			{"lwl", func() Dispatcher { return &LeastWorkLeft{} }},
 		}
 		for _, seed := range []int64{1, 2, 3} {
 			stream := expJobs(jobs, 10*float64(k), 5, seed)
@@ -107,11 +109,15 @@ func shadowState(k int, seed int64) (freeAt, anchor []float64) {
 }
 
 // routeLinearReference advances one job through the linear-scan reference
-// path: the dispatcher's anchored scan (or plain RouteVirtual), then the
-// driver's shadow commit.
-func routeLinearReference(disp Dispatcher, engCfg queue.Config, freeAt, anchor []float64, j queue.Job) int {
+// path exactly as the sliced driver's uniform linear arm does: a
+// ConfigRouter prices from the live engine configuration snapshot, others
+// use their anchored scan (or plain RouteVirtual); then the driver's shadow
+// commit.
+func routeLinearReference(disp Dispatcher, engCfg queue.Config, cfgs []queue.Config, freeAt, anchor []float64, j queue.Job) int {
 	var s int
-	if ar, ok := disp.(AnchoredRouter); ok {
+	if crr, ok := disp.(ConfigRouter); ok {
+		s = crr.RouteVirtualConfigs(cfgs, freeAt, anchor, j)
+	} else if ar, ok := disp.(AnchoredRouter); ok {
 		s = ar.RouteVirtualAnchored(freeAt, anchor, j)
 	} else {
 		s = disp.(VirtualRouter).RouteVirtual(freeAt, j)
@@ -125,10 +131,11 @@ func routeLinearReference(disp Dispatcher, engCfg queue.Config, freeAt, anchor [
 // against the linear scans at fleet scale — k = 10,000, where a full farm
 // comparison would be dominated by engine accounting — asserting every routing
 // decision and the final shadow agree bitwise. The least-work-left cases
-// include an engine configuration differing from the pricing configuration
-// (slower frequency): the index must keep the two roles separate exactly as
-// the linear path does. One index instance is reused across all cases via
-// reset, which is the rebuild path the sliced driver exercises per call.
+// include a dispatcher Cfg differing from (or zeroed against) the engine
+// configuration: routing must price from the live engine configuration and
+// ignore the dispatcher's static field, exactly as the linear ConfigRouter
+// path does. One index instance is reused across all cases via reset, which
+// is the rebuild path the sliced driver exercises per call.
 func TestRoutingIndexEquivalence10k(t *testing.T) {
 	const k = 10000
 	slowEng := deepCfg()
@@ -140,10 +147,15 @@ func TestRoutingIndexEquivalence10k(t *testing.T) {
 	}{
 		{"jsq", func() Dispatcher { return JSQ{} }, deepCfg()},
 		{"lwl", func() Dispatcher { return &LeastWorkLeft{Cfg: deepCfg()} }, deepCfg()},
-		{"lwl-mismatched-cfg", func() Dispatcher { return &LeastWorkLeft{Cfg: deepCfg()} }, slowEng},
+		{"lwl-stale-cfg", func() Dispatcher { return &LeastWorkLeft{Cfg: deepCfg()} }, slowEng},
+		{"lwl-zero-cfg", func() Dispatcher { return &LeastWorkLeft{} }, deepCfg()},
 	}
 	for _, tc := range cases {
 		disp := tc.mk()
+		cfgs := make([]queue.Config, k)
+		for s := range cfgs {
+			cfgs[s] = tc.engCfg
+		}
 		var idx routeIndex
 		var idxFree, idxAnchor []float64
 		for _, seed := range []int64{1, 2, 3} {
@@ -161,7 +173,7 @@ func TestRoutingIndexEquivalence10k(t *testing.T) {
 			copy(idxAnchor, linAnchor)
 			idx.reset(tc.engCfg)
 			for i, j := range stream {
-				want := routeLinearReference(disp, tc.engCfg, linFree, linAnchor, j)
+				want := routeLinearReference(disp, tc.engCfg, cfgs, linFree, linAnchor, j)
 				got := idx.route(j)
 				if got != want {
 					t.Fatalf("%s seed=%d job %d (t=%g): indexed route %d, linear route %d",

@@ -1,0 +1,792 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sleepscale/internal/core"
+	"sleepscale/internal/eventlog"
+	"sleepscale/internal/farm"
+	"sleepscale/internal/metrics"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/predict"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
+	"sleepscale/internal/trace"
+)
+
+// Config describes one coordinated fleet run.
+type Config struct {
+	// Servers is the fleet size k.
+	Servers int
+	// FreqExponent is the workload's β.
+	FreqExponent float64
+	// Profile supplies the power model.
+	Profile *power.Profile
+	// Trace drives epoch boundaries and realized utilizations, exactly as in
+	// the batch runners.
+	Trace *trace.Trace
+	// EpochSlots is T: trace slots per policy epoch.
+	EpochSlots int
+	// Strategy picks policies at epoch boundaries — once per epoch in shared
+	// mode, once per active server in per-server mode, consuming the same
+	// decision RNG stream either way.
+	Strategy core.Strategy
+	// Predictor is the shared fleet predictor (PerServer false): it observes
+	// the trace's realized slot utilizations, exactly as in RunFarmSource.
+	Predictor predict.Predictor
+	// NewPredictor builds one predictor per server (PerServer true). Each
+	// server's predictor observes the per-slot demand actually routed to
+	// that server (Σ size / slot length), so skew shows up in its forecasts.
+	NewPredictor func() predict.Predictor
+	// PerServer selects per-server prediction and decisions.
+	PerServer bool
+	// WindowEpochs is the job-log window depth (default 3).
+	WindowEpochs int
+	// Seed drives the strategy's bootstrap resampling via core.DecideSeed.
+	Seed int64
+	// Dispatcher routes jobs over the active servers. It must support the
+	// sliced dispatch path (Preassigner or VirtualRouter); per-server
+	// policies additionally need a ConfigRouter or configuration-free
+	// dispatcher.
+	Dispatcher farm.Dispatcher
+	// Options tunes the sliced serving path (slice size, worker bound).
+	Options farm.DispatchOptions
+	// Quorum, when positive, keeps a rotating duty window of min(Quorum,
+	// active) servers no deeper than C1 each epoch. Must not exceed Servers.
+	Quorum int
+	// Park enables horizontal scaling: the active prefix is sized to
+	// ceil(predicted fleet demand / ParkTargetRho) each epoch.
+	Park bool
+	// ParkTargetRho is the per-active-server utilization the scaler aims at
+	// (default 0.7).
+	ParkTargetRho float64
+	// MinActive floors the active set (default 1); the quorum floors it too.
+	MinActive int
+	// Observer, when set, sees every fleet epoch record as it closes —
+	// the hook the invariant checks and live dashboards use.
+	Observer func(Epoch)
+}
+
+// Epoch is the fleet-level rollup of one epoch, alongside the embedded
+// runner's core.EpochRecord.
+type Epoch struct {
+	// Index is the epoch number.
+	Index int
+	// Active and Parked partition the fleet at this epoch.
+	Active int
+	Parked int
+	// Shallow counts active servers whose installed plan is no deeper than
+	// C1 — the quorum invariant is Shallow ≥ min(Quorum, Active).
+	Shallow int
+	// Unparked counts servers woken this epoch, each paying a deep wake.
+	Unparked int
+	// MeanFrequency averages the installed frequency over active servers.
+	MeanFrequency float64
+}
+
+// Report aggregates a coordinated fleet run. The embedded RunReport carries
+// the same fleet-wide quantities as core.FarmRunReport — in shared mode with
+// no quorum and no parking they are bit-identical to RunFarmSource's. The
+// report reuses the coordinator's storage: it is valid until the next Run.
+type Report struct {
+	core.RunReport
+	// Servers is the fleet size k.
+	Servers int
+	// Dispatcher names the routing discipline.
+	Dispatcher string
+	// FleetEpochs records the fleet dimensions of every epoch, parallel to
+	// Epochs.
+	FleetEpochs []Epoch
+	// PerServer holds each server's whole-run scalar summary.
+	PerServer []queue.Summary
+	// PeakPower is k servers at full frequency, the energy-proportionality
+	// denominator.
+	PeakPower float64
+	// EnergyProportionality scores how closely per-epoch energy tracks the
+	// ideal proportional fleet (busy·P_active(1)): 1 − Σ|E_e −
+	// Busy_e·P1|/(PeakPower·Duration). 1 is perfectly proportional.
+	EnergyProportionality float64
+	// JobsPerJoule is the fleet's performance-per-watt figure of merit.
+	JobsPerJoule float64
+}
+
+// Coordinator owns per-server (queue.Config, policy) state and drives the
+// epoch-boundary decide→serve→observe cycle over a dispatched farm. Build
+// one with New; Run executes a whole trace. A coordinator is reusable —
+// Run resets all simulation state — but predictors carry their learned
+// state across runs (build a fresh coordinator for independent replays).
+type Coordinator struct {
+	cfg     Config
+	k       int
+	lo      int // active-set floor: max(1, MinActive, Quorum)
+	parkPol policy.Policy
+	parkCfg queue.Config
+
+	f     *farm.Farm
+	views map[int]*farm.Farm // prefix Subfarm per active-set size
+
+	window    *eventlog.Window
+	decideSrc rand.Source
+	decideRng *rand.Rand
+	preds     []predict.Predictor // per-server mode
+
+	pols    []policy.Policy // installed policy per server
+	parked  []bool
+	active  int
+	rotor   int // quorum duty-window origin
+	epoch   int
+	unpark  int // servers woken at the current epoch's boundary
+	recPred float64
+	recPol  policy.Policy
+
+	// phaseBufs is the per-server ping-pong phase scratch: AppendConfig
+	// fills the buffer the previous epoch is NOT using, because the engine
+	// still reads the old phase slice while closing out the old idle
+	// schedule inside SetConfigAt.
+	phaseBufs   [][2][]queue.SleepPhase
+	cappedPlans map[string]policy.SleepPlan
+	rawPred     []float64
+
+	cursor      *stream.Cursor
+	src         epochSource
+	epochJobs   []queue.Job
+	resp        []float64
+	srv         []int
+	demand      []float64 // active×slots per-server demand scratch
+	epochDelays metrics.Sample
+
+	lastMean, lastP95 float64
+	lastJobs          int
+	prevTotals        queue.Snapshot
+	freqSum           float64
+
+	report Report
+}
+
+// epochSource replays one epoch's collected jobs as a queue.JobSource.
+type epochSource struct {
+	jobs []queue.Job
+	pos  int
+}
+
+func (s *epochSource) Next(buf []queue.Job) (int, bool) {
+	n := copy(buf, s.jobs[s.pos:])
+	s.pos += n
+	return n, s.pos < len(s.jobs)
+}
+
+// New validates cfg and builds a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("fleet: size %d < 1", cfg.Servers)
+	}
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs a non-empty trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EpochSlots < 1 {
+		return nil, fmt.Errorf("fleet: epoch slots %d < 1", cfg.EpochSlots)
+	}
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("fleet: coordinator needs a strategy")
+	}
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("fleet: coordinator needs a power profile")
+	}
+	if cfg.Dispatcher == nil {
+		return nil, fmt.Errorf("fleet: coordinator needs a dispatcher")
+	}
+	if cfg.PerServer {
+		if cfg.NewPredictor == nil {
+			return nil, fmt.Errorf("fleet: per-server mode needs a predictor factory")
+		}
+	} else if cfg.Predictor == nil {
+		return nil, fmt.Errorf("fleet: coordinator needs a predictor")
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > cfg.Servers {
+		return nil, fmt.Errorf("fleet: quorum %d outside [0, %d servers]", cfg.Quorum, cfg.Servers)
+	}
+	if cfg.ParkTargetRho == 0 {
+		cfg.ParkTargetRho = 0.7
+	}
+	if cfg.ParkTargetRho <= 0 || cfg.ParkTargetRho > 1 {
+		return nil, fmt.Errorf("fleet: park target utilization %g outside (0, 1]", cfg.ParkTargetRho)
+	}
+	if cfg.MinActive == 0 {
+		cfg.MinActive = 1
+	}
+	if cfg.MinActive < 1 || cfg.MinActive > cfg.Servers {
+		return nil, fmt.Errorf("fleet: min active %d outside [1, %d servers]", cfg.MinActive, cfg.Servers)
+	}
+	windowEpochs := cfg.WindowEpochs
+	if windowEpochs <= 0 {
+		windowEpochs = 3
+	}
+	window, err := eventlog.NewWindow(windowEpochs)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.Servers
+	c := &Coordinator{
+		cfg:         cfg,
+		k:           k,
+		lo:          maxInt(1, maxInt(cfg.MinActive, cfg.Quorum)),
+		window:      window,
+		views:       make(map[int]*farm.Farm),
+		pols:        make([]policy.Policy, k),
+		parked:      make([]bool, k),
+		phaseBufs:   make([][2][]queue.SleepPhase, k),
+		cappedPlans: make(map[string]policy.SleepPlan),
+		rawPred:     make([]float64, k),
+	}
+	c.decideSrc = rand.NewSource(core.DecideSeed(cfg.Seed))
+	c.decideRng = rand.New(c.decideSrc)
+	// The park configuration: full frequency to drain accepted work fast,
+	// then straight to the deepest state. Resolved once; its phase storage
+	// is never shared with the per-server ping-pong buffers.
+	c.parkPol = policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeeperSleep)}
+	c.parkCfg, err = c.parkPol.Config(cfg.Profile, cfg.FreqExponent)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: park policy: %w", err)
+	}
+	if cfg.PerServer {
+		c.preds = make([]predict.Predictor, k)
+		for s := range c.preds {
+			if c.preds[s] = cfg.NewPredictor(); c.preds[s] == nil {
+				return nil, fmt.Errorf("fleet: predictor factory returned nil")
+			}
+		}
+	}
+	c.report.PerServer = make([]queue.Summary, k)
+	return c, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Installed reports server s's currently installed policy and whether it is
+// parked — the accessor invariant checks use from inside an Observer.
+func (c *Coordinator) Installed(s int) (policy.Policy, bool) {
+	return c.pols[s], c.parked[s]
+}
+
+// Run executes the §6 epoch loop over the whole trace with jobs pulled from
+// src (consumed from its current position; Reset it first for
+// reproducibility). Jobs arriving at or after the trace's end are left
+// unread. The returned report aliases coordinator storage and is valid
+// until the next Run.
+func (c *Coordinator) Run(src stream.Source) (*Report, error) {
+	if src == nil {
+		return nil, fmt.Errorf("fleet: coordinator needs a job source")
+	}
+	c.resetRun(src)
+	tr := c.cfg.Trace
+	slotSec := tr.SlotSeconds
+	nSlots := tr.Len()
+	for s0 := 0; s0 < nSlots; s0 += c.cfg.EpochSlots {
+		slots := c.cfg.EpochSlots
+		if s0+slots > nSlots {
+			slots = nSlots - s0
+		}
+		epochStart := float64(s0) * slotSec
+		epochEnd := float64(s0+slots) * slotSec
+		if err := c.openEpoch(epochStart); err != nil {
+			return nil, err
+		}
+		c.epochJobs = c.epochJobs[:0]
+		for {
+			j, ok := c.cursor.Peek()
+			if !ok || j.Arrival >= epochEnd {
+				break
+			}
+			c.epochJobs = append(c.epochJobs, j)
+			c.cursor.Advance()
+		}
+		if err := c.serveEpoch(); err != nil {
+			return nil, err
+		}
+		c.closeEpoch(epochStart, epochEnd, tr.Utilization[s0:s0+slots], slotSec)
+	}
+	if err := stream.Err(src); err != nil {
+		return nil, fmt.Errorf("fleet: job source: %w", err)
+	}
+	c.finish(tr.Duration())
+	return &c.report, nil
+}
+
+// resetRun rewinds all simulation state for a fresh trace replay, reusing
+// every buffer. Predictor state is deliberately not reset — see Coordinator.
+func (c *Coordinator) resetRun(src stream.Source) {
+	c.epoch = 0
+	c.active = c.k
+	c.rotor = 0
+	c.unpark = 0
+	for s := range c.parked {
+		c.parked[s] = false
+	}
+	c.lastMean, c.lastP95, c.lastJobs = 0, 0, 0
+	c.prevTotals = queue.Snapshot{}
+	c.freqSum = 0
+	c.window.Reset()
+	c.decideSrc.Seed(core.DecideSeed(c.cfg.Seed))
+	c.epochDelays.Reset()
+	if c.cursor == nil {
+		c.cursor = stream.NewCursor(src)
+	} else {
+		c.cursor.Reset(src)
+	}
+	rep := &c.report
+	rep.Strategy = c.cfg.Strategy.Name()
+	if c.cfg.PerServer {
+		rep.Predictor = c.preds[0].Name()
+	} else {
+		rep.Predictor = c.cfg.Predictor.Name()
+	}
+	rep.Jobs = 0
+	rep.MeanResponse, rep.P95Response = 0, 0
+	rep.AvgPower, rep.Energy, rep.Duration, rep.MeanFrequency = 0, 0, 0, 0
+	nEpochs := (c.cfg.Trace.Len() + c.cfg.EpochSlots - 1) / c.cfg.EpochSlots
+	if rep.Epochs == nil {
+		rep.Epochs = make([]core.EpochRecord, 0, nEpochs)
+	}
+	rep.Epochs = rep.Epochs[:0]
+	if rep.FleetEpochs == nil {
+		rep.FleetEpochs = make([]Epoch, 0, nEpochs)
+	}
+	rep.FleetEpochs = rep.FleetEpochs[:0]
+	if rep.PlanEpochs == nil {
+		rep.PlanEpochs = make(map[string]int)
+	} else {
+		for name := range rep.PlanEpochs {
+			delete(rep.PlanEpochs, name)
+		}
+	}
+	rep.Servers = c.k
+	rep.Dispatcher = c.cfg.Dispatcher.Name()
+	rep.PeakPower = float64(c.k) * c.cfg.Profile.ActivePower(1)
+	rep.EnergyProportionality, rep.JobsPerJoule = 0, 0
+}
+
+// openEpoch runs the top of the epoch cycle: predict per server, size the
+// active set, decide policies, enforce the quorum cap, and install the
+// resulting configurations at the epoch's start instant.
+func (c *Coordinator) openEpoch(epochStart float64) error {
+	first := c.epoch == 0
+	perSrv := c.cfg.PerServer
+	prev := c.active
+
+	// 1. Predict. Parked servers' predictors are frozen: they see no demand
+	// while parked, so feeding them would only teach them zeros.
+	var sharedPred float64
+	if perSrv {
+		for s := 0; s < prev; s++ {
+			c.rawPred[s] = core.ClampRho(c.preds[s].Predict())
+		}
+	} else {
+		sharedPred = core.ClampRho(c.cfg.Predictor.Predict())
+	}
+
+	// 2. Size the active prefix to predicted fleet demand.
+	m := c.k
+	if c.cfg.Park {
+		w := 0.0
+		if perSrv {
+			for s := 0; s < prev; s++ {
+				w += c.rawPred[s]
+			}
+		} else {
+			w = sharedPred * float64(prev)
+		}
+		m = int(math.Ceil(w / c.cfg.ParkTargetRho))
+		if m < c.lo {
+			m = c.lo
+		}
+		if m > c.k {
+			m = c.k
+		}
+	}
+	for s := prev; s < m; s++ { // servers about to unpark need forecasts too
+		if perSrv {
+			c.rawPred[s] = core.ClampRho(c.preds[s].Predict())
+		}
+		c.parked[s] = false
+	}
+	for s := m; s < prev; s++ {
+		c.parked[s] = true
+		c.pols[s] = c.parkPol
+	}
+	c.unpark = 0
+	if m > prev {
+		c.unpark = m - prev
+	}
+	c.active = m
+
+	// 3. Decide, consuming the decision RNG once per decision in server
+	// order — shared mode consumes exactly one draw sequence per epoch,
+	// matching the homogeneous runner bit for bit.
+	if perSrv {
+		sum := 0.0
+		for s := 0; s < m; s++ {
+			pol, err := c.decide(c.rawPred[s])
+			if err != nil {
+				return fmt.Errorf("fleet: epoch %d server %d decision: %w", c.epoch, s, err)
+			}
+			c.pols[s] = pol
+			sum += c.rawPred[s]
+		}
+		c.recPred = sum / float64(m)
+		c.recPol = c.pols[0]
+	} else {
+		pol, err := c.decide(sharedPred)
+		if err != nil {
+			return fmt.Errorf("fleet: epoch %d decision: %w", c.epoch, err)
+		}
+		for s := 0; s < m; s++ {
+			c.pols[s] = pol
+		}
+		c.recPred = sharedPred
+		c.recPol = pol
+	}
+
+	// 4. Quorum: cap the rotating duty window to C1-or-shallower plans.
+	if q := c.cfg.Quorum; q > 0 {
+		d := q
+		if d > m {
+			d = m
+		}
+		start := c.rotor % m
+		for i := 0; i < d; i++ {
+			s := (start + i) % m
+			c.pols[s].Plan = c.capPlan(c.pols[s].Plan)
+		}
+		c.rotor += d
+	}
+
+	// 5. Install. The first epoch creates (or Resets) the farm under server
+	// 0's configuration and only switches servers that differ — exactly the
+	// homogeneous runner's farm.New when every server agrees. Later epochs
+	// switch every active server at the boundary in server order, as the
+	// farm backend does.
+	if first {
+		qcfg0, err := c.resolve(0)
+		if err != nil {
+			return err
+		}
+		if c.f == nil {
+			f, err := farm.New(c.k, qcfg0, c.cfg.Dispatcher)
+			if err != nil {
+				return err
+			}
+			c.f = f
+		} else if err := c.f.Reset(qcfg0); err != nil {
+			return err
+		}
+		for s := 1; s < c.k; s++ {
+			switch {
+			case c.parked[s]:
+				if err := c.f.Server(s).SetConfigAt(epochStart, c.parkCfg); err != nil {
+					return fmt.Errorf("fleet: epoch %d server %d park: %w", c.epoch, s, err)
+				}
+			case !polEqual(c.pols[s], c.pols[0]):
+				qcfg, err := c.resolve(s)
+				if err != nil {
+					return err
+				}
+				if err := c.f.Server(s).SetConfigAt(epochStart, qcfg); err != nil {
+					return fmt.Errorf("fleet: epoch %d server %d switch: %w", c.epoch, s, err)
+				}
+			}
+		}
+		return nil
+	}
+	for s := 0; s < c.k; s++ {
+		switch {
+		case s < m:
+			if s >= prev { // unparking: pay the deep wake before the switch
+				if err := c.f.Server(s).WakeAt(epochStart); err != nil {
+					return fmt.Errorf("fleet: epoch %d server %d unpark: %w", c.epoch, s, err)
+				}
+			}
+			qcfg, err := c.resolve(s)
+			if err != nil {
+				return err
+			}
+			if err := c.f.Server(s).SetConfigAt(epochStart, qcfg); err != nil {
+				return fmt.Errorf("fleet: epoch %d server %d switch: %w", c.epoch, s, err)
+			}
+		case s < prev: // newly parked: drain fast, then deepest sleep
+			if err := c.f.Server(s).SetConfigAt(epochStart, c.parkCfg); err != nil {
+				return fmt.Errorf("fleet: epoch %d server %d park: %w", c.epoch, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+// decide runs one strategy decision against the shared epoch telemetry.
+func (c *Coordinator) decide(pred float64) (policy.Policy, error) {
+	return c.cfg.Strategy.Decide(core.DecideInput{
+		PredictedUtilization: pred,
+		Window:               c.window,
+		LastEpochMeanDelay:   c.lastMean,
+		LastEpochP95Delay:    c.lastP95,
+		LastEpochJobs:        c.lastJobs,
+		Rng:                  c.decideRng,
+	})
+}
+
+// resolve materializes server s's installed policy into a queue.Config using
+// the server's ping-pong phase scratch.
+func (c *Coordinator) resolve(s int) (queue.Config, error) {
+	buf := &c.phaseBufs[s][c.epoch&1]
+	qcfg, err := c.pols[s].AppendConfig(c.cfg.Profile, c.cfg.FreqExponent, (*buf)[:0])
+	if err != nil {
+		return queue.Config{}, fmt.Errorf("fleet: epoch %d server %d policy %v: %w", c.epoch, s, c.pols[s], err)
+	}
+	*buf = qcfg.Phases // retain growth for reuse
+	return qcfg, nil
+}
+
+// polEqual reports whether two policies install the same configuration.
+// Plan names are assumed to identify plan contents, which holds for every
+// plan this package installs (capped plans are renamed).
+func polEqual(a, b policy.Policy) bool {
+	return a.Frequency == b.Frequency && a.Plan.Name == b.Plan.Name
+}
+
+// capPlan truncates a plan to its C1-or-shallower prefix, memoized by plan
+// name. A plan that never goes deeper than C1 is returned unchanged; one
+// that starts deep becomes an immediate-halt plan, the shallowest plan that
+// still sleeps.
+func (c *Coordinator) capPlan(pl policy.SleepPlan) policy.SleepPlan {
+	if pl.DeepestState().CPU <= power.C1 {
+		return pl
+	}
+	if capped, ok := c.cappedPlans[pl.Name]; ok {
+		return capped
+	}
+	n := 0
+	for n < len(pl.Phases) && pl.Phases[n].State.CPU <= power.C1 {
+		n++
+	}
+	var capped policy.SleepPlan
+	if n == 0 {
+		capped = policy.SingleState(power.Halt)
+		capped.Name = pl.Name + "≤C1"
+	} else {
+		capped = policy.SleepPlan{Name: pl.Name + "≤C1", Phases: pl.Phases[:n:n]}
+	}
+	c.cappedPlans[pl.Name] = capped
+	return capped
+}
+
+// view returns the farm serving this epoch: the whole fleet, or the cached
+// prefix Subfarm over the m active servers.
+func (c *Coordinator) view(m int) (*farm.Farm, error) {
+	if m == c.k {
+		return c.f, nil
+	}
+	if v, ok := c.views[m]; ok {
+		return v, nil
+	}
+	v, err := c.f.Subfarm(m)
+	if err != nil {
+		return nil, err
+	}
+	c.views[m] = v
+	return v, nil
+}
+
+// serveEpoch routes and simulates the collected epoch jobs over the active
+// prefix, recording each job's response and server at its stream position.
+func (c *Coordinator) serveEpoch() error {
+	n := len(c.epochJobs)
+	c.resp = resizeFloats(c.resp, n)
+	c.srv = resizeIntsF(c.srv, n)
+	fv, err := c.view(c.active)
+	if err != nil {
+		return err
+	}
+	fv.RecordServe(c.resp, c.srv)
+	c.src.jobs, c.src.pos = c.epochJobs, 0
+	if _, err := fv.ServeSourceSliced(&c.src, c.cfg.Options); err != nil {
+		return fmt.Errorf("fleet: epoch %d: %w", c.epoch, err)
+	}
+	return nil
+}
+
+// closeEpoch runs the bottom of the epoch cycle: summarize delays in stream
+// order, log the window, feed the predictors, difference the fleet totals
+// and emit both epoch records.
+func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, slotSec float64) {
+	c.epochDelays.Reset()
+	for _, r := range c.resp {
+		c.epochDelays.Add(r)
+	}
+	c.window.PushJobs(c.epochJobs, epochStart)
+	var realized float64
+	if c.cfg.PerServer {
+		// Same arithmetic as core.FeedPredictor's realized mean; the
+		// observations go to the per-server predictors instead.
+		for _, rho := range rhos {
+			realized += rho
+		}
+		if len(rhos) > 0 {
+			realized /= float64(len(rhos))
+		}
+		c.feedPerServer(rhos, epochStart, slotSec)
+	} else {
+		realized = core.FeedPredictor(c.cfg.Predictor, rhos)
+	}
+	c.lastJobs = c.epochDelays.Count()
+	c.lastMean = c.epochDelays.Mean()
+	c.lastP95 = c.epochDelays.PercentileNearestRank(95)
+	tot := c.totalsAt(epochEnd)
+	rep := &c.report
+	rep.Epochs = append(rep.Epochs, core.EpochRecord{
+		Index: c.epoch, Predicted: c.recPred, Realized: realized,
+		Policy: c.recPol, Jobs: c.lastJobs, MeanDelay: c.lastMean, P95Delay: c.lastP95,
+		Energy:   tot.Energy - c.prevTotals.Energy,
+		BusyTime: tot.BusyTime - c.prevTotals.BusyTime,
+		WakeTime: tot.WakeTime - c.prevTotals.WakeTime,
+		IdleTime: tot.IdleTime - c.prevTotals.IdleTime,
+	})
+	c.prevTotals = tot
+
+	shallow := 0
+	for s := 0; s < c.active; s++ {
+		if c.pols[s].Plan.DeepestState().CPU <= power.C1 {
+			shallow++
+		}
+	}
+	var freq float64
+	if c.cfg.PerServer {
+		for s := 0; s < c.active; s++ {
+			freq += c.pols[s].Frequency
+			rep.PlanEpochs[c.pols[s].Plan.Name]++
+		}
+		freq /= float64(c.active)
+	} else {
+		// The decided frequency, not a recomputed mean: (f·m)/m is not
+		// bit-equal to f, and shared mode is pinned to the farm runner.
+		freq = c.recPol.Frequency
+		rep.PlanEpochs[c.recPol.Plan.Name]++
+	}
+	c.freqSum += freq
+	fe := Epoch{
+		Index: c.epoch, Active: c.active, Parked: c.k - c.active,
+		Shallow: shallow, Unparked: c.unpark, MeanFrequency: freq,
+	}
+	rep.FleetEpochs = append(rep.FleetEpochs, fe)
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(fe)
+	}
+	c.epoch++
+}
+
+// feedPerServer observes each active server's realized demand — the sizes
+// of the jobs routed to it, bucketed by arrival slot and normalized by the
+// slot length — into its predictor, in slot order.
+func (c *Coordinator) feedPerServer(rhos []float64, epochStart, slotSec float64) {
+	slots := len(rhos)
+	need := c.active * slots
+	c.demand = resizeFloats(c.demand, need)
+	for i := range c.demand {
+		c.demand[i] = 0
+	}
+	for i, j := range c.epochJobs {
+		slot := int((j.Arrival - epochStart) / slotSec)
+		if slot < 0 {
+			slot = 0
+		}
+		if slot >= slots {
+			slot = slots - 1
+		}
+		c.demand[c.srv[i]*slots+slot] += j.Size
+	}
+	for s := 0; s < c.active; s++ {
+		row := c.demand[s*slots : (s+1)*slots]
+		for _, d := range row {
+			c.preds[s].Observe(d / slotSec)
+		}
+	}
+}
+
+// totalsAt sums cumulative counters over every server — parked ones too, so
+// epoch energy deltas account for the whole fleet — in server order, exactly
+// as the farm backend does.
+func (c *Coordinator) totalsAt(t float64) queue.Snapshot {
+	var sum queue.Snapshot
+	for s := 0; s < c.k; s++ {
+		sn := c.f.Server(s).TotalsAt(t)
+		sum.Energy += sn.Energy
+		sum.BusyTime += sn.BusyTime
+		sum.WakeTime += sn.WakeTime
+		sum.IdleTime += sn.IdleTime
+		sum.Jobs += sn.Jobs
+		sum.Wakes += sn.Wakes
+	}
+	return sum
+}
+
+// finish closes every server at the trace's end and folds the per-server
+// summaries into the fleet aggregates, mirroring farm.Finish's summation
+// order so shared-mode aggregates are bit-identical to RunFarmSource's.
+func (c *Coordinator) finish(duration float64) {
+	rep := &c.report
+	if c.epoch > 0 {
+		rep.MeanFrequency = c.freqSum / float64(c.epoch)
+	}
+	var respSum float64
+	for s := 0; s < c.k; s++ {
+		sum := c.f.Server(s).FinishSummary(duration)
+		rep.PerServer[s] = sum
+		rep.Jobs += sum.Jobs
+		respSum += sum.MeanResponse * float64(sum.Jobs)
+		rep.AvgPower += sum.AvgPower
+		rep.Energy += sum.Energy
+		if sum.ResponseP95 > rep.P95Response {
+			rep.P95Response = sum.ResponseP95
+		}
+		if sum.Duration > rep.Duration {
+			rep.Duration = sum.Duration
+		}
+	}
+	if rep.Jobs > 0 {
+		rep.MeanResponse = respSum / float64(rep.Jobs)
+	}
+	if rep.Energy > 0 {
+		rep.JobsPerJoule = float64(rep.Jobs) / rep.Energy
+	}
+	var dev float64
+	p1 := c.cfg.Profile.ActivePower(1)
+	for i := range rep.Epochs {
+		dev += math.Abs(rep.Epochs[i].Energy - rep.Epochs[i].BusyTime*p1)
+	}
+	if denom := rep.PeakPower * duration; denom > 0 {
+		rep.EnergyProportionality = 1 - dev/denom
+	}
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeIntsF(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

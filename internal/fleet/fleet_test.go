@@ -1,0 +1,572 @@
+package fleet
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sleepscale/internal/colstore"
+	"sleepscale/internal/core"
+	"sleepscale/internal/farm"
+	"sleepscale/internal/policy"
+	"sleepscale/internal/power"
+	"sleepscale/internal/predict"
+	"sleepscale/internal/queue"
+	"sleepscale/internal/stream"
+	"sleepscale/internal/trace"
+)
+
+func flatTrace(slots int, util float64) *trace.Trace {
+	t := &trace.Trace{Name: "flat", SlotSeconds: 1, Utilization: make([]float64, slots)}
+	for i := range t.Utilization {
+		t.Utilization[i] = util
+	}
+	return t
+}
+
+func fleetJobs(n int, lambda, mu float64, seed int64) []queue.Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]queue.Job, n)
+	tnow := 0.0
+	for i := range jobs {
+		tnow += rng.ExpFloat64() / lambda
+		jobs[i] = queue.Job{Arrival: tnow, Size: rng.ExpFloat64() / mu}
+	}
+	return jobs
+}
+
+// staticStrategy pins one policy for every epoch.
+type staticStrategy struct{ pol policy.Policy }
+
+func (s *staticStrategy) Name() string { return "static-test" }
+func (s *staticStrategy) Decide(core.DecideInput) (policy.Policy, error) {
+	return s.pol, nil
+}
+
+// rngStrategy consumes the decision RNG every epoch, so any divergence in
+// the decide stream between two drivers shows up as different policies —
+// the sharpest possible probe of bit-for-bit decision equivalence.
+type rngStrategy struct{ plans []policy.SleepPlan }
+
+func newRngStrategy() *rngStrategy {
+	return &rngStrategy{plans: []policy.SleepPlan{
+		policy.NoSleep(),
+		policy.SingleState(power.Sleep),
+		policy.SingleState(power.DeeperSleep),
+		policy.DelayedState(power.DeepSleep, 0.5),
+	}}
+}
+
+func (s *rngStrategy) Name() string { return "rng-test" }
+func (s *rngStrategy) Decide(in core.DecideInput) (policy.Policy, error) {
+	pl := s.plans[in.Rng.Intn(len(s.plans))]
+	f := 0.4 + 0.6*in.Rng.Float64()
+	return policy.Policy{Frequency: f, Plan: pl}, nil
+}
+
+func runnerCfg(tr *trace.Trace, strat core.Strategy, seed int64) core.RunnerConfig {
+	return core.RunnerConfig{
+		FreqExponent: 1,
+		Profile:      power.Xeon(),
+		Trace:        tr,
+		EpochSlots:   4,
+		Predictor:    predict.NewNaivePrevious(),
+		Strategy:     strat,
+		Seed:         seed,
+	}
+}
+
+// TestCoordinatorSharedMatchesRunFarmSource pins the tentpole equivalence:
+// a shared-mode coordinator with no quorum and no parking must reproduce
+// core.RunFarmSource bit for bit — every epoch record, every aggregate —
+// across seeds, fleet sizes and dispatchers, with an RNG-consuming strategy
+// so the decision stream itself is compared.
+func TestCoordinatorSharedMatchesRunFarmSource(t *testing.T) {
+	tr := flatTrace(12, 0.3)
+	cases := []struct {
+		k      int
+		lambda float64
+		disp   func() farm.Dispatcher
+		name   string
+	}{
+		{1, 5, func() farm.Dispatcher { return farm.JSQ{} }, "jsq"},
+		{7, 35, func() farm.Dispatcher { return farm.JSQ{} }, "jsq"},
+		{7, 35, func() farm.Dispatcher { return &farm.RoundRobin{} }, "rr"},
+		{7, 35, func() farm.Dispatcher { return &farm.LeastWorkLeft{} }, "lwl"},
+		{1000, 2000, func() farm.Dispatcher { return farm.JSQ{} }, "jsq"},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{1, 2} {
+			jobs := fleetJobs(int(tc.lambda*10), tc.lambda, 5, seed+10)
+			strat := newRngStrategy()
+
+			want, err := core.RunFarmSource(runnerCfg(tr, strat, seed), tc.k, tc.disp(), stream.Slice(jobs))
+			if err != nil {
+				t.Fatalf("k=%d %s seed=%d farm runner: %v", tc.k, tc.name, seed, err)
+			}
+
+			coord, err := New(Config{
+				Servers:      tc.k,
+				FreqExponent: 1,
+				Profile:      power.Xeon(),
+				Trace:        tr,
+				EpochSlots:   4,
+				Strategy:     strat,
+				Predictor:    predict.NewNaivePrevious(),
+				Seed:         seed,
+				Dispatcher:   tc.disp(),
+			})
+			if err != nil {
+				t.Fatalf("k=%d %s seed=%d new: %v", tc.k, tc.name, seed, err)
+			}
+			got, err := coord.Run(stream.Slice(jobs))
+			if err != nil {
+				t.Fatalf("k=%d %s seed=%d run: %v", tc.k, tc.name, seed, err)
+			}
+
+			if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse ||
+				got.P95Response != want.P95Response || got.AvgPower != want.AvgPower ||
+				got.Energy != want.Energy || got.Duration != want.Duration ||
+				got.MeanFrequency != want.MeanFrequency {
+				t.Fatalf("k=%d %s seed=%d aggregates diverge:\n got %+v\nwant %+v",
+					tc.k, tc.name, seed, got.RunReport, want.RunReport)
+			}
+			if !reflect.DeepEqual(got.PlanEpochs, want.PlanEpochs) {
+				t.Fatalf("k=%d %s seed=%d plan epochs %v != %v", tc.k, tc.name, seed, got.PlanEpochs, want.PlanEpochs)
+			}
+			if len(got.Epochs) != len(want.Epochs) {
+				t.Fatalf("k=%d %s seed=%d epoch count %d != %d", tc.k, tc.name, seed, len(got.Epochs), len(want.Epochs))
+			}
+			for i := range got.Epochs {
+				if !reflect.DeepEqual(got.Epochs[i], want.Epochs[i]) {
+					t.Fatalf("k=%d %s seed=%d epoch %d diverges:\n got %+v\nwant %+v",
+						tc.k, tc.name, seed, i, got.Epochs[i], want.Epochs[i])
+				}
+			}
+			for i, fe := range got.FleetEpochs {
+				if fe.Active != tc.k || fe.Parked != 0 || fe.Unparked != 0 {
+					t.Fatalf("k=%d %s seed=%d epoch %d: unexpected fleet dims %+v", tc.k, tc.name, seed, i, fe)
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorRunIsRepeatable: a reused coordinator must reproduce its
+// own run exactly when the predictor state is equivalent (static strategy,
+// reset source) — the reuse contract the benchmark leans on.
+func TestCoordinatorRunIsRepeatable(t *testing.T) {
+	tr := flatTrace(12, 0.3)
+	jobs := fleetJobs(300, 30, 5, 3)
+	pol := policy.Policy{Frequency: 0.9, Plan: policy.SingleState(power.DeepSleep)}
+	coord, err := New(Config{
+		Servers: 5, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 4, Strategy: &staticStrategy{pol: pol},
+		PerServer:    true,
+		NewPredictor: func() predict.Predictor { return predict.NewNaivePrevious() },
+		Seed:         1, Dispatcher: farm.JSQ{},
+		Quorum: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsA, meanA, energyA := first.Jobs, first.MeanResponse, first.Energy
+	epochsA := append([]core.EpochRecord(nil), first.Epochs...)
+	for run := 0; run < 2; run++ {
+		rep, err := coord.Run(stream.Slice(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Jobs != jobsA || rep.MeanResponse != meanA || rep.Energy != energyA {
+			t.Fatalf("run %d diverged: %d/%.17g/%.17g != %d/%.17g/%.17g",
+				run, rep.Jobs, rep.MeanResponse, rep.Energy, jobsA, meanA, energyA)
+		}
+		for i := range rep.Epochs {
+			if rep.Epochs[i].Jobs != epochsA[i].Jobs || rep.Epochs[i].Energy != epochsA[i].Energy {
+				t.Fatalf("run %d epoch %d diverged", run, i)
+			}
+		}
+	}
+}
+
+// TestCoordinatorPerServerStaticMatchesShared: with a static strategy,
+// per-server decisions are identical to the shared decision, so everything
+// except the Predicted column must match the homogeneous farm runner.
+func TestCoordinatorPerServerStaticMatchesShared(t *testing.T) {
+	tr := flatTrace(12, 0.4)
+	jobs := fleetJobs(400, 35, 5, 7)
+	pol := policy.Policy{Frequency: 0.8, Plan: policy.SingleState(power.DeepSleep)}
+	const k = 7
+
+	want, err := core.RunFarmSource(runnerCfg(tr, &staticStrategy{pol: pol}, 1), k, farm.JSQ{}, stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{
+		Servers: k, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 4, Strategy: &staticStrategy{pol: pol},
+		PerServer:    true,
+		NewPredictor: func() predict.Predictor { return predict.NewNaivePrevious() },
+		Seed:         1, Dispatcher: farm.JSQ{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != want.Jobs || got.MeanResponse != want.MeanResponse ||
+		got.P95Response != want.P95Response || got.AvgPower != want.AvgPower ||
+		got.Energy != want.Energy {
+		t.Fatalf("aggregates diverge:\n got %+v\nwant %+v", got.RunReport, want.RunReport)
+	}
+	for i := range got.Epochs {
+		g, w := got.Epochs[i], want.Epochs[i]
+		if g.Jobs != w.Jobs || g.MeanDelay != w.MeanDelay || g.P95Delay != w.P95Delay ||
+			g.Realized != w.Realized || g.Energy != w.Energy || g.BusyTime != w.BusyTime {
+			t.Fatalf("epoch %d diverges:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	// Per-server mode counts one plan epoch per active server.
+	if got.PlanEpochs[pol.Plan.Name] != k*len(got.Epochs) {
+		t.Fatalf("plan epochs %v, want %d", got.PlanEpochs, k*len(got.Epochs))
+	}
+}
+
+// TestCoordinatorHeterogeneousPerServer: a strategy keying off per-server
+// predictions must produce genuinely different per-server policies on a
+// skewed fleet, and the run must still complete with consistent accounting.
+func TestCoordinatorHeterogeneousPerServer(t *testing.T) {
+	tr := flatTrace(16, 0.5)
+	jobs := fleetJobs(600, 40, 5, 11)
+	strat := newRngStrategy()
+	const k = 4
+	distinct := make(map[string]bool)
+	coord, err := New(Config{
+		Servers: k, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 4, Strategy: strat,
+		PerServer:    true,
+		NewPredictor: func() predict.Predictor { return predict.NewNaivePrevious() },
+		Seed:         3, Dispatcher: &farm.LeastWorkLeft{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.cfg.Observer = func(Epoch) {
+		for s := 0; s < k; s++ {
+			pol, parked := coord.Installed(s)
+			if !parked {
+				distinct[pol.String()] = true
+			}
+		}
+	}
+	rep, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs served")
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("per-server decisions never diverged: %v", distinct)
+	}
+	total := 0
+	for s := range rep.PerServer {
+		total += rep.PerServer[s].Jobs
+	}
+	if total != rep.Jobs {
+		t.Fatalf("per-server jobs sum %d != %d", total, rep.Jobs)
+	}
+}
+
+// TestQuorumInvariantAndRotation: with Quorum=2 over 6 servers and a
+// deep-sleeping strategy, every epoch must keep exactly min(Q, active)
+// servers shallow, the duty window must rotate so every server gets capped,
+// and every server must also get its deep-sleep epochs.
+func TestQuorumInvariantAndRotation(t *testing.T) {
+	const k, q = 6, 2
+	tr := flatTrace(24, 0.2)
+	jobs := fleetJobs(300, 12, 5, 5)
+	pol := policy.Policy{Frequency: 1, Plan: policy.SingleState(power.DeeperSleep)}
+	var coord *Coordinator
+	capped := make([]int, k)
+	deep := make([]int, k)
+	cfg := Config{
+		Servers: k, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 2, Strategy: &staticStrategy{pol: pol},
+		Predictor: predict.NewNaivePrevious(),
+		Seed:      1, Dispatcher: farm.JSQ{},
+		Quorum: q,
+		Observer: func(fe Epoch) {
+			if fe.Shallow < q {
+				t.Fatalf("epoch %d: shallow %d < quorum %d", fe.Index, fe.Shallow, q)
+			}
+			for s := 0; s < k; s++ {
+				p, parked := coord.Installed(s)
+				if parked {
+					continue
+				}
+				if p.Plan.DeepestState().CPU <= power.C1 {
+					capped[s]++
+				} else {
+					deep[s]++
+				}
+			}
+		},
+	}
+	var err error
+	coord, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FleetEpochs) != 12 {
+		t.Fatalf("epochs %d != 12", len(rep.FleetEpochs))
+	}
+	for _, fe := range rep.FleetEpochs {
+		if fe.Shallow != q {
+			t.Fatalf("epoch %d: shallow %d != %d with a deep strategy", fe.Index, fe.Shallow, q)
+		}
+	}
+	for s := 0; s < k; s++ {
+		if capped[s] == 0 {
+			t.Fatalf("server %d never entered the duty window: %v", s, capped)
+		}
+		if deep[s] == 0 {
+			t.Fatalf("server %d never slept deep: %v", s, deep)
+		}
+	}
+}
+
+// TestParkRoutesOnlyActive: under constant low demand the fleet shrinks to
+// the floor and parked servers must never receive a job.
+func TestParkRoutesOnlyActive(t *testing.T) {
+	const k = 4
+	tr := flatTrace(12, 0.05)
+	jobs := fleetJobs(100, 2, 5, 9)
+	pol := policy.Policy{Frequency: 1, Plan: policy.NoSleep()}
+	coord, err := New(Config{
+		Servers: k, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 2, Strategy: &staticStrategy{pol: pol},
+		Predictor: predict.NewNaivePrevious(),
+		Seed:      1, Dispatcher: farm.JSQ{},
+		Park: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fe := range rep.FleetEpochs {
+		if fe.Active != 1 || fe.Parked != k-1 {
+			t.Fatalf("epoch %d: active/parked %d/%d, want 1/%d", fe.Index, fe.Active, fe.Parked, k-1)
+		}
+	}
+	if rep.PerServer[0].Jobs != rep.Jobs || rep.Jobs == 0 {
+		t.Fatalf("server 0 served %d of %d", rep.PerServer[0].Jobs, rep.Jobs)
+	}
+	for s := 1; s < k; s++ {
+		if rep.PerServer[s].Jobs != 0 {
+			t.Fatalf("parked server %d served %d jobs", s, rep.PerServer[s].Jobs)
+		}
+	}
+	if rep.EnergyProportionality <= 0 || rep.EnergyProportionality > 1 {
+		t.Fatalf("energy proportionality %g outside (0, 1]", rep.EnergyProportionality)
+	}
+	if rep.PeakPower != float64(k)*power.Xeon().ActivePower(1) {
+		t.Fatalf("peak power %g", rep.PeakPower)
+	}
+}
+
+// TestParkRespectsQuorumFloor: the active set never shrinks below the
+// quorum, even under negligible demand.
+func TestParkRespectsQuorumFloor(t *testing.T) {
+	coord, err := New(Config{
+		Servers: 4, FreqExponent: 1, Profile: power.Xeon(), Trace: flatTrace(8, 0.05),
+		EpochSlots: 2, Strategy: &staticStrategy{pol: policy.Policy{Frequency: 1, Plan: policy.NoSleep()}},
+		Predictor: predict.NewNaivePrevious(),
+		Seed:      1, Dispatcher: farm.JSQ{},
+		Park: true, Quorum: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(stream.Slice(fleetJobs(50, 2, 5, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fe := range rep.FleetEpochs {
+		if fe.Active < 3 {
+			t.Fatalf("epoch %d: active %d below quorum floor 3", fe.Index, fe.Active)
+		}
+	}
+}
+
+// TestUnparkPaysExactWake: a server unparked after sleeping in the deepest
+// state must record exactly one wake of exactly the deep-sleep latency.
+func TestUnparkPaysExactWake(t *testing.T) {
+	const k = 2
+	tr := flatTrace(12, 0.05)
+	for i := 4; i < 12; i++ {
+		tr.Utilization[i] = 0.9
+	}
+	jobs := fleetJobs(200, 8, 4, 13)
+	pol := policy.Policy{Frequency: 1, Plan: policy.NoSleep()}
+	coord, err := New(Config{
+		Servers: k, FreqExponent: 1, Profile: power.Xeon(), Trace: tr,
+		EpochSlots: 2, Strategy: &staticStrategy{pol: pol},
+		Predictor: predict.NewNaivePrevious(),
+		Seed:      1, Dispatcher: farm.JSQ{},
+		Park: true, ParkTargetRho: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(stream.Slice(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unparked := 0
+	for _, fe := range rep.FleetEpochs {
+		unparked += fe.Unparked
+	}
+	if unparked != 1 {
+		t.Fatalf("unpark events %d != 1 (%+v)", unparked, rep.FleetEpochs)
+	}
+	wantWake := power.Xeon().Wake(power.DeeperSleep)
+	if rep.PerServer[1].Wakes != 1 || rep.PerServer[1].WakeTime != wantWake {
+		t.Fatalf("server 1 wakes=%d wakeTime=%.17g, want 1 wake of exactly %.17g",
+			rep.PerServer[1].Wakes, rep.PerServer[1].WakeTime, wantWake)
+	}
+	// The NoSleep policy never wakes, so server 0 must record none.
+	if rep.PerServer[0].Wakes != 0 {
+		t.Fatalf("server 0 wakes=%d", rep.PerServer[0].Wakes)
+	}
+}
+
+// TestNewValidation covers the configuration error surface, the quorum >
+// fleet rejection included.
+func TestNewValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Servers: 4, FreqExponent: 1, Profile: power.Xeon(), Trace: flatTrace(8, 0.3),
+			EpochSlots: 2, Strategy: &staticStrategy{pol: policy.Policy{Frequency: 1, Plan: policy.NoSleep()}},
+			Predictor: predict.NewNaivePrevious(), Dispatcher: farm.JSQ{},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero servers", func(c *Config) { c.Servers = 0 }},
+		{"nil trace", func(c *Config) { c.Trace = nil }},
+		{"no strategy", func(c *Config) { c.Strategy = nil }},
+		{"no profile", func(c *Config) { c.Profile = nil }},
+		{"no dispatcher", func(c *Config) { c.Dispatcher = nil }},
+		{"no predictor", func(c *Config) { c.Predictor = nil }},
+		{"per-server without factory", func(c *Config) { c.PerServer = true }},
+		{"quorum exceeds fleet", func(c *Config) { c.Quorum = 5 }},
+		{"negative quorum", func(c *Config) { c.Quorum = -1 }},
+		{"park target above 1", func(c *Config) { c.ParkTargetRho = 1.5 }},
+		{"min active exceeds fleet", func(c *Config) { c.MinActive = 9 }},
+		{"zero epoch slots", func(c *Config) { c.EpochSlots = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := New(base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestWriteLogsRoundtrip: the fleet epoch and server logs must come back
+// with the right kinds, shapes and values through the column store.
+func TestWriteLogsRoundtrip(t *testing.T) {
+	coord, err := New(Config{
+		Servers: 3, FreqExponent: 1, Profile: power.Xeon(), Trace: flatTrace(8, 0.3),
+		EpochSlots: 2, Strategy: &staticStrategy{pol: policy.Policy{Frequency: 0.7, Plan: policy.SingleState(power.Sleep)}},
+		Predictor: predict.NewNaivePrevious(),
+		Seed:      1, Dispatcher: farm.JSQ{},
+		Quorum: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(stream.Slice(fleetJobs(120, 10, 5, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	epochPath := filepath.Join(dir, "epochs.col")
+	if err := WriteEpochLog(epochPath, rep); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colstore.Open(epochPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Schema().Kind != colstore.KindFleetEpochs {
+		t.Fatalf("kind %d", r.Schema().Kind)
+	}
+	if r.Rows() != len(rep.Epochs) {
+		t.Fatalf("rows %d != %d", r.Rows(), len(rep.Epochs))
+	}
+	ci := r.Schema().ColIndex("active")
+	if ci < 0 {
+		t.Fatal("no active column")
+	}
+	col, err := r.Col(0, ci, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fe := range rep.FleetEpochs {
+		if col[i] != float64(fe.Active) {
+			t.Fatalf("epoch %d active %g != %d", i, col[i], fe.Active)
+		}
+	}
+
+	srvPath := filepath.Join(dir, "servers.col")
+	if err := WriteServerLog(srvPath, rep); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := colstore.Open(srvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Schema().Kind != colstore.KindFleetServers {
+		t.Fatalf("kind %d", rs.Schema().Kind)
+	}
+	if rs.Rows() != 3 {
+		t.Fatalf("rows %d != 3", rs.Rows())
+	}
+	ji := rs.Schema().ColIndex("jobs")
+	col, err = rs.Col(0, ji, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range col {
+		total += v
+	}
+	if int(total) != rep.Jobs {
+		t.Fatalf("logged jobs %g != %d", total, rep.Jobs)
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"fmt"
+
+	"sleepscale/internal/colstore"
+)
+
+// EpochLogSchema returns the column-file schema fleet per-epoch logs use:
+// the core epoch-log quantities plus the fleet dimensions, one row per
+// epoch. The "plan" column stores dictionary ids of the recorded policy's
+// sleep-plan name.
+func EpochLogSchema() colstore.Schema {
+	return colstore.Schema{
+		Kind: colstore.KindFleetEpochs,
+		Cols: []string{
+			"epoch", "predicted", "realized", "frequency", "plan",
+			"jobs", "mean_delay", "p95_delay", "energy", "busy", "wake", "idle",
+			"active", "parked", "shallow", "unparked",
+		},
+	}
+}
+
+// WriteEpochLog appends a coordinated run's per-epoch records — the core
+// epoch records zipped with their fleet rollups — to the column file at
+// path, creating it if absent. Append-only, like core.WriteEpochLog, so a
+// long-lived coordinator keeps one growing log.
+func WriteEpochLog(path string, rep *Report) error {
+	if len(rep.Epochs) != len(rep.FleetEpochs) {
+		return fmt.Errorf("fleet: %d epoch records but %d fleet records", len(rep.Epochs), len(rep.FleetEpochs))
+	}
+	w, err := colstore.Append(path, EpochLogSchema())
+	if err != nil {
+		return err
+	}
+	row := make([]float64, 16)
+	for i := range rep.Epochs {
+		rec, fe := &rep.Epochs[i], &rep.FleetEpochs[i]
+		row[0] = float64(rec.Index)
+		row[1] = rec.Predicted
+		row[2] = rec.Realized
+		row[3] = rec.Policy.Frequency
+		row[4] = w.DictID(rec.Policy.Plan.Name)
+		row[5] = float64(rec.Jobs)
+		row[6] = rec.MeanDelay
+		row[7] = rec.P95Delay
+		row[8] = rec.Energy
+		row[9] = rec.BusyTime
+		row[10] = rec.WakeTime
+		row[11] = rec.IdleTime
+		row[12] = float64(fe.Active)
+		row[13] = float64(fe.Parked)
+		row[14] = float64(fe.Shallow)
+		row[15] = float64(fe.Unparked)
+		if err := w.Append(row); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ServerLogSchema returns the column-file schema fleet per-server rollups
+// use: one row per server with its whole-run totals.
+func ServerLogSchema() colstore.Schema {
+	return colstore.Schema{
+		Kind: colstore.KindFleetServers,
+		Cols: []string{
+			"server", "jobs", "mean_response", "p95_response",
+			"avg_power", "energy", "busy", "wake", "idle", "wakes",
+			"utilization",
+		},
+	}
+}
+
+// WriteServerLog appends a coordinated run's per-server summaries to the
+// column file at path, creating it if absent.
+func WriteServerLog(path string, rep *Report) error {
+	w, err := colstore.Append(path, ServerLogSchema())
+	if err != nil {
+		return err
+	}
+	row := make([]float64, 11)
+	for s := range rep.PerServer {
+		sum := &rep.PerServer[s]
+		row[0] = float64(s)
+		row[1] = float64(sum.Jobs)
+		row[2] = sum.MeanResponse
+		row[3] = sum.ResponseP95
+		row[4] = sum.AvgPower
+		row[5] = sum.Energy
+		row[6] = sum.BusyTime
+		row[7] = sum.WakeTime
+		row[8] = sum.IdleTime
+		row[9] = float64(sum.Wakes)
+		row[10] = sum.MeasuredUtilization
+		if err := w.Append(row); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -274,6 +274,14 @@ func (t *WeightedTally) Add(name string, w float64) {
 	t.total += w
 }
 
+// Reset empties the tally in place, keeping the map and slice storage so a
+// reused tally accumulates again without allocating.
+func (t *WeightedTally) Reset() {
+	clear(t.weights)
+	t.order = t.order[:0]
+	t.total = 0
+}
+
 // Get reports the accumulated weight of bucket name.
 func (t *WeightedTally) Get(name string) float64 { return t.weights[name] }
 

@@ -225,7 +225,8 @@ type Engine struct {
 	// only materializes in Finish. residPrev carries residency accumulated
 	// under earlier configurations across SetConfigAt switches; it stays nil
 	// until the first switch, so the one-config evaluation path never
-	// touches a map.
+	// touches a map, and Reset empties it in place so a switching re-run
+	// (e.g. an epoch loop replayed per benchmark op) never reallocates it.
 	resid     []float64
 	residPrev *metrics.WeightedTally
 	responses metrics.Sample
@@ -266,7 +267,9 @@ func (e *Engine) Reset(cfg Config, start float64) error {
 	e.energy, e.busy, e.wake, e.idle = 0, 0, 0, 0
 	e.wakes = 0
 	e.resid = resizeZero(e.resid, len(cfg.Phases)+1)
-	e.residPrev = nil
+	if e.residPrev != nil {
+		e.residPrev.Reset() // emptied in place: a re-run's switches reuse it
+	}
 	e.responses.Reset()
 	return nil
 }
@@ -390,6 +393,40 @@ func (e *Engine) Process(j Job) (response float64, err error) {
 // moments (O(1) memory for unbounded runs; see the discardResponses field).
 // Switch before the first Process of a run.
 func (e *Engine) SetRetainResponses(retain bool) { e.discardResponses = !retain }
+
+// WakeAt wakes an idle server at absolute time t without serving a job: the
+// fleet coordinator's unpark. Idle up to t is billed under the current
+// configuration, the wake-up latency of the sleep phase occupied at t is
+// charged exactly as Process charges it for an arriving job — wake time at
+// active power, wakes incremented — and the server is busy waking until
+// t + latency, where its idle schedule re-anchors. A job arriving during the
+// wake therefore queues behind it, so an unparked server's first response
+// pays the full deep-sleep wake cost. A busy server (t ≤ freeAt) has nothing
+// to wake; the call is a no-op.
+func (e *Engine) WakeAt(t float64) error {
+	if t < e.lastSeen {
+		return fmt.Errorf("queue: wake at %g before last arrival %g", t, e.lastSeen)
+	}
+	e.lastSeen = t
+	if t <= e.freeAt {
+		return nil
+	}
+	e.billIdle(e.billed, t)
+	e.billed = t
+	w := 0.0
+	if k := e.cfg.occupiedPhase(t - e.anchor); k >= 0 {
+		w = e.cfg.Phases[k].WakeLatency
+	}
+	if w > 0 {
+		e.wakes++
+		e.wake += w
+		e.energy += w * e.cfg.ActivePower
+	}
+	e.freeAt = t + w
+	e.anchor = e.freeAt
+	e.billed = e.freeAt
+	return nil
+}
 
 // SetConfigAt switches the engine to a new configuration at absolute time t.
 // Idle time before t is billed under the old configuration; the idle

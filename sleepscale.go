@@ -8,6 +8,7 @@ import (
 	"sleepscale/internal/core"
 	"sleepscale/internal/dist"
 	"sleepscale/internal/farm"
+	"sleepscale/internal/fleet"
 	"sleepscale/internal/multicore"
 	"sleepscale/internal/policy"
 	"sleepscale/internal/power"
@@ -582,6 +583,10 @@ type (
 	// routing also tracks per-server idle anchors, so wake-up pricing stays
 	// exact across mid-run config switches taken during an idle period.
 	AnchoredRouter = farm.AnchoredRouter
+	// ConfigRouter marks AnchoredRouters (LeastWorkLeft) that price each
+	// server from its own live configuration, which heterogeneous fleets —
+	// per-server policies — require for exact routing.
+	ConfigRouter = farm.ConfigRouter
 	// FarmDispatchOptions tunes RunFarmSource's streaming dispatch loop,
 	// including the persistent worker-pool bound of the parallel mode
 	// (Workers; 0 uses the whole GOMAXPROCS-sized pool) and the
@@ -640,6 +645,39 @@ type FarmRunReport = core.FarmRunReport
 func RunFarmEpochs(cfg RunnerConfig, servers int, disp Dispatcher, src StreamSource) (FarmRunReport, error) {
 	return core.RunFarmSource(cfg, servers, disp, src)
 }
+
+// Fleet coordination: the layer above RunFarmEpochs that owns per-server
+// (configuration, policy) state — per-server strategy decisions, staggered
+// sleep quorums with deep-sleep rotation, and horizontal scaling that parks
+// and unparks whole servers. In shared mode with no quorum and no parking a
+// coordinated run is bit-identical to RunFarmEpochs.
+type (
+	// FleetConfig describes one coordinated fleet run: fleet size, trace,
+	// strategy, predictor (shared or per-server factory), dispatcher, and
+	// the quorum/park coordination knobs.
+	FleetConfig = fleet.Config
+	// FleetCoordinator drives the epoch-boundary decide→serve→observe cycle
+	// over a dispatched farm, one (configuration, policy) pair per server.
+	FleetCoordinator = fleet.Coordinator
+	// FleetReport aggregates a coordinated run: the farm-wide RunReport plus
+	// per-server summaries, per-epoch fleet rollups, peak power, jobs per
+	// joule and an energy-proportionality score.
+	FleetReport = fleet.Report
+	// FleetEpoch is the fleet-level rollup of one epoch: active/parked
+	// split, quorum-shallow count, unpark wake-ups and mean frequency.
+	FleetEpoch = fleet.Epoch
+)
+
+// NewFleetCoordinator validates cfg and builds a reusable coordinator.
+func NewFleetCoordinator(cfg FleetConfig) (*FleetCoordinator, error) { return fleet.New(cfg) }
+
+// WriteFleetEpochLog appends a coordinated run's per-epoch records — core
+// epoch records zipped with their fleet rollups — to the column file at path.
+func WriteFleetEpochLog(path string, rep *FleetReport) error { return fleet.WriteEpochLog(path, rep) }
+
+// WriteFleetServerLog appends a coordinated run's per-server summaries to
+// the column file at path.
+func WriteFleetServerLog(path string, rep *FleetReport) error { return fleet.WriteServerLog(path, rep) }
 
 // Multi-core extension (paper §7 future work): one chip, k cores, a shared
 // FCFS queue, per-core CPU sleep states and a platform gated by the union

@@ -315,3 +315,104 @@ func TestFacadeStreamedFarmDispatch(t *testing.T) {
 			rep.Jobs, rep.Servers, rep.Dispatcher)
 	}
 }
+
+// TestFacadeFleetCoordinator drives the fleet layer through the public
+// facade: shared mode matches RunFarmEpochs exactly, the coordinated knobs
+// produce fleet rollups, and both log writers round-trip through colstore.
+func TestFacadeFleetCoordinator(t *testing.T) {
+	stats, err := sleepscale.NewIdealizedStats(sleepscale.DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sleepscale.FileServerTrace(1, 1).Window(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	newSrc := func() sleepscale.StreamSource {
+		src, err := sleepscale.NewTraceSource(stats, tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	base := sleepscale.FleetConfig{
+		Servers:      3,
+		FreqExponent: 1,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   8,
+		Predictor:    sleepscale.NewNaivePredictor(),
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		Seed:         1,
+		Dispatcher:   sleepscale.JSQ{},
+	}
+
+	// Shared mode, no quorum, no parking: bit-identical to the §6 loop.
+	coord, err := sleepscale.NewFleetCoordinator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(newSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sleepscale.RunFarmEpochs(sleepscale.RunnerConfig{
+		Stats:        stats,
+		FreqExponent: 1,
+		Profile:      sleepscale.Xeon(),
+		Trace:        tr,
+		EpochSlots:   8,
+		Predictor:    sleepscale.NewNaivePredictor(),
+		Strategy:     sleepscale.NewStaticStrategy(pol, "static"),
+		Seed:         1,
+	}, 3, sleepscale.JSQ{}, newSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != want.Jobs || rep.MeanResponse != want.MeanResponse || rep.Energy != want.Energy {
+		t.Errorf("shared coordinator diverges from RunFarmEpochs: jobs %d vs %d, E[R] %v vs %v, energy %v vs %v",
+			rep.Jobs, want.Jobs, rep.MeanResponse, want.MeanResponse, rep.Energy, want.Energy)
+	}
+
+	// Coordinated: per-server policies, a quorum and parking.
+	cfg := base
+	cfg.PerServer = true
+	cfg.Predictor = nil
+	cfg.NewPredictor = sleepscale.NewNaivePredictor
+	cfg.Quorum = 1
+	cfg.Park = true
+	coord, err = sleepscale.NewFleetCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = coord.Run(newSrc()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Servers != 3 || len(rep.PerServer) != 3 || len(rep.FleetEpochs) != len(rep.Epochs) {
+		t.Fatalf("fleet report shape: %+v", rep)
+	}
+	if rep.EnergyProportionality <= 0 || rep.EnergyProportionality > 1 || rep.JobsPerJoule <= 0 {
+		t.Errorf("fleet rollups: EP=%v jobs/J=%v", rep.EnergyProportionality, rep.JobsPerJoule)
+	}
+	for _, fe := range rep.FleetEpochs {
+		if q := min(1, fe.Active); fe.Shallow < q {
+			t.Fatalf("epoch %d breaks quorum: %+v", fe.Index, fe)
+		}
+	}
+	dir := t.TempDir()
+	if err := sleepscale.WriteFleetEpochLog(dir+"/e.col", rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := sleepscale.WriteFleetServerLog(dir+"/s.col", rep); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sleepscale.OpenCol(dir + "/e.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != len(rep.Epochs) {
+		t.Errorf("epoch log rows = %d, want %d", r.Rows(), len(rep.Epochs))
+	}
+}
