@@ -699,6 +699,79 @@ func BenchmarkFleetCoordinatedEpoch(b *testing.B) {
 	b.ReportMetric(watts, "watts")
 }
 
+// BenchmarkFaultFailoverRouting measures routing around crashed servers at
+// fleet scale: one op resets a 1,000-server farm and re-serves a rewound
+// stationary stream twice through compact Select views, alternating between
+// two failure patterns (every 10th server down, then the neighboring
+// tenth) so the O(log k) routing index rebinds to a churned healthy set
+// each serve — the farm-layer path a fleet crash and repair exercises. View
+// refills, index rebinds and the sliced serving scratch all reuse warm
+// storage: steady-state allocs/op must stay at 0 — CI gates the budget via
+// BENCH_fault.json.
+func BenchmarkFaultFailoverRouting(b *testing.B) {
+	const k = 1000
+	stats := dispatchStats(b)
+	// ~20k jobs per serve: enough to exercise the index's busy/idle
+	// machinery across the down-server holes.
+	horizon := stats.Inter.Mean() * 20000
+	src, err := sleepscale.NewStationarySource(stats, horizon, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := sleepscale.Policy{Frequency: 1, Plan: sleepscale.SingleState(sleepscale.DeepSleep)}
+	cfg, err := pol.Config(sleepscale.Xeon(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := sleepscale.NewFarm(k, cfg, sleepscale.JSQ{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var idxA, idxB []int
+	for s := 0; s < k; s++ {
+		if s%10 != 0 {
+			idxA = append(idxA, s)
+		}
+		if s%10 != 1 {
+			idxB = append(idxB, s)
+		}
+	}
+	opts := sleepscale.FarmDispatchOptions{Parallel: true}
+	var viewA, viewB *sleepscale.Farm
+	op := func() float64 {
+		if err := f.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		var serr error
+		if viewA, serr = f.Select(viewA, idxA); serr != nil {
+			b.Fatal(serr)
+		}
+		src.Reset(1)
+		if _, serr = viewA.ServeSourceSliced(src, opts); serr != nil {
+			b.Fatal(serr)
+		}
+		if err := f.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if viewB, serr = f.Select(viewB, idxB); serr != nil {
+			b.Fatal(serr)
+		}
+		src.Reset(2)
+		if _, serr = viewB.ServeSourceSliced(src, opts); serr != nil {
+			b.Fatal(serr)
+		}
+		return f.FinishSummary(f.LastFree()).TotalAvgPower
+	}
+	op() // warm views, index, pool and sliced scratch
+	var watts float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		watts = op()
+	}
+	b.ReportMetric(watts, "watts")
+}
+
 // BenchmarkFarmRoute10k is the indexed-vs-linear routing A/B at k = 10,000:
 // the same farm, stream and dispatcher, with the O(log k) routing index on
 // (default) and off (LinearRouting). The two variants produce bit-identical

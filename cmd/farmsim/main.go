@@ -33,6 +33,15 @@
 // per-epoch records zipped with active/parked/shallow/unparked rollups:
 //
 //	farmsim -trace email-store -sizes 8 -coordinate -quorum 2 -park
+//
+// Fault injection rides on the coordinator: -faults replays a scripted
+// crash/repair schedule ("<time> <server> crash|repair" per line) while
+// -mtbf/-mttr draws seeded per-server outages; lost in-flight jobs are
+// re-dispatched under -retry-budget/-retry-backoff and the applied events
+// tee to a column file with -faults-out:
+//
+//	farmsim -trace email-store -sizes 8 -coordinate -park \
+//	    -mtbf 14400 -mttr 600 -faults-out faults.col
 package main
 
 import (
@@ -68,6 +77,12 @@ func main() {
 		coordinate = flag.Bool("coordinate", false, "with -trace: run the fleet coordinator (per-server predictors and policies) instead of the shared epoch loop")
 		quorum     = flag.Int("quorum", 0, "with -coordinate: rotate deep sleep so this many active servers always stay no deeper than C1")
 		park       = flag.Bool("park", false, "with -coordinate: park surplus servers (drain, deep-sleep, remove from routing)")
+		faultsArg  = flag.String("faults", "", "with -coordinate: inject the crash/repair schedule in this file (\"<time> <server> crash|repair\" per line)")
+		mtbf       = flag.Float64("mtbf", 0, "with -coordinate: draw seeded per-server crashes with this mean time between failures (seconds); needs -mttr")
+		mttr       = flag.Float64("mttr", 0, "with -coordinate: mean time to repair (seconds) for -mtbf failures")
+		retryN     = flag.Int("retry-budget", 3, "with -faults/-mtbf: times a lost job may be re-dispatched before it is dropped")
+		retryWait  = flag.Float64("retry-backoff", 0.1, "with -faults/-mtbf: seconds per attempt added to a lost job's re-dispatch instant")
+		faultsOut  = flag.String("faults-out", "", "with -faults/-mtbf: append the applied fault events to this column file (query with colq)")
 	)
 	flag.Parse()
 
@@ -76,11 +91,19 @@ func main() {
 		log.Fatal(err)
 	}
 	if *traceArg != "" {
-		fc := fleetFlags{coordinate: *coordinate, quorum: *quorum, park: *park}
+		fc := fleetFlags{
+			coordinate: *coordinate, quorum: *quorum, park: *park,
+			faultsFile: *faultsArg, mtbf: *mtbf, mttr: *mttr,
+			retry:     sleepscale.FaultRetryPolicy{Budget: *retryN, Backoff: *retryWait},
+			faultsOut: *faultsOut,
+		}
 		if err := runTraceFarm(sizes, *traceArg, *epochT, *dispatch, *seed, *epochsOut, fc); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *coordinate || *quorum != 0 || *park || *faultsArg != "" || *mtbf > 0 || *mttr > 0 || *faultsOut != "" {
+		log.Fatal("-coordinate, -quorum, -park, -faults, -mtbf/-mttr and -faults-out need -trace")
 	}
 	// The materialized job slice only exists outside -stream farm runs —
 	// materializing it anyway would do exactly the work the flag avoids.
@@ -162,6 +185,44 @@ type fleetFlags struct {
 	coordinate bool
 	quorum     int
 	park       bool
+	faultsFile string
+	mtbf, mttr float64
+	retry      sleepscale.FaultRetryPolicy
+	faultsOut  string
+}
+
+// buildFaults resolves the fault flags into a source for a k-server fleet
+// over a trace lasting horizon seconds, or nil when no injection was asked
+// for. A scripted -faults file and a seeded -mtbf/-mttr renewal process are
+// mutually exclusive.
+func (fc fleetFlags) buildFaults(k int, horizon float64, seed int64) (sleepscale.FaultSource, error) {
+	script, renewal := fc.faultsFile != "", fc.mtbf > 0 || fc.mttr > 0
+	if !script && !renewal {
+		return nil, nil
+	}
+	if !fc.coordinate {
+		return nil, fmt.Errorf("-faults and -mtbf/-mttr need -coordinate")
+	}
+	if script && renewal {
+		return nil, fmt.Errorf("-faults and -mtbf/-mttr are mutually exclusive")
+	}
+	if script {
+		text, err := os.ReadFile(fc.faultsFile)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := sleepscale.ParseFaultSchedule(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", fc.faultsFile, err)
+		}
+		return sched, nil
+	}
+	if fc.mtbf <= 0 || fc.mttr <= 0 {
+		return nil, fmt.Errorf("-mtbf and -mttr must both be positive (got %g and %g)", fc.mtbf, fc.mttr)
+	}
+	return sleepscale.NewFaultRenewal(sleepscale.FaultRenewalConfig{
+		Servers: k, MTBF: fc.mtbf, MTTR: fc.mttr, Horizon: horizon,
+	}, seed)
 }
 
 // runTraceFarm sweeps farm sizes through the epoch-policy runner over a
@@ -172,6 +233,9 @@ type fleetFlags struct {
 func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, seed int64, epochsOut string, fc fleetFlags) error {
 	if !fc.coordinate && (fc.quorum != 0 || fc.park) {
 		return fmt.Errorf("-quorum and -park need -coordinate")
+	}
+	if !fc.coordinate && (fc.faultsFile != "" || fc.mtbf > 0 || fc.mttr > 0 || fc.faultsOut != "") {
+		return fmt.Errorf("-faults, -mtbf/-mttr and -faults-out need -coordinate")
 	}
 	for _, k := range sizes {
 		if fc.quorum > k {
@@ -218,6 +282,10 @@ func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, se
 			return err
 		}
 		if fc.coordinate {
+			faults, err := fc.buildFaults(k, tr.Duration(), seed)
+			if err != nil {
+				return err
+			}
 			coord, err := sleepscale.NewFleetCoordinator(sleepscale.FleetConfig{
 				Servers:      k,
 				FreqExponent: spec.FreqExponent,
@@ -231,6 +299,8 @@ func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, se
 				Dispatcher:   disp,
 				Quorum:       fc.quorum,
 				Park:         fc.park,
+				Faults:       faults,
+				Retry:        fc.retry,
 			})
 			if err != nil {
 				return err
@@ -242,8 +312,17 @@ func runTraceFarm(sizes []int, traceName string, epochT int, dispatch string, se
 			fmt.Printf("%6d  %10.4f  %10.4f  %12.2f  %8d  %8.4f  %8.2f\n",
 				k, rep.MeanResponse, rep.P95Response, rep.AvgPower, len(rep.Epochs),
 				rep.EnergyProportionality, rep.JobsPerJoule*1e3)
+			if faults != nil {
+				fmt.Printf("        faults: %d crashes, %d repairs; jobs: %d offered = %d completed + %d requeued + %d dropped (%d retries)\n",
+					rep.Crashes, rep.Repairs, rep.Offered, rep.Completed, rep.Requeued, rep.Dropped, rep.Retries)
+			}
 			if epochsOut != "" {
 				if err := sleepscale.WriteFleetEpochLog(epochsOut, rep); err != nil {
+					return err
+				}
+			}
+			if fc.faultsOut != "" {
+				if err := sleepscale.WriteFaultLog(fc.faultsOut, rep.FaultEvents); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// wireMagic mirrors the serve wire format's stream opener: every producer
+// (a fresh WireWriter) starts its stream with these four bytes.
+const wireMagic = "SSW1"
+
+// socketFeed adapts a listening socket into the daemon's event stream with
+// a read deadline and a bounded reconnect loop, so a producer that stalls
+// or drops its connection can never wedge the serve loop forever:
+//
+//   - A connection that delivers no bytes for timeout is cut loose and the
+//     feed goes back to accepting (the first accept waits indefinitely — a
+//     daemon may start long before its load generator).
+//   - After a cut, the next producer must connect and speak within timeout;
+//     each stall or drop spends one unit of the reconnect budget, and a
+//     spent budget surfaces as a read error the serve loop drains on.
+//   - A reconnecting producer restarts its wire stream, so the feed strips
+//     and verifies the re-sent magic on every connection after the first —
+//     the daemon's reader sees one continuous stream. The producer is
+//     responsible for resuming from where its previous connection left off
+//     (the -replay flag covers feeds that restart from the beginning).
+type socketFeed struct {
+	l        net.Listener
+	timeout  time.Duration
+	retries  int
+	accepted bool // first producer already seen
+
+	mu     sync.Mutex // guards conn/closed against the signal-handler Close
+	conn   net.Conn
+	closed bool
+}
+
+func newSocketFeed(network, addr string, timeout time.Duration, retries int) (*socketFeed, error) {
+	if retries < 0 {
+		return nil, fmt.Errorf("feed: reconnect budget must be >= 0, got %d", retries)
+	}
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &socketFeed{l: l, timeout: timeout, retries: retries}, nil
+}
+
+// Read serves the next chunk of the event stream, transparently cutting
+// stalled producers and accepting replacements. Called from the serve loop
+// only.
+func (f *socketFeed) Read(p []byte) (int, error) {
+	for {
+		conn, err := f.current()
+		if err != nil {
+			return 0, err
+		}
+		if f.timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(f.timeout))
+		}
+		n, err := conn.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err == nil {
+			continue
+		}
+		if f.isClosed() {
+			return 0, err // part of the graceful drain
+		}
+		f.drop(conn)
+		if f.retries <= 0 {
+			return 0, fmt.Errorf("feed: producer stalled or dropped (%v); reconnect budget spent", err)
+		}
+		f.retries--
+	}
+}
+
+// current returns the live connection, accepting one if none is bound.
+func (f *socketFeed) current() (net.Conn, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if c := f.conn; c != nil {
+		f.mu.Unlock()
+		return c, nil
+	}
+	f.mu.Unlock()
+	return f.accept()
+}
+
+// accept binds the next producer connection. The first accept waits
+// indefinitely; re-accepts after a cut are deadline-bounded so an absent
+// replacement cannot wedge the loop either.
+func (f *socketFeed) accept() (net.Conn, error) {
+	if d, ok := f.l.(interface{ SetDeadline(time.Time) error }); ok {
+		var dl time.Time
+		if f.accepted && f.timeout > 0 {
+			dl = time.Now().Add(f.timeout)
+		}
+		d.SetDeadline(dl) // the zero time clears a previous deadline
+	}
+	conn, err := f.l.Accept()
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() && !f.isClosed() {
+			return nil, fmt.Errorf("feed: no producer reconnected within %v", f.timeout)
+		}
+		return nil, err
+	}
+	if f.accepted {
+		if err := f.stripMagic(conn); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	f.accepted = true
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	return conn, nil
+}
+
+// stripMagic consumes and verifies the wire magic a reconnecting producer
+// re-sends at the head of its fresh stream.
+func (f *socketFeed) stripMagic(conn net.Conn) error {
+	if f.timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(f.timeout))
+	}
+	var m [len(wireMagic)]byte
+	if _, err := io.ReadFull(conn, m[:]); err != nil {
+		return fmt.Errorf("feed: reconnected producer sent no stream header: %w", err)
+	}
+	if string(m[:]) != wireMagic {
+		return fmt.Errorf("feed: reconnected producer sent bad magic %q", m)
+	}
+	return nil
+}
+
+// drop cuts a producer connection loose after a stall or disconnect.
+func (f *socketFeed) drop(conn net.Conn) {
+	conn.Close()
+	f.mu.Lock()
+	if f.conn == conn {
+		f.conn = nil
+	}
+	f.mu.Unlock()
+}
+
+func (f *socketFeed) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Close tears the feed down: safe to call from the signal-handler
+// goroutine; it unblocks a pending Read or Accept.
+func (f *socketFeed) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return f.l.Close()
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startFeed binds a socketFeed on a loopback TCP port and returns it with
+// its dial address.
+func startFeed(t *testing.T, timeout time.Duration, retries int) (*socketFeed, string) {
+	t.Helper()
+	f, err := newSocketFeed("tcp", "127.0.0.1:0", timeout, retries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, f.l.Addr().String()
+}
+
+// readAll drains the feed until it errors, returning everything delivered.
+func readAll(f *socketFeed) ([]byte, error) {
+	var got []byte
+	buf := make([]byte, 256)
+	for {
+		n, err := f.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			return got, err
+		}
+	}
+}
+
+// TestSocketFeedStalledClientCut: a producer that goes silent past the
+// read deadline is cut, and a spent reconnect budget surfaces as an error
+// instead of a hang.
+func TestSocketFeedStalledClientCut(t *testing.T) {
+	f, addr := startFeed(t, 100*time.Millisecond, 0)
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		conn.Write([]byte(wireMagic + "stall"))
+		time.Sleep(5 * time.Second) // stall without closing
+		conn.Close()
+	}()
+	done := make(chan struct{})
+	var got []byte
+	var err error
+	go func() {
+		got, err = readAll(f)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled client wedged the feed")
+	}
+	if string(got) != wireMagic+"stall" {
+		t.Fatalf("delivered %q before the cut", got)
+	}
+	if err == nil || !strings.Contains(err.Error(), "reconnect budget spent") {
+		t.Fatalf("want budget-spent error, got %v", err)
+	}
+}
+
+// TestSocketFeedReconnectResumes: a dropped producer's replacement is
+// accepted, its re-sent magic is stripped, and the byte stream continues
+// seamlessly; when nobody reconnects after the last drop, the bounded
+// accept deadline errors out instead of hanging.
+func TestSocketFeedReconnectResumes(t *testing.T) {
+	f, addr := startFeed(t, 300*time.Millisecond, 2)
+	go func() {
+		for _, payload := range []string{"AAAA", "BBBB"} {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			conn.Write([]byte(wireMagic + payload))
+			conn.Close()
+		}
+	}()
+	got, err := readAll(f)
+	if string(got) != wireMagic+"AAAABBBB" {
+		t.Fatalf("stitched stream = %q, want magic + AAAABBBB", got)
+	}
+	if err == nil || !strings.Contains(err.Error(), "no producer reconnected") {
+		t.Fatalf("want accept-deadline error, got %v", err)
+	}
+}
+
+// TestSocketFeedBadMagicRejected: a reconnecting producer that does not
+// restart the wire stream is rejected explicitly.
+func TestSocketFeedBadMagicRejected(t *testing.T) {
+	f, addr := startFeed(t, 300*time.Millisecond, 3)
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		conn.Write([]byte(wireMagic + "data"))
+		conn.Close()
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("NOPE"))
+		conn.Close()
+	}()
+	got, err := readAll(f)
+	if string(got) != wireMagic+"data" {
+		t.Fatalf("delivered %q", got)
+	}
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+// TestRunSocketStalledClient drives the whole daemon against a producer
+// that sends half the stream and goes silent: the serve loop must return
+// with an error instead of wedging forever.
+func TestRunSocketStalledClient(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := recordStream(t, dir)
+	data, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "ss.sock")
+	go func() {
+		for i := 0; i < 100; i++ {
+			conn, err := net.Dial("unix", sock)
+			if err == nil {
+				conn.Write(data[:len(data)/2])
+				time.Sleep(10 * time.Second) // stall without closing
+				conn.Close()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	o := defaults()
+	o.listen = "unix:" + sock
+	o.readTimeout = 100 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- run(o, &bytes.Buffer{}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled producer ended the run cleanly")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled producer wedged the serve loop")
+	}
+}
+
+// TestRestoreMissingCheckpoint: -restore against a checkpoint that never
+// existed must name both the primary path and the .prev fallback it tried.
+func TestRestoreMissingCheckpoint(t *testing.T) {
+	o := defaults()
+	o.restore = true
+	o.checkpoint = filepath.Join(t.TempDir(), "gone.ckpt")
+	err := run(o, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("restore from a missing checkpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), o.checkpoint) {
+		t.Fatalf("error does not name the checkpoint path: %v", err)
+	}
+	if !strings.Contains(err.Error(), o.checkpoint+".prev") {
+		t.Fatalf("error does not name the .prev fallback: %v", err)
+	}
+}
+
+// TestFaultFlagValidation: the fault flags are rejected when inconsistent,
+// and a schedule file must parse.
+func TestFaultFlagValidation(t *testing.T) {
+	o := defaults()
+	o.faultsOut = "out.col"
+	if _, err := buildConfig(o, nil); err == nil || !strings.Contains(err.Error(), "-faults-out needs -faults") {
+		t.Fatalf("want -faults-out guard, got %v", err)
+	}
+	o = defaults()
+	o.faults = filepath.Join(t.TempDir(), "missing.sched")
+	if _, err := buildConfig(o, nil); err == nil {
+		t.Fatal("missing schedule file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sched")
+	if err := os.WriteFile(bad, []byte("1.0 0 explode\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = defaults()
+	o.faults = bad
+	if _, err := buildConfig(o, nil); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("want parse error naming %s, got %v", bad, err)
+	}
+}
+
+// TestRunWithFaultSchedule: a scripted outage sheds the covered arrivals,
+// reports them in the summary, and tees the applied events to the fault
+// log.
+func TestRunWithFaultSchedule(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := recordStream(t, dir)
+	sched := filepath.Join(dir, "outage.sched")
+	if err := os.WriteFile(sched, []byte("60 0 crash\n600 0 repair\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := defaults()
+	o.listen = streamPath
+	o.faults = sched
+	o.faultsOut = filepath.Join(dir, "faults.col")
+	out := &bytes.Buffer{}
+	if err := run(o, out); err != nil {
+		t.Fatal(err)
+	}
+	last := out.String()[strings.LastIndex(strings.TrimSpace(out.String()), "\n")+1:]
+	if !strings.Contains(last, `"jobs_shed":`) || strings.Contains(last, `"jobs_shed":0,`) {
+		t.Fatalf("summary does not report shed jobs: %s", last)
+	}
+	if !strings.Contains(last, `"crashes":1`) || !strings.Contains(last, `"repairs":1`) {
+		t.Fatalf("summary does not report the outage: %s", last)
+	}
+	rows := readLog(t, o.faultsOut)
+	if len(rows) != 2 || rows[0][0] != 60 || rows[1][0] != 600 {
+		t.Fatalf("fault log rows = %v", rows)
+	}
+}

@@ -11,14 +11,23 @@
 //	sleepscaled -listen tcp:127.0.0.1:7070 -strategy sleepscale -predictor lms
 //	sleepscaled -listen week.ssw -restore -replay -checkpoint ss.ckpt
 //
-// -listen takes "-" (stdin), "unix:<path>" or "tcp:<addr>" (serve one
-// connection), or a plain path to a recorded wire stream. With -checkpoint
-// the daemon persists its state every -checkpoint-every epochs and on
-// SIGTERM/SIGINT; -restore resumes from that checkpoint, and -replay tells
-// the daemon the feed restarts from the beginning of the stream (a replayed
-// pipe or file) so already-served events are skipped. -epochs-out tees
-// closed epochs to a colstore log for cmd/colq, exactly once across
-// restarts.
+// -listen takes "-" (stdin), "unix:<path>" or "tcp:<addr>", or a plain path
+// to a recorded wire stream. Socket feeds carry a read deadline and a
+// bounded reconnect budget (-read-timeout, -reconnects): a producer that
+// stalls or drops is cut loose and a replacement may reconnect with a fresh
+// wire stream — a wedged client can never hang the serve loop. With
+// -checkpoint the daemon persists its state every -checkpoint-every epochs
+// and on SIGTERM/SIGINT; -restore resumes from that checkpoint (reporting
+// whether the primary file or its rotated .prev snapshot was used), and
+// -replay tells the daemon the feed restarts from the beginning of the
+// stream (a replayed pipe or file) so already-served events are skipped.
+// -epochs-out tees closed epochs to a colstore log for cmd/colq, exactly
+// once across restarts.
+//
+// -faults gates ingest with a scripted outage timeline for the daemon's
+// single server (server 0 in the schedule): arrivals inside a crash..repair
+// window are shed and accounted in the summary, and -faults-out tees the
+// applied events to a colstore fault log.
 package main
 
 import (
@@ -26,11 +35,11 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sleepscale"
 )
@@ -56,6 +65,11 @@ type options struct {
 	restore         bool
 	replay          bool
 	epochsOut       string
+
+	faults      string
+	faultsOut   string
+	readTimeout time.Duration
+	reconnects  int
 }
 
 func main() {
@@ -81,6 +95,10 @@ func main() {
 	flag.BoolVar(&o.restore, "restore", false, "resume from -checkpoint instead of starting fresh")
 	flag.BoolVar(&o.replay, "replay", false, "with -restore: the feed restarts from the beginning of the stream")
 	flag.StringVar(&o.epochsOut, "epochs-out", "", "tee per-epoch records to this column file (query with colq)")
+	flag.StringVar(&o.faults, "faults", "", `scripted outage schedule file ("<time> <server> crash|repair" per line; server 0 is the daemon)`)
+	flag.StringVar(&o.faultsOut, "faults-out", "", "with -faults: append applied fault events to this column file (query with colq)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", time.Minute, "socket feeds: cut a producer that sends nothing for this long (0 disables)")
+	flag.IntVar(&o.reconnects, "reconnects", 4, "socket feeds: producer reconnects allowed after a stall or drop")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -104,7 +122,14 @@ func run(o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	feed, err := openFeed(o.listen)
+	if o.restore {
+		if from := srv.RestoredFrom(); from != o.checkpoint {
+			log.Printf("checkpoint %s missing or damaged; restored from rotated previous snapshot %s", o.checkpoint, from)
+		} else {
+			log.Printf("restored from checkpoint %s", from)
+		}
+	}
+	feed, err := openFeed(o)
 	if err != nil {
 		return err
 	}
@@ -137,6 +162,20 @@ func buildConfig(o options, out io.Writer) (sleepscale.ServeConfig, error) {
 	if o.restore && o.checkpoint == "" {
 		return zero, fmt.Errorf("-restore needs -checkpoint")
 	}
+	if o.faultsOut != "" && o.faults == "" {
+		return zero, fmt.Errorf("-faults-out needs -faults")
+	}
+	var faults sleepscale.FaultSource
+	if o.faults != "" {
+		text, err := os.ReadFile(o.faults)
+		if err != nil {
+			return zero, err
+		}
+		faults, err = sleepscale.ParseFaultSchedule(string(text))
+		if err != nil {
+			return zero, fmt.Errorf("%s: %w", o.faults, err)
+		}
+	}
 	spec, err := specByName(o.workload)
 	if err != nil {
 		return zero, err
@@ -168,6 +207,8 @@ func buildConfig(o options, out io.Writer) (sleepscale.ServeConfig, error) {
 		CheckpointEvery: o.checkpointEvery,
 		EpochLogPath:    o.epochsOut,
 		Out:             out,
+		Faults:          faults,
+		FaultLogPath:    o.faultsOut,
 	}, nil
 }
 
@@ -227,31 +268,17 @@ func profileByName(name string) (*sleepscale.Profile, error) {
 	return nil, fmt.Errorf("unknown profile %q", name)
 }
 
-// openFeed resolves -listen into a readable event stream: stdin, one
-// accepted socket connection, or a recorded stream file.
-func openFeed(listen string) (io.ReadCloser, error) {
+// openFeed resolves -listen into a readable event stream: stdin, a socket
+// feed (with read deadline and bounded producer reconnects), or a recorded
+// stream file.
+func openFeed(o options) (io.ReadCloser, error) {
 	switch {
-	case listen == "-":
+	case o.listen == "-":
 		return os.Stdin, nil
-	case strings.HasPrefix(listen, "unix:"):
-		return acceptOne("unix", strings.TrimPrefix(listen, "unix:"))
-	case strings.HasPrefix(listen, "tcp:"):
-		return acceptOne("tcp", strings.TrimPrefix(listen, "tcp:"))
+	case strings.HasPrefix(o.listen, "unix:"):
+		return newSocketFeed("unix", strings.TrimPrefix(o.listen, "unix:"), o.readTimeout, o.reconnects)
+	case strings.HasPrefix(o.listen, "tcp:"):
+		return newSocketFeed("tcp", strings.TrimPrefix(o.listen, "tcp:"), o.readTimeout, o.reconnects)
 	}
-	return os.Open(listen)
-}
-
-// acceptOne listens, accepts a single connection and closes the listener —
-// one serve session consumes one stream.
-func acceptOne(network, addr string) (io.ReadCloser, error) {
-	l, err := net.Listen(network, addr)
-	if err != nil {
-		return nil, err
-	}
-	defer l.Close()
-	conn, err := l.Accept()
-	if err != nil {
-		return nil, err
-	}
-	return conn, nil
+	return os.Open(o.listen)
 }

@@ -207,7 +207,7 @@ func TestRunUnixSocket(t *testing.T) {
 }
 
 func TestOpenFeedRejectsMissing(t *testing.T) {
-	if _, err := openFeed(filepath.Join(t.TempDir(), "missing.ssw")); err == nil {
+	if _, err := openFeed(options{listen: filepath.Join(t.TempDir(), "missing.ssw")}); err == nil {
 		t.Fatal("missing stream file accepted")
 	}
 }

@@ -277,6 +277,49 @@
 // rotation) must hold 0 allocs/op once warm. The bench gates run as a
 // per-suite matrix with the fuzz targets smoked on every push.
 //
+// # Fault tolerance
+//
+// Everything above assumes k permanently healthy servers; the fault layer
+// (internal/fault) drops that assumption. A fault.Source is a replayable,
+// seed-deterministic crash/repair event stream — scripted schedules
+// (NewFaultSchedule, ParseFaultSchedule: "<time> <server> crash|repair"
+// per line) or seeded per-server MTBF/MTTR renewal processes
+// (NewFaultRenewal) — with the same Reset(seed) contract as the workload
+// sources: one seed, one outage timeline, replayable event for event.
+//
+// Wired through FleetConfig.Faults, the coordinator becomes fault-aware.
+// A crash takes effect at its exact instant, mid-epoch or at a boundary:
+// the server's engine refunds the energy it would have billed past the
+// crash, jobs in flight on it are lost and re-dispatched under
+// FleetConfig.Retry (budget + per-attempt backoff added to the re-arrival;
+// exhausted budgets are dropped and accounted), and routing continues over
+// the surviving servers through compact farm Select views — arbitrary
+// subsets, not just prefixes, with the O(log k) index and both linear arms
+// skipping down servers bit-identically. A repair rejoins the server cold:
+// it pays its deepest wake transition before serving again, and the
+// quorum/park arithmetic recomputes over the live healthy set (a crash
+// that empties the active set emergency-unparks a healthy server at the
+// crash instant). The report carries the conservation ledger — offered ==
+// completed + requeued + dropped, with per-epoch energy deltas still
+// summing exactly to the per-server totals — and the applied events
+// (WriteFaultLog tees them to a colstore KindFaults log). An empty fault
+// source is bit-identical to the coordinator without faults — the
+// equivalence suite pins this across dispatchers, seeds and k up to 1,000.
+//
+// The daemon participates too: cmd/sleepscaled -faults gates ingest with a
+// scripted outage for its single server (arrivals inside a crash..repair
+// window are shed and accounted in the summary), its socket feed carries a
+// read deadline and a bounded reconnect budget so a stalled or dropped
+// wire client cannot wedge the serve loop, and cmd/farmsim grows -faults /
+// -mtbf / -mttr / -retry-budget / -retry-backoff / -faults-out on top of
+// -coordinate. examples/chaos-week runs a 10-server fleet through a week
+// of seeded outages and checks the quorum invariant and the conservation
+// ledger live.
+//
+// CI smokes the chaos suites under the race detector and gates failover
+// routing in BENCH_fault.json: BenchmarkFaultFailoverRouting (k = 1,000,
+// Select views over a churned healthy set) must hold 0 allocs/op.
+//
 // See examples/ for runnable programs (examples/week-long drives a 7-day
 // trace through the streaming loop, then replays it from a mapped column
 // file; examples/streamed-farm dispatches a 7-day diurnal + flash-crowd

@@ -29,6 +29,10 @@ const (
 	// server with its whole-run totals and final parked flag (see
 	// fleet.WriteServerLog).
 	KindFleetServers uint16 = 7
+	// KindFaults is a fault-event log: columns "time", "server", "kind"
+	// (0 = crash, 1 = repair), one row per applied fault transition (see
+	// fault.WriteLog).
+	KindFaults uint16 = 8
 )
 
 // BlockRows is the maximum (and default flush) number of rows per block.

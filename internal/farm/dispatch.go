@@ -311,6 +311,15 @@ func sourceErr(src queue.JobSource) error {
 	return nil
 }
 
+// resizeErrs returns s with length n, reusing capacity; new elements are nil
+// (existing ones are cleared per serve call anyway).
+func resizeErrs(s []error, n int) []error {
+	if cap(s) < n {
+		return make([]error, n)
+	}
+	return s[:n]
+}
+
 // slicedState is the farm-owned reusable scratch of the time-sliced parallel
 // dispatch: the slice buffer, routing table, bucketed-substream backing
 // array, freeAt shadow, per-server counters and merge offsets, the chunk
@@ -357,9 +366,25 @@ type slicedState struct {
 
 // sliced returns the farm's sliced-dispatch scratch, allocating on first use
 // and growing the per-slice buffers when sliceJobs exceeds their capacity.
+// When the farm's server count changed since the last call — a Select view
+// refilled with a different subset — the per-server arrays resize in place
+// (capacity reused) and the routing index is rebound to the moved shadow.
 func (f *Farm) sliced(sliceJobs int) *slicedState {
 	k := len(f.engines)
 	sl := f.sl
+	if sl != nil && len(sl.freeAt) != k {
+		sl.freeAt = resizeFloats(sl.freeAt, k)
+		sl.anchor = resizeFloats(sl.anchor, k)
+		sl.offsets = resizeInts(sl.offsets, k+1)
+		sl.fill = resizeInts(sl.fill, k)
+		sl.count = resizeInts(sl.count, k)
+		sl.done = resizeInts(sl.done, k)
+		sl.errs = resizeErrs(sl.errs, k)
+		if sl.idx != nil {
+			// The index aliases the shadow slices; the resize moved them.
+			sl.idx.rebind(sl.freeAt, sl.anchor)
+		}
+	}
 	if sl == nil {
 		sl = &slicedState{
 			f:       f,

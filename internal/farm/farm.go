@@ -187,6 +187,46 @@ func (f *Farm) Subfarm(n int) (*Farm, error) {
 	return &Farm{engines: f.engines[:n], disp: f.disp, perSrv: make([]int, n)}, nil
 }
 
+// Select builds (or refills) a compact view over an arbitrary subset of the
+// farm's servers: idx names parent server indices in strictly ascending
+// order, and the view's server i is the parent's idx[i]. Like Subfarm the
+// view shares the parent's engines and dispatcher, with its own counters and
+// serving scratch — but the subset need not be a prefix, which is how the
+// fleet coordinator excludes crashed servers from routing while parked and
+// healthy servers keep arbitrary positions. Because the view is compact and
+// idx ascending, every dispatcher's lowest-index tie break resolves to the
+// lowest surviving parent index: routing through the view is exactly the
+// parent's routing with the excluded servers skipped, on the O(log k) index
+// and both linear arms alike.
+//
+// Pass the previous return value as view to reuse its storage (including the
+// sliced-dispatch scratch, which resizes in place when the subset size
+// changes); pass nil to start one. The view stays valid until the parent's
+// engines are replaced — Reset keeps it alive.
+func (f *Farm) Select(view *Farm, idx []int) (*Farm, error) {
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("farm: empty server selection")
+	}
+	if view == nil {
+		view = &Farm{}
+	}
+	view.disp = f.disp
+	view.engines = view.engines[:0]
+	prev := -1
+	for _, s := range idx {
+		if s <= prev || s >= len(f.engines) {
+			return nil, fmt.Errorf("farm: selection index %d (after %d) of a %d-server farm; indices must be ascending and in range", s, prev, len(f.engines))
+		}
+		prev = s
+		view.engines = append(view.engines, f.engines[s])
+	}
+	view.perSrv = resizeInts(view.perSrv, len(idx))
+	for i := range view.perSrv {
+		view.perSrv[i] = 0
+	}
+	return view, nil
+}
+
 // RecordServe arms per-job recording for subsequent sliced serves: every job
 // the next ServeSourceSliced call simulates writes its response time to
 // resp[i] and its routed server index to srv[i], where i is the job's

@@ -44,6 +44,10 @@ import (
 type routeIndex interface {
 	reset(engCfg queue.Config)
 	route(j queue.Job) int
+	// rebind re-aliases the index to new shadow slices after the driver
+	// resized them (a Select view's server count changed); the caller must
+	// reset before routing again.
+	rebind(freeAt, anchor []float64)
 }
 
 // newRouteIndexFor returns the O(log k) index for dispatchers that have one,
@@ -164,6 +168,10 @@ type jsqIndex struct {
 	tree   minTree
 }
 
+func (x *jsqIndex) rebind(freeAt, anchor []float64) {
+	x.freeAt, x.anchor = freeAt, anchor
+}
+
 func (x *jsqIndex) reset(engCfg queue.Config) {
 	x.engCfg = engCfg
 	x.tree.init(len(x.freeAt))
@@ -268,6 +276,10 @@ type lwlIndex struct {
 	bucketOf []int32      // current bucket per server, -1 = busy
 	gen      []uint32
 	heap     []crossing
+}
+
+func (x *lwlIndex) rebind(freeAt, anchor []float64) {
+	x.freeAt, x.anchor = freeAt, anchor
 }
 
 func (x *lwlIndex) reset(engCfg queue.Config) {

@@ -1,0 +1,45 @@
+// Package fault is the deterministic failure-injection subsystem: seeded
+// crash/repair timelines that the farm's routing, the fleet coordinator
+// and the serve daemon consume to exercise SleepScale's policies under
+// server failures.
+//
+// # Sources
+//
+// A fault timeline is a Source — the failure-side sibling of
+// stream.Source: Next pulls Events in non-decreasing time order, and
+// Reset(seed) rewinds it so the same seed replays the exact same timeline
+// event for event. Two implementations ship:
+//
+//   - Schedule: a scripted, validated timeline (ParseSchedule reads the
+//     "<time> <server> crash|repair" line format); the seed is ignored.
+//   - Renewal: per-server alternating up/down renewal processes with
+//     exponential Exp(MTBF) up and Exp(MTTR) down intervals. Every
+//     server draws from its own RNG derived from (seed, server), so
+//     timelines are interleaving-independent and stable when the fleet
+//     grows; ties order by (time, server, kind).
+//
+// # Determinism contract
+//
+// Same seed ⇒ same fault timeline ⇒ same simulation output. Consumers
+// (fleet.Coordinator) apply events at exact simulated instants
+// interleaved with job arrivals: an event at time t is applied after all
+// jobs with arrival < t and before any job with arrival ≥ t, and an
+// event on an epoch boundary belongs to the epoch it opens. An empty
+// timeline is bit-identical to running without fault injection at all —
+// equivalence tests pin this.
+//
+// # Conservation contract
+//
+// Every offered job is accounted for exactly once:
+//
+//	offered == completed + requeued_in_flight + dropped
+//
+// A job lost in flight on a crashing server is re-dispatched under a
+// RetryPolicy (per-attempt backoff added to the crash instant) until the
+// retry budget is exhausted, after which it is dropped. Crash-time energy
+// accounting is exact: the crashing engine refunds the unserved remainder
+// of its in-flight work, a down engine accrues no energy, and a repaired
+// engine rejoins cold, paying its deepest wake transition. The fleet
+// tests assert the invariant and exact per-epoch energy deltas on every
+// chaos scenario.
+package fault

@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+// FuzzParseSchedule throws arbitrary text at the schedule parser: it must
+// never panic, and anything it accepts must satisfy the schedule
+// invariants (sorted, alternating per server) and round-trip through
+// FormatSchedule.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("10 0 crash\n20 0 repair\n")
+	f.Add("# comment\n\n1.5 3 crash # inline\n")
+	f.Add("nonsense")
+	f.Add("10 0 crash\n5 1 crash\n")
+	f.Add("1e308 0 crash\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		evs := s.Events()
+		if err := func() error {
+			_, e := NewSchedule(evs)
+			return e
+		}(); err != nil {
+			t.Fatalf("accepted schedule fails validation: %v", err)
+		}
+		s2, err := ParseSchedule(FormatSchedule(evs))
+		if err != nil {
+			t.Fatalf("formatted schedule does not re-parse: %v", err)
+		}
+		if s2.Len() != len(evs) {
+			t.Fatalf("round trip changed event count: %d vs %d", s2.Len(), len(evs))
+		}
+		for i, ev := range s2.Events() {
+			if ev != evs[i] {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, ev, evs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package fault
+
+import "sleepscale/internal/colstore"
+
+// LogSchema returns the column-file schema fault-event logs use: one row
+// per applied transition, with "kind" holding 0 for crash and 1 for
+// repair.
+func LogSchema() colstore.Schema {
+	return colstore.Schema{
+		Kind: colstore.KindFaults,
+		Cols: []string{"time", "server", "kind"},
+	}
+}
+
+// WriteLog appends events to the fault-event column file at path,
+// creating it if absent. Append-only, like the epoch logs, so a long-lived
+// run keeps one growing fault log next to them.
+func WriteLog(path string, events []Event) error {
+	w, err := colstore.Append(path, LogSchema())
+	if err != nil {
+		return err
+	}
+	row := make([]float64, 3)
+	for _, ev := range events {
+		row[0] = ev.Time
+		row[1] = float64(ev.Server)
+		row[2] = float64(ev.Kind)
+		if err := w.Append(row); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schedule is a scripted fault timeline: a validated, time-sorted event
+// list exposed through the Source contract. Reset rewinds to the first
+// event; the seed is ignored, the script being fixed — the same schedule
+// replays bit-identically every run.
+type Schedule struct {
+	events []Event
+	pos    int
+}
+
+// NewSchedule validates events (sorted by time, finite non-negative times,
+// non-negative server ids, per-server crash/repair alternation starting
+// with a crash) and returns them as a Schedule. The slice is copied.
+func NewSchedule(events []Event) (*Schedule, error) {
+	evs := append([]Event(nil), events...)
+	if err := validate(evs); err != nil {
+		return nil, err
+	}
+	return &Schedule{events: evs}, nil
+}
+
+// Events returns the schedule's timeline; the slice is shared, not copied.
+func (s *Schedule) Events() []Event { return s.events }
+
+// Len returns the number of events in the schedule.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// Next implements Source.
+func (s *Schedule) Next(buf []Event) (int, bool) {
+	n := copy(buf, s.events[s.pos:])
+	s.pos += n
+	return n, s.pos < len(s.events)
+}
+
+// Reset implements Source; the seed is ignored.
+func (s *Schedule) Reset(int64) { s.pos = 0 }
+
+func validate(events []Event) error {
+	down := make(map[int]bool)
+	prev := math.Inf(-1)
+	for i, ev := range events {
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+			return fmt.Errorf("fault: event %d: time %g must be finite and >= 0", i, ev.Time)
+		}
+		if ev.Time < prev {
+			return fmt.Errorf("fault: event %d: time %g precedes event %d's %g (events must be sorted)", i, ev.Time, i-1, prev)
+		}
+		prev = ev.Time
+		if ev.Server < 0 {
+			return fmt.Errorf("fault: event %d: server %d must be >= 0", i, ev.Server)
+		}
+		switch ev.Kind {
+		case Crash:
+			if down[ev.Server] {
+				return fmt.Errorf("fault: event %d: server %d crashes while already down", i, ev.Server)
+			}
+			down[ev.Server] = true
+		case Repair:
+			if !down[ev.Server] {
+				return fmt.Errorf("fault: event %d: server %d repaired while up", i, ev.Server)
+			}
+			down[ev.Server] = false
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// ParseSchedule reads a scripted fault timeline, one event per line:
+//
+//	<time-seconds> <server> crash|repair
+//
+// Blank lines and lines starting with '#' are skipped; inline trailing
+// '#' comments are allowed. Events must be sorted by time, and each
+// server's events must alternate crash/repair starting with a crash.
+func ParseSchedule(text string) (*Schedule, error) {
+	var events []Event
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("fault: line %d: want \"<time> <server> crash|repair\", got %d fields", ln+1, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: bad time %q: %v", ln+1, fields[0], err)
+		}
+		srv, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: bad server %q: %v", ln+1, fields[1], err)
+		}
+		var kind Kind
+		switch fields[2] {
+		case "crash":
+			kind = Crash
+		case "repair":
+			kind = Repair
+		default:
+			return nil, fmt.Errorf("fault: line %d: bad kind %q (want crash or repair)", ln+1, fields[2])
+		}
+		events = append(events, Event{Time: t, Server: srv, Kind: kind})
+	}
+	return NewSchedule(events)
+}
+
+// FormatSchedule renders events in ParseSchedule's line format, so a
+// generated timeline (e.g. a Renewal draw) can be saved and replayed as a
+// script.
+func FormatSchedule(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%g %d %s\n", ev.Time, ev.Server, ev.Kind)
+	}
+	return b.String()
+}
+
+// sortEvents orders events by (time, server, kind) — the deterministic
+// merge order Renewal emits regardless of draw interleaving.
+func sortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		if events[i].Server != events[j].Server {
+			return events[i].Server < events[j].Server
+		}
+		return events[i].Kind < events[j].Kind
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sleepscale/internal/core"
 	"sleepscale/internal/eventlog"
 	"sleepscale/internal/farm"
+	"sleepscale/internal/fault"
 	"sleepscale/internal/metrics"
 	"sleepscale/internal/policy"
 	"sleepscale/internal/power"
@@ -68,6 +69,19 @@ type Config struct {
 	// Observer, when set, sees every fleet epoch record as it closes —
 	// the hook the invariant checks and live dashboards use.
 	Observer func(Epoch)
+	// Faults, when set, injects a deterministic crash/repair timeline into
+	// the run: events apply at their exact instants, interleaved with job
+	// arrivals (an event on an epoch boundary belongs to the epoch it
+	// opens). Run rewinds the source with Reset(Seed) alongside the decision
+	// RNG, so every Run replays the same timeline. An empty or exhausted
+	// source leaves the run bit-identical to no fault injection at all —
+	// the equivalence suite pins this.
+	Faults fault.Source
+	// Retry bounds failover re-dispatch of jobs lost in flight on a
+	// crashing server (fault mode only): each lost job is re-offered at
+	// loss instant + Backoff·attempt until it has been lost Budget times,
+	// then dropped. The zero policy drops every lost job outright.
+	Retry fault.RetryPolicy
 }
 
 // Epoch is the fleet-level rollup of one epoch, alongside the embedded
@@ -85,6 +99,12 @@ type Epoch struct {
 	Unparked int
 	// MeanFrequency averages the installed frequency over active servers.
 	MeanFrequency float64
+	// Down counts servers crashed and not yet repaired as the epoch closes;
+	// Crashes/Repairs count this epoch's applied fault events, Lost the
+	// jobs lost in flight (or arriving with no healthy server), and Dropped
+	// the losses whose retry budget was exhausted. All zero without fault
+	// injection.
+	Down, Crashes, Repairs, Lost, Dropped int
 }
 
 // Report aggregates a coordinated fleet run. The embedded RunReport carries
@@ -111,6 +131,16 @@ type Report struct {
 	EnergyProportionality float64
 	// JobsPerJoule is the fleet's performance-per-watt figure of merit.
 	JobsPerJoule float64
+	// Fault accounting, maintained only when Config.Faults is set. The
+	// conservation invariant holds exactly: Offered == Completed + Requeued
+	// + Dropped, where Requeued counts jobs still awaiting re-dispatch when
+	// the trace ended, and Completed equals the embedded Jobs count (every
+	// retained engine response is a completed job). Retries counts
+	// re-dispatch attempts; FaultEvents is the applied timeline in order
+	// (aliasing coordinator storage, valid until the next Run).
+	Offered, Completed, Requeued, Dropped int
+	Retries, Crashes, Repairs             int
+	FaultEvents                           []fault.Event
 }
 
 // Coordinator owns per-server (queue.Config, policy) state and drives the
@@ -141,6 +171,39 @@ type Coordinator struct {
 	unpark  int // servers woken at the current epoch's boundary
 	recPred float64
 	recPol  policy.Policy
+
+	// Healthy-set state. actList is the active healthy servers in strictly
+	// ascending order — always the prefix [0, active) without fault
+	// injection, so the list-driven epoch arithmetic reduces bit-identically
+	// to the prefix arithmetic the no-fault equivalence pins. healthy is
+	// every not-down server ascending; newAct/inPrev/inNew are openEpoch
+	// scratch. The remaining fault-mode state lives in faults.go.
+	actList   []int
+	newAct    []int
+	inPrev    []bool
+	inNew     []bool
+	healthy   []int
+	downSrv   []bool
+	downCount int
+
+	faultCur  *fault.Cursor
+	faultView *farm.Farm
+	faultLog  []fault.Event
+	pending   [][]pendJob
+	retryq    []retryJob
+	retrySeq  uint64
+	segJobs   []queue.Job
+	segAtt    []int
+	segResp   []float64
+	segSrv    []int
+	eJobs     []queue.Job
+	eSrv      []int
+	eResp     []float64
+	eLost     []bool
+
+	offered, completed, dropped       int
+	retries, crashes, repairs         int
+	epCrash, epRepair, epLost, epDrop int
 
 	// phaseBufs is the per-server ping-pong phase scratch: AppendConfig
 	// fills the buffer the previous epoch is NOT using, because the engine
@@ -223,6 +286,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MinActive < 1 || cfg.MinActive > cfg.Servers {
 		return nil, fmt.Errorf("fleet: min active %d outside [1, %d servers]", cfg.MinActive, cfg.Servers)
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	windowEpochs := cfg.WindowEpochs
 	if windowEpochs <= 0 {
 		windowEpochs = 3
@@ -243,6 +309,13 @@ func New(cfg Config) (*Coordinator, error) {
 		phaseBufs:   make([][2][]queue.SleepPhase, k),
 		cappedPlans: make(map[string]policy.SleepPlan),
 		rawPred:     make([]float64, k),
+		actList:     make([]int, 0, k),
+		newAct:      make([]int, 0, k),
+		inPrev:      make([]bool, k),
+		inNew:       make([]bool, k),
+		healthy:     make([]int, 0, k),
+		downSrv:     make([]bool, k),
+		pending:     make([][]pendJob, k),
 	}
 	c.decideSrc = rand.NewSource(core.DecideSeed(cfg.Seed))
 	c.decideRng = rand.New(c.decideSrc)
@@ -311,10 +384,20 @@ func (c *Coordinator) Run(src stream.Source) (*Report, error) {
 			c.epochJobs = append(c.epochJobs, j)
 			c.cursor.Advance()
 		}
-		if err := c.serveEpoch(); err != nil {
-			return nil, err
+		if c.cfg.Faults != nil {
+			if err := c.serveEpochFaults(epochStart, epochEnd); err != nil {
+				return nil, err
+			}
+			c.closeEpoch(epochStart, epochEnd, tr.Utilization[s0:s0+slots], slotSec,
+				c.eJobs, c.eSrv, c.eResp, c.eLost)
+			c.settleEpoch(epochEnd)
+		} else {
+			if err := c.serveEpoch(); err != nil {
+				return nil, err
+			}
+			c.closeEpoch(epochStart, epochEnd, tr.Utilization[s0:s0+slots], slotSec,
+				c.epochJobs, c.srv, c.resp, nil)
 		}
-		c.closeEpoch(epochStart, epochEnd, tr.Utilization[s0:s0+slots], slotSec)
 	}
 	if err := stream.Err(src); err != nil {
 		return nil, fmt.Errorf("fleet: job source: %w", err)
@@ -333,6 +416,17 @@ func (c *Coordinator) resetRun(src stream.Source) {
 	for s := range c.parked {
 		c.parked[s] = false
 	}
+	c.actList = c.actList[:0]
+	c.healthy = c.healthy[:0]
+	for s := 0; s < c.k; s++ {
+		c.actList = append(c.actList, s)
+		c.healthy = append(c.healthy, s)
+		c.downSrv[s] = false
+		c.inPrev[s] = false // may be left marked by an aborted openEpoch
+		c.inNew[s] = false
+	}
+	c.downCount = 0
+	c.resetFaults()
 	c.lastMean, c.lastP95, c.lastJobs = 0, 0, 0
 	c.prevTotals = queue.Snapshot{}
 	c.freqSum = 0
@@ -379,105 +473,138 @@ func (c *Coordinator) resetRun(src stream.Source) {
 // openEpoch runs the top of the epoch cycle: predict per server, size the
 // active set, decide policies, enforce the quorum cap, and install the
 // resulting configurations at the epoch's start instant.
+//
+// All of it is driven by explicit server lists — the previously active set
+// (actList as the epoch opens) and the healthy set — so crashed servers are
+// skipped everywhere. Without fault injection both lists are the ascending
+// prefixes [0, active) and [0, k), and every loop below visits exactly the
+// indices the prefix arithmetic did, in the same order, consuming the same
+// RNG draws: the no-fault equivalence tests pin this reduction bit for bit.
 func (c *Coordinator) openEpoch(epochStart float64) error {
 	first := c.epoch == 0
 	perSrv := c.cfg.PerServer
-	prev := c.active
+	prevAct := c.actList
+	c.epCrash, c.epRepair, c.epLost, c.epDrop = 0, 0, 0, 0
 
 	// 1. Predict. Parked servers' predictors are frozen: they see no demand
-	// while parked, so feeding them would only teach them zeros.
+	// while parked, so feeding them would only teach them zeros. Down
+	// servers' predictors are frozen the same way.
 	var sharedPred float64
 	if perSrv {
-		for s := 0; s < prev; s++ {
+		for _, s := range prevAct {
 			c.rawPred[s] = core.ClampRho(c.preds[s].Predict())
 		}
 	} else {
 		sharedPred = core.ClampRho(c.cfg.Predictor.Predict())
 	}
 
-	// 2. Size the active prefix to predicted fleet demand.
-	m := c.k
+	// 2. Size the active set to predicted fleet demand, within what is
+	// healthy. The quorum/min-active floor caps to the healthy count: a
+	// quorum window larger than the surviving fleet degrades to "everything
+	// healthy stays shallow" rather than failing.
+	h := len(c.healthy)
+	m := h
 	if c.cfg.Park {
 		w := 0.0
 		if perSrv {
-			for s := 0; s < prev; s++ {
+			for _, s := range prevAct {
 				w += c.rawPred[s]
 			}
 		} else {
-			w = sharedPred * float64(prev)
+			w = sharedPred * float64(len(prevAct))
 		}
 		m = int(math.Ceil(w / c.cfg.ParkTargetRho))
-		if m < c.lo {
-			m = c.lo
+		lo := c.lo
+		if lo > h {
+			lo = h
 		}
-		if m > c.k {
-			m = c.k
+		if m < lo {
+			m = lo
+		}
+		if m > h {
+			m = h
 		}
 	}
-	for s := prev; s < m; s++ { // servers about to unpark need forecasts too
-		if perSrv {
-			c.rawPred[s] = core.ClampRho(c.preds[s].Predict())
-		}
-		c.parked[s] = false
-	}
-	for s := m; s < prev; s++ {
-		c.parked[s] = true
-		c.pols[s] = c.parkPol
+	// The new active set is the first m healthy servers. Mark membership to
+	// find the park/unpark transitions.
+	c.newAct = append(c.newAct[:0], c.healthy[:m]...)
+	for _, s := range prevAct {
+		c.inPrev[s] = true
 	}
 	c.unpark = 0
-	if m > prev {
-		c.unpark = m - prev
-	}
-	c.active = m
-
-	// 3. Decide, consuming the decision RNG once per decision in server
-	// order — shared mode consumes exactly one draw sequence per epoch,
-	// matching the homogeneous runner bit for bit.
-	if perSrv {
-		sum := 0.0
-		for s := 0; s < m; s++ {
-			pol, err := c.decide(c.rawPred[s])
-			if err != nil {
-				return fmt.Errorf("fleet: epoch %d server %d decision: %w", c.epoch, s, err)
+	for _, s := range c.newAct {
+		c.inNew[s] = true
+		if !c.inPrev[s] { // servers about to unpark need forecasts too
+			if perSrv {
+				c.rawPred[s] = core.ClampRho(c.preds[s].Predict())
 			}
-			c.pols[s] = pol
-			sum += c.rawPred[s]
+			c.parked[s] = false
+			c.unpark++
 		}
-		c.recPred = sum / float64(m)
-		c.recPol = c.pols[0]
+	}
+	for _, s := range prevAct {
+		if !c.inNew[s] {
+			c.parked[s] = true
+			c.pols[s] = c.parkPol
+		}
+	}
+
+	// 3. Decide, consuming the decision RNG once per decision in active
+	// server order — shared mode consumes exactly one draw sequence per
+	// epoch, matching the homogeneous runner bit for bit. With every server
+	// down there is nobody to decide for: the RNG is not consumed and the
+	// previous recommendation stands in the epoch record.
+	if len(c.newAct) > 0 {
+		if perSrv {
+			sum := 0.0
+			for _, s := range c.newAct {
+				pol, err := c.decide(c.rawPred[s])
+				if err != nil {
+					return fmt.Errorf("fleet: epoch %d server %d decision: %w", c.epoch, s, err)
+				}
+				c.pols[s] = pol
+				sum += c.rawPred[s]
+			}
+			c.recPred = sum / float64(len(c.newAct))
+			c.recPol = c.pols[c.newAct[0]]
+		} else {
+			pol, err := c.decide(sharedPred)
+			if err != nil {
+				return fmt.Errorf("fleet: epoch %d decision: %w", c.epoch, err)
+			}
+			for _, s := range c.newAct {
+				c.pols[s] = pol
+			}
+			c.recPred = sharedPred
+			c.recPol = pol
+		}
 	} else {
-		pol, err := c.decide(sharedPred)
-		if err != nil {
-			return fmt.Errorf("fleet: epoch %d decision: %w", c.epoch, err)
-		}
-		for s := 0; s < m; s++ {
-			c.pols[s] = pol
-		}
-		c.recPred = sharedPred
-		c.recPol = pol
+		c.recPred = 0
 	}
 
 	// 4. Quorum: cap the rotating duty window to C1-or-shallower plans.
-	if q := c.cfg.Quorum; q > 0 {
+	if q := c.cfg.Quorum; q > 0 && len(c.newAct) > 0 {
+		ml := len(c.newAct)
 		d := q
-		if d > m {
-			d = m
+		if d > ml {
+			d = ml
 		}
-		start := c.rotor % m
+		start := c.rotor % ml
 		for i := 0; i < d; i++ {
-			s := (start + i) % m
+			s := c.newAct[(start+i)%ml]
 			c.pols[s].Plan = c.capPlan(c.pols[s].Plan)
 		}
 		c.rotor += d
 	}
 
-	// 5. Install. The first epoch creates (or Resets) the farm under server
-	// 0's configuration and only switches servers that differ — exactly the
-	// homogeneous runner's farm.New when every server agrees. Later epochs
-	// switch every active server at the boundary in server order, as the
-	// farm backend does.
+	// 5. Install. The first epoch creates (or Resets) the farm under the
+	// first active server's configuration and only switches servers that
+	// differ — exactly the homogeneous runner's farm.New when every server
+	// agrees. Later epochs switch every active server at the boundary in
+	// server order, as the farm backend does, then park the newly parked;
+	// down servers are never touched (their engines reject clocked calls).
 	if first {
-		qcfg0, err := c.resolve(0)
+		qcfg0, err := c.resolve(c.newAct[0])
 		if err != nil {
 			return err
 		}
@@ -496,7 +623,7 @@ func (c *Coordinator) openEpoch(epochStart float64) error {
 				if err := c.f.Server(s).SetConfigAt(epochStart, c.parkCfg); err != nil {
 					return fmt.Errorf("fleet: epoch %d server %d park: %w", c.epoch, s, err)
 				}
-			case !polEqual(c.pols[s], c.pols[0]):
+			case !polEqual(c.pols[s], c.pols[c.newAct[0]]):
 				qcfg, err := c.resolve(s)
 				if err != nil {
 					return err
@@ -506,12 +633,9 @@ func (c *Coordinator) openEpoch(epochStart float64) error {
 				}
 			}
 		}
-		return nil
-	}
-	for s := 0; s < c.k; s++ {
-		switch {
-		case s < m:
-			if s >= prev { // unparking: pay the deep wake before the switch
+	} else {
+		for _, s := range c.newAct {
+			if !c.inPrev[s] { // unparking: pay the deep wake before the switch
 				if err := c.f.Server(s).WakeAt(epochStart); err != nil {
 					return fmt.Errorf("fleet: epoch %d server %d unpark: %w", c.epoch, s, err)
 				}
@@ -523,12 +647,23 @@ func (c *Coordinator) openEpoch(epochStart float64) error {
 			if err := c.f.Server(s).SetConfigAt(epochStart, qcfg); err != nil {
 				return fmt.Errorf("fleet: epoch %d server %d switch: %w", c.epoch, s, err)
 			}
-		case s < prev: // newly parked: drain fast, then deepest sleep
-			if err := c.f.Server(s).SetConfigAt(epochStart, c.parkCfg); err != nil {
-				return fmt.Errorf("fleet: epoch %d server %d park: %w", c.epoch, s, err)
+		}
+		for _, s := range prevAct {
+			if !c.inNew[s] { // newly parked: drain fast, then deepest sleep
+				if err := c.f.Server(s).SetConfigAt(epochStart, c.parkCfg); err != nil {
+					return fmt.Errorf("fleet: epoch %d server %d park: %w", c.epoch, s, err)
+				}
 			}
 		}
 	}
+	for _, s := range prevAct {
+		c.inPrev[s] = false
+	}
+	for _, s := range c.newAct {
+		c.inNew[s] = false
+	}
+	c.actList = append(c.actList[:0], c.newAct...)
+	c.active = len(c.actList)
 	return nil
 }
 
@@ -626,11 +761,24 @@ func (c *Coordinator) serveEpoch() error {
 
 // closeEpoch runs the bottom of the epoch cycle: summarize delays in stream
 // order, log the window, feed the predictors, difference the fleet totals
-// and emit both epoch records.
-func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, slotSec float64) {
+// and emit both epoch records. served/srv/resp describe the jobs actually
+// dispatched this epoch and the real server each went to — the offered
+// stream itself without faults, or the segment-walker's accumulation
+// (retries included, dispatch order) with them; lost, when non-nil, masks
+// responses of jobs later lost in flight out of the delay statistics.
+func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, slotSec float64,
+	served []queue.Job, srv []int, resp []float64, lost []bool) {
 	c.epochDelays.Reset()
-	for _, r := range c.resp {
-		c.epochDelays.Add(r)
+	if lost == nil {
+		for _, r := range resp {
+			c.epochDelays.Add(r)
+		}
+	} else {
+		for i, r := range resp {
+			if !lost[i] {
+				c.epochDelays.Add(r)
+			}
+		}
 	}
 	c.window.PushJobs(c.epochJobs, epochStart)
 	var realized float64
@@ -643,7 +791,7 @@ func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, s
 		if len(rhos) > 0 {
 			realized /= float64(len(rhos))
 		}
-		c.feedPerServer(rhos, epochStart, slotSec)
+		c.feedPerServer(served, srv, rhos, epochStart, slotSec)
 	} else {
 		realized = core.FeedPredictor(c.cfg.Predictor, rhos)
 	}
@@ -663,18 +811,20 @@ func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, s
 	c.prevTotals = tot
 
 	shallow := 0
-	for s := 0; s < c.active; s++ {
+	for _, s := range c.actList {
 		if c.pols[s].Plan.DeepestState().CPU <= power.C1 {
 			shallow++
 		}
 	}
 	var freq float64
 	if c.cfg.PerServer {
-		for s := 0; s < c.active; s++ {
+		for _, s := range c.actList {
 			freq += c.pols[s].Frequency
 			rep.PlanEpochs[c.pols[s].Plan.Name]++
 		}
-		freq /= float64(c.active)
+		if c.active > 0 {
+			freq /= float64(c.active)
+		}
 	} else {
 		// The decided frequency, not a recomputed mean: (f·m)/m is not
 		// bit-equal to f, and shared mode is pinned to the farm runner.
@@ -683,8 +833,10 @@ func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, s
 	}
 	c.freqSum += freq
 	fe := Epoch{
-		Index: c.epoch, Active: c.active, Parked: c.k - c.active,
+		Index: c.epoch, Active: c.active, Parked: c.k - c.active - c.downCount,
 		Shallow: shallow, Unparked: c.unpark, MeanFrequency: freq,
+		Down: c.downCount, Crashes: c.epCrash, Repairs: c.epRepair,
+		Lost: c.epLost, Dropped: c.epDrop,
 	}
 	rep.FleetEpochs = append(rep.FleetEpochs, fe)
 	if c.cfg.Observer != nil {
@@ -695,15 +847,20 @@ func (c *Coordinator) closeEpoch(epochStart, epochEnd float64, rhos []float64, s
 
 // feedPerServer observes each active server's realized demand — the sizes
 // of the jobs routed to it, bucketed by arrival slot and normalized by the
-// slot length — into its predictor, in slot order.
-func (c *Coordinator) feedPerServer(rhos []float64, epochStart, slotSec float64) {
+// slot length — into its predictor, in slot order. The demand matrix is
+// indexed by real server id, and only the currently active (healthy)
+// servers' rows are observed: demand routed to a server that crashed later
+// in the epoch stays unobserved, consistent with frozen-while-down
+// predictors. Without faults srv holds prefix view indices that equal real
+// ids, reducing to the original arithmetic exactly.
+func (c *Coordinator) feedPerServer(served []queue.Job, srv []int, rhos []float64, epochStart, slotSec float64) {
 	slots := len(rhos)
-	need := c.active * slots
+	need := c.k * slots
 	c.demand = resizeFloats(c.demand, need)
 	for i := range c.demand {
 		c.demand[i] = 0
 	}
-	for i, j := range c.epochJobs {
+	for i, j := range served {
 		slot := int((j.Arrival - epochStart) / slotSec)
 		if slot < 0 {
 			slot = 0
@@ -711,9 +868,9 @@ func (c *Coordinator) feedPerServer(rhos []float64, epochStart, slotSec float64)
 		if slot >= slots {
 			slot = slots - 1
 		}
-		c.demand[c.srv[i]*slots+slot] += j.Size
+		c.demand[srv[i]*slots+slot] += j.Size
 	}
-	for s := 0; s < c.active; s++ {
+	for _, s := range c.actList {
 		row := c.demand[s*slots : (s+1)*slots]
 		for _, d := range row {
 			c.preds[s].Observe(d / slotSec)
@@ -745,6 +902,24 @@ func (c *Coordinator) finish(duration float64) {
 	rep := &c.report
 	if c.epoch > 0 {
 		rep.MeanFrequency = c.freqSum / float64(c.epoch)
+	}
+	if c.cfg.Faults != nil {
+		// Jobs still tracked in flight past the trace's end were accepted
+		// and complete (engines bill their service); fold them in so the
+		// conservation ledger closes: offered == completed + requeued +
+		// dropped, with completed matching the retained engine responses.
+		for s := range c.pending {
+			c.completed += len(c.pending[s])
+			c.pending[s] = c.pending[s][:0]
+		}
+		rep.Offered = c.offered
+		rep.Completed = c.completed
+		rep.Requeued = len(c.retryq)
+		rep.Dropped = c.dropped
+		rep.Retries = c.retries
+		rep.Crashes = c.crashes
+		rep.Repairs = c.repairs
+		rep.FaultEvents = c.faultLog
 	}
 	var respSum float64
 	for s := 0; s < c.k; s++ {

@@ -184,6 +184,27 @@ func (s *Sample) TrimFront(n int) {
 	}
 }
 
+// TrimBack discards the last n observations in insertion order (e.g. jobs
+// retroactively lost on a crashing server) and recomputes the streaming
+// moments over the remainder. Because Welford accumulation is a left fold,
+// the rebuilt moments are bit-identical to a stream that never saw the
+// removed suffix. Trimming more than the sample size empties it.
+func (s *Sample) TrimBack(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(s.xs) {
+		s.Reset()
+		return
+	}
+	s.xs = s.xs[:len(s.xs)-n]
+	s.dirty = true
+	s.Stream = Stream{}
+	for _, x := range s.xs {
+		s.Stream.Add(x)
+	}
+}
+
 // Values returns the raw observations in insertion order. The slice aliases
 // internal storage; callers must not modify it.
 func (s *Sample) Values() []float64 { return s.xs }

@@ -467,3 +467,32 @@ func TestSampleZeroAllocSteadyState(t *testing.T) {
 		t.Errorf("steady-state Sample reuse allocates %v/op, want 0", allocs)
 	}
 }
+
+// TestTrimBack pins the bit-identity contract: trimming a suffix leaves
+// moments exactly as if the removed values were never added.
+func TestTrimBack(t *testing.T) {
+	vals := []float64{3.5, -1, 0.25, 7, 2, 9.5, -0.125}
+	full := NewSample(0)
+	ref := NewSample(0)
+	for i, v := range vals {
+		full.Add(v)
+		if i < 4 {
+			ref.Add(v)
+		}
+	}
+	full.TrimBack(3)
+	if got, want := full.Stream.State(), ref.Stream.State(); got != want {
+		t.Fatalf("moments %+v != reference %+v", got, want)
+	}
+	if got, want := full.Percentile(50), ref.Percentile(50); got != want {
+		t.Fatalf("p50 %g != %g", got, want)
+	}
+	full.TrimBack(0) // no-op
+	if full.Count() != 4 {
+		t.Fatalf("count %d after no-op trim", full.Count())
+	}
+	full.TrimBack(10) // over-trim empties
+	if full.Count() != 0 || len(full.Values()) != 0 {
+		t.Fatalf("over-trim left %d values", full.Count())
+	}
+}

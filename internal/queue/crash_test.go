@@ -1,0 +1,209 @@
+package queue
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCrashBusyRefund hand-checks the busy-crash path: the unserved
+// remainder of in-flight work is refunded exactly, already-performed work
+// stays billed, lost responses leave the sample, and the down engine
+// freezes.
+func TestCrashBusyRefund(t *testing.T) {
+	cfg := handCfg()
+	e, err := NewEngine(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1: arrival 1, size 2. Idle [0,1): pre 0.5·250 + sleep 0.5·30 = 140.
+	// Wake 0.1·250 = 25; start 1.1, svc 2 → freeAt 3.1; svc energy 500.
+	// Job 2: arrival 2, queues: svc 1 → freeAt 4.1; svc energy 250.
+	for _, j := range []Job{{Arrival: 1, Size: 2}, {Arrival: 2, Size: 1}} {
+		if _, err := e.Process(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preEnergy := e.Snapshot().Energy
+	wantPre := 140.0 + 25 + 500 + 250
+	if math.Abs(preEnergy-wantPre) > 1e-12 {
+		t.Fatalf("pre-crash energy %g, want %g", preEnergy, wantPre)
+	}
+	// Crash at 3.6: job 2's completion (4.1) is beyond it → 1 job lost.
+	// Refund [3.6, 4.1) at 250 W = 125; the half-second comes out of busy.
+	if err := e.CrashAt(3.6, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if math.Abs(s.Energy-(wantPre-125)) > 1e-12 {
+		t.Fatalf("post-crash energy %g, want %g", s.Energy, wantPre-125)
+	}
+	if math.Abs(s.BusyTime-2.5) > 1e-12 {
+		t.Fatalf("busy %g, want 2.5", s.BusyTime)
+	}
+	if math.Abs(s.WakeTime-0.1) > 1e-12 {
+		t.Fatalf("wake %g, want 0.1", s.WakeTime)
+	}
+	if s.Jobs != 1 {
+		t.Fatalf("jobs %d, want 1 (one lost)", s.Jobs)
+	}
+	if !e.Down() {
+		t.Fatal("engine not down after crash")
+	}
+	// Frozen: totals at any later instant match the crash totals exactly.
+	if got := e.TotalsAt(100); got != s {
+		t.Fatalf("down totals drifted: %+v vs %+v", got, s)
+	}
+	// No operations while down.
+	if _, err := e.Process(Job{Arrival: 5, Size: 1}); !errors.Is(err, ErrDown) {
+		t.Fatalf("Process while down: %v", err)
+	}
+	if err := e.WakeAt(5); !errors.Is(err, ErrDown) {
+		t.Fatalf("WakeAt while down: %v", err)
+	}
+	if err := e.SetConfigAt(5, cfg); !errors.Is(err, ErrDown) {
+		t.Fatalf("SetConfigAt while down: %v", err)
+	}
+	if err := e.CrashAt(6, 0); !errors.Is(err, ErrDown) {
+		t.Fatalf("double crash: %v", err)
+	}
+
+	// Rejoin at 10: cold wake 0.1 s at 250 W; no idle billed for [3.6, 10).
+	if err := e.RejoinAt(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Down() {
+		t.Fatal("still down after rejoin")
+	}
+	s2 := e.Snapshot()
+	if math.Abs(s2.Energy-(s.Energy+25)) > 1e-12 {
+		t.Fatalf("rejoin energy %g, want %g", s2.Energy, s.Energy+25)
+	}
+	if s2.Wakes != s.Wakes+1 {
+		t.Fatalf("rejoin wakes %d, want %d", s2.Wakes, s.Wakes+1)
+	}
+	if e.FreeAt() != 10.1 {
+		t.Fatalf("rejoin freeAt %g, want 10.1", e.FreeAt())
+	}
+	// The rejoined engine serves again, idle billed only from its re-anchor.
+	if _, err := e.Process(Job{Arrival: 12, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashIdle checks the idle-crash path: idle up to the crash is billed
+// under the sleep schedule, nothing is refunded, and the down window
+// consumes nothing.
+func TestCrashIdle(t *testing.T) {
+	e, err := NewEngine(handCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Process(Job{Arrival: 0, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// freeAt = 1. Crash at 3: idle [1, 3) = pre 0.5·250 + sleep 1.5·30 = 170.
+	if err := e.CrashAt(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	want := 250.0 + 170
+	if math.Abs(s.Energy-want) > 1e-12 {
+		t.Fatalf("energy %g, want %g", s.Energy, want)
+	}
+	if math.Abs(s.IdleTime-2) > 1e-12 {
+		t.Fatalf("idle %g, want 2", s.IdleTime)
+	}
+	// Down window is unbilled: FinishSummary at 100 adds nothing.
+	sum := e.FinishSummary(100)
+	if math.Abs(sum.Energy-want) > 1e-12 {
+		t.Fatalf("finish energy %g, want %g", sum.Energy, want)
+	}
+	if sum.Duration != 100 {
+		t.Fatalf("duration %g, want 100", sum.Duration)
+	}
+}
+
+// TestCrashLostResponsesExact pins the TrimBack contract: after losing the
+// suffix, the response moments are bit-identical to an engine that never
+// served the lost jobs.
+func TestCrashLostResponsesExact(t *testing.T) {
+	jobs := []Job{
+		{Arrival: 0.5, Size: 1.2}, {Arrival: 1, Size: 0.3}, {Arrival: 4, Size: 2},
+		{Arrival: 4.1, Size: 0.7}, {Arrival: 9, Size: 1},
+	}
+	full, err := NewEngine(handCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewEngine(handCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if _, err := full.Process(j); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			if _, err := ref.Process(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Lose the last two via a crash beyond all arrivals.
+	if err := full.CrashAt(20, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, want := full.responses.Stream.State(), ref.responses.Stream.State()
+	if got != want {
+		t.Fatalf("moments after TrimBack %+v != reference %+v", got, want)
+	}
+}
+
+// TestCrashRejects covers the argument guards.
+func TestCrashRejects(t *testing.T) {
+	e, err := NewEngine(handCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Process(Job{Arrival: 5, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CrashAt(4, 0); err == nil {
+		t.Fatal("crash before last arrival accepted")
+	}
+	if err := e.CrashAt(6, 2); err == nil {
+		t.Fatal("losing more jobs than recorded accepted")
+	}
+	if err := e.CrashAt(6, -1); err == nil {
+		t.Fatal("negative lost accepted")
+	}
+	if err := e.RejoinAt(6); err == nil {
+		t.Fatal("rejoin while up accepted")
+	}
+	// Moments-only engines cannot retract.
+	d, err := NewEngine(handCfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetainResponses(false)
+	if _, err := d.Process(Job{Arrival: 1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashAt(5, 1); err == nil {
+		t.Fatal("moments-only retraction accepted")
+	}
+	if err := d.CrashAt(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RejoinAt(4); err == nil {
+		t.Fatal("rejoin before crash instant accepted")
+	}
+	// Reset clears the down state.
+	if err := d.Reset(handCfg(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Down() {
+		t.Fatal("reset engine still down")
+	}
+}

@@ -238,6 +238,11 @@ type Engine struct {
 	// whole run (FinishSummary's ResponseP95/P99) report 0 — per-epoch tails
 	// are the epoch driver's own bounded sample, unaffected.
 	discardResponses bool
+
+	// down marks a crashed server (see CrashAt/RejoinAt in crash.go): it
+	// accepts no work, accrues no idle energy, and its billing clocks stay
+	// frozen at the crash instant until RejoinAt.
+	down bool
 }
 
 // ErrOutOfOrder reports a job processed with an arrival before the previous
@@ -271,6 +276,7 @@ func (e *Engine) Reset(cfg Config, start float64) error {
 		e.residPrev.Reset() // emptied in place: a re-run's switches reuse it
 	}
 	e.responses.Reset()
+	e.down = false
 	return nil
 }
 
@@ -345,6 +351,9 @@ func (e *Engine) Process(j Job) (response float64, err error) {
 	if j.Size < 0 {
 		return 0, fmt.Errorf("queue: negative job size %g", j.Size)
 	}
+	if e.down {
+		return 0, ErrDown
+	}
 	e.lastSeen = j.Arrival
 	svc := e.cfg.ServiceTime(j.Size)
 
@@ -407,6 +416,9 @@ func (e *Engine) WakeAt(t float64) error {
 	if t < e.lastSeen {
 		return fmt.Errorf("queue: wake at %g before last arrival %g", t, e.lastSeen)
 	}
+	if e.down {
+		return ErrDown
+	}
 	e.lastSeen = t
 	if t <= e.freeAt {
 		return nil
@@ -440,6 +452,9 @@ func (e *Engine) SetConfigAt(t float64, cfg Config) error {
 	}
 	if t < e.lastSeen {
 		return fmt.Errorf("queue: config switch at %g before last arrival %g", t, e.lastSeen)
+	}
+	if e.down {
+		return ErrDown
 	}
 	if t > e.freeAt {
 		// Server is idle at the switch: close out the old schedule.
@@ -547,7 +562,7 @@ func (e *Engine) idleEnergyBetween(from, to float64) float64 {
 // run) equals FinishSummary's totals.
 func (e *Engine) TotalsAt(t float64) Snapshot {
 	s := e.Snapshot()
-	if t > e.billed {
+	if t > e.billed && !e.down {
 		s.Energy += e.idleEnergyBetween(e.billed, t)
 		s.IdleTime += t - e.billed
 	}
@@ -657,7 +672,10 @@ func (e *Engine) FinishSummary(at float64) Summary {
 	if at < e.freeAt {
 		at = e.freeAt
 	}
-	if at > e.freeAt {
+	if at > e.freeAt && !e.down {
+		// A down server consumes nothing: its billing clocks stay frozen at
+		// the crash instant, so down time appears in Duration but in none of
+		// the busy/wake/idle buckets.
 		e.billIdle(e.billed, at)
 		e.billed = at
 	}

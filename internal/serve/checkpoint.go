@@ -422,20 +422,30 @@ func WriteCheckpoint(path string, c *Checkpoint) error {
 // LoadCheckpoint reads and verifies the checkpoint at path, falling back to
 // the rotated previous snapshot when the primary is missing, truncated or
 // corrupt — the crash-mid-write recovery path. os.ErrNotExist surfaces only
-// when neither file exists.
+// when neither file exists, and the error then names both files tried.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c, _, err := LoadCheckpointFrom(path)
+	return c, err
+}
+
+// LoadCheckpointFrom is LoadCheckpoint, additionally reporting which file
+// the snapshot was actually loaded from — path itself, or path+PrevSuffix
+// when the fallback was taken — so callers can surface the recovery
+// decision to the operator.
+func LoadCheckpointFrom(path string) (*Checkpoint, string, error) {
 	c, primaryErr := loadOne(path)
 	if primaryErr == nil {
-		return c, nil
+		return c, path, nil
 	}
-	c, prevErr := loadOne(path + PrevSuffix)
+	prev := path + PrevSuffix
+	c, prevErr := loadOne(prev)
 	if prevErr == nil {
-		return c, nil
+		return c, prev, nil
 	}
 	if errors.Is(primaryErr, os.ErrNotExist) && errors.Is(prevErr, os.ErrNotExist) {
-		return nil, primaryErr
+		return nil, "", fmt.Errorf("serve: checkpoint %s: %w (no previous snapshot %s either)", path, primaryErr, prev)
 	}
-	return nil, fmt.Errorf("serve: checkpoint %s unusable (%v); previous snapshot unusable (%v)", path, primaryErr, prevErr)
+	return nil, "", fmt.Errorf("serve: checkpoint %s unusable (%v); previous snapshot %s unusable (%v)", path, primaryErr, prev, prevErr)
 }
 
 func loadOne(path string) (*Checkpoint, error) {

@@ -9,6 +9,7 @@ import (
 
 	"sleepscale/internal/colstore"
 	"sleepscale/internal/core"
+	"sleepscale/internal/fault"
 )
 
 // Config describes one daemon serve session.
@@ -32,6 +33,17 @@ type Config struct {
 	// re-emits epochs after the checkpoint), plus a final summary object on
 	// clean end.
 	Out io.Writer
+	// Faults, when set, gates ingest with a scripted outage timeline for the
+	// daemon's single server (events for server 0; other servers' events are
+	// ignored). The source is rewound with Reset(Runner.Seed) at start, so a
+	// replayed restore sheds the same arrivals again — jobs arriving inside
+	// a crash..repair window never reach the runner and are counted as shed.
+	// Telemetry slots keep flowing: the predictor still observes utilization
+	// through an outage.
+	Faults fault.Source
+	// FaultLogPath, when set with Faults, appends the applied fault events
+	// to a colstore KindFaults column file on clean end.
+	FaultLogPath string
 }
 
 func (c *Config) every() int {
@@ -57,6 +69,13 @@ type Server struct {
 	skipJobs  int64 // replay realignment: events already in the checkpoint
 	skipSlots int
 
+	faults  *fault.Cursor // nil without injection
+	down    bool          // server 0 inside a crash..repair window
+	shed    int64         // jobs refused at ingest while down
+	applied []fault.Event // server-0 transitions consumed so far
+
+	restoredFrom string // checkpoint file actually loaded (restore only)
+
 	outBuf  []byte
 	stop    atomic.Bool
 	served  bool
@@ -72,12 +91,23 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, runner: runner}
+	s.initFaults()
 	if cfg.CheckpointPath != "" && cfg.EpochLogPath != "" {
 		if err := s.seedLogState(); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// initFaults rewinds the configured fault source to the runner's seed and
+// binds the ingest-gate cursor over it.
+func (s *Server) initFaults() {
+	if s.cfg.Faults == nil {
+		return
+	}
+	s.cfg.Faults.Reset(s.cfg.Runner.Seed)
+	s.faults = fault.NewCursor(s.cfg.Faults)
 }
 
 // seedLogState reads an existing epoch log's row count and dictionary so the
@@ -117,7 +147,7 @@ func RestoreServer(cfg Config, replay bool) (*Server, error) {
 	if cfg.CheckpointPath == "" {
 		return nil, fmt.Errorf("serve: restore needs a checkpoint path")
 	}
-	c, err := LoadCheckpoint(cfg.CheckpointPath)
+	c, source, err := LoadCheckpointFrom(cfg.CheckpointPath)
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +155,9 @@ func RestoreServer(cfg Config, replay bool) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, runner: runner, logRows: c.EpochLogRows, last: &c.State}
+	s := &Server{cfg: cfg, runner: runner, logRows: c.EpochLogRows, last: &c.State, restoredFrom: source}
 	s.logDict = append([]string(nil), c.EpochLogDict...)
+	s.initFaults()
 	if cfg.EpochLogPath != "" {
 		if err := reconcileLog(cfg.EpochLogPath, c.EpochLogRows, c.EpochLogDict); err != nil {
 			return nil, err
@@ -231,6 +262,19 @@ func (s *Server) Stop() { s.stop.Store(true) }
 // counters).
 func (s *Server) Runner() *core.LiveRunner { return s.runner }
 
+// RestoredFrom returns the checkpoint file a restore actually loaded —
+// the configured path, or its rotated previous snapshot when the primary
+// was missing or damaged. Empty for a fresh server.
+func (s *Server) RestoredFrom() string { return s.restoredFrom }
+
+// Shed returns the number of arrivals refused at ingest because the
+// server was inside a scripted outage.
+func (s *Server) Shed() int64 { return s.shed }
+
+// FaultEvents returns the server-0 fault transitions applied so far, in
+// time order. The slice is owned by the server; do not mutate it.
+func (s *Server) FaultEvents() []fault.Event { return s.applied }
+
 // Serve consumes wire events from r until the stream's EventEnd, a Stop, or
 // an error. On clean end it finalizes the run and returns its report with
 // done=true; on Stop it persists state and returns done=false. The
@@ -264,6 +308,14 @@ func (s *Server) Serve(r io.Reader) (report core.RunReport, done bool, err error
 		}
 		switch ev.Kind {
 		case EventJob:
+			// Gate before replay realignment: shedding is a pure function of
+			// the arrival time, so a replayed stream sheds the same jobs and
+			// the checkpoint's offered-job count stays aligned with the jobs
+			// that actually reached the runner.
+			if s.faults != nil && !s.gateJob(ev.Job.Arrival) {
+				s.shed++
+				continue
+			}
 			if s.skipJobs > 0 {
 				s.skipJobs--
 				continue
@@ -309,6 +361,26 @@ func (s *Server) Serve(r io.Reader) (report core.RunReport, done bool, err error
 			return s.finish()
 		}
 	}
+}
+
+// gateJob advances the fault timeline through arrival and reports whether
+// the server is up to take the job. Only server 0's transitions apply —
+// the daemon is a single server; fleet-wide schedules pass through with
+// other servers' events ignored.
+func (s *Server) gateJob(arrival float64) bool {
+	for {
+		ev, ok := s.faults.Peek()
+		if !ok || ev.Time > arrival {
+			break
+		}
+		s.faults.Advance()
+		if ev.Server != 0 {
+			continue
+		}
+		s.down = ev.Kind == fault.Crash
+		s.applied = append(s.applied, ev)
+	}
+	return !s.down
 }
 
 // persist flushes buffered epoch records to the log and atomically writes
@@ -388,6 +460,11 @@ func (s *Server) finish() (core.RunReport, bool, error) {
 	if err := s.flushLog(); err != nil {
 		return core.RunReport{}, false, err
 	}
+	if s.cfg.FaultLogPath != "" && len(s.applied) > 0 {
+		if err := fault.WriteLog(s.cfg.FaultLogPath, s.applied); err != nil {
+			return core.RunReport{}, false, err
+		}
+	}
 	if err := s.emitReport(&report); err != nil {
 		return core.RunReport{}, false, err
 	}
@@ -454,6 +531,20 @@ func (s *Server) emitReport(rep *core.RunReport) error {
 	b = strconv.AppendFloat(b, rep.Duration, 'g', -1, 64)
 	b = append(b, `,"mean_frequency":`...)
 	b = strconv.AppendFloat(b, rep.MeanFrequency, 'g', -1, 64)
+	if s.faults != nil {
+		crashes := 0
+		for _, ev := range s.applied {
+			if ev.Kind == fault.Crash {
+				crashes++
+			}
+		}
+		b = append(b, `,"jobs_shed":`...)
+		b = strconv.AppendInt(b, s.shed, 10)
+		b = append(b, `,"crashes":`...)
+		b = strconv.AppendInt(b, int64(crashes), 10)
+		b = append(b, `,"repairs":`...)
+		b = strconv.AppendInt(b, int64(len(s.applied)-crashes), 10)
+	}
 	b = append(b, "}\n"...)
 	s.outBuf = b
 	_, err := s.cfg.Out.Write(b)

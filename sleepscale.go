@@ -8,6 +8,7 @@ import (
 	"sleepscale/internal/core"
 	"sleepscale/internal/dist"
 	"sleepscale/internal/farm"
+	"sleepscale/internal/fault"
 	"sleepscale/internal/fleet"
 	"sleepscale/internal/multicore"
 	"sleepscale/internal/policy"
@@ -678,6 +679,53 @@ func WriteFleetEpochLog(path string, rep *FleetReport) error { return fleet.Writ
 // WriteFleetServerLog appends a coordinated run's per-server summaries to
 // the column file at path.
 func WriteFleetServerLog(path string, rep *FleetReport) error { return fleet.WriteServerLog(path, rep) }
+
+// Fault injection: deterministic crash/repair timelines driven through the
+// fleet coordinator via FleetConfig.Faults. Crashed servers lose their jobs
+// in flight (re-dispatched under a bounded retry policy), stop consuming
+// energy, and rejoin cold when repaired; an empty timeline is bit-identical
+// to no injection at all.
+type (
+	// FaultEvent is one crash or repair at an exact simulated instant.
+	FaultEvent = fault.Event
+	// FaultKind distinguishes crash from repair.
+	FaultKind = fault.Kind
+	// FaultSource is a replayable fault-event stream, the failure-side
+	// sibling of StreamSource.
+	FaultSource = fault.Source
+	// FaultSchedule is a scripted, validated event list implementing
+	// FaultSource.
+	FaultSchedule = fault.Schedule
+	// FaultRenewalConfig parameterizes the seeded MTBF/MTTR renewal process.
+	FaultRenewalConfig = fault.RenewalConfig
+	// FaultRenewal draws per-server exponential crash/repair timelines,
+	// deterministic per seed and independent across servers.
+	FaultRenewal = fault.Renewal
+	// FaultRetryPolicy bounds failover re-dispatch of jobs lost in flight.
+	FaultRetryPolicy = fault.RetryPolicy
+)
+
+// Fault event kinds.
+const (
+	FaultCrash  = fault.Crash
+	FaultRepair = fault.Repair
+)
+
+// NewFaultSchedule validates and wraps a scripted event list.
+func NewFaultSchedule(events []FaultEvent) (*FaultSchedule, error) { return fault.NewSchedule(events) }
+
+// ParseFaultSchedule parses the "<time> <server> crash|repair" schedule
+// format ('#' comments, blank lines ignored).
+func ParseFaultSchedule(text string) (*FaultSchedule, error) { return fault.ParseSchedule(text) }
+
+// NewFaultRenewal builds a seeded per-server MTBF/MTTR renewal timeline.
+func NewFaultRenewal(cfg FaultRenewalConfig, seed int64) (*FaultRenewal, error) {
+	return fault.NewRenewal(cfg, seed)
+}
+
+// WriteFaultLog appends applied fault events (e.g. FleetReport.FaultEvents)
+// to the column file at path under the fault-log schema.
+func WriteFaultLog(path string, events []FaultEvent) error { return fault.WriteLog(path, events) }
 
 // Multi-core extension (paper §7 future work): one chip, k cores, a shared
 // FCFS queue, per-core CPU sleep states and a platform gated by the union
